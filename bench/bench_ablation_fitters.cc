@@ -1,0 +1,115 @@
+// Ablation: Gauss-Newton vs Levenberg-Marquardt vs log-linearization on
+// power-law fits (DESIGN.md §4.2/4.3).
+//
+// The paper notes that iterative fitters "can be highly dependent on the
+// choice of starting parameters" and may diverge. This bench fits the same
+// LOFAR-style per-source problems with each algorithm from (a) the
+// log-linear warm start and (b) deliberately bad starting points, and
+// reports convergence rate, iteration counts, parameter accuracy and time.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "model/fit.h"
+#include "model/model.h"
+
+namespace {
+
+using namespace laws;
+using namespace laws::bench;
+
+struct Problem {
+  Matrix x;
+  Vector y;
+  double p_true, a_true;
+};
+
+std::vector<Problem> MakeProblems(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Problem> problems;
+  problems.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    Problem prob;
+    prob.p_true = rng.LogNormal(-1.0, 0.5);
+    prob.a_true = rng.Normal(-0.75, 0.12);
+    const size_t n = 40;
+    prob.x = Matrix(n, 1);
+    prob.y.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      prob.x(i, 0) = rng.Uniform(0.1, 0.2);
+      prob.y[i] = prob.p_true * std::pow(prob.x(i, 0), prob.a_true) *
+                  std::exp(rng.Normal(0.0, 0.05));
+    }
+    problems.push_back(std::move(prob));
+  }
+  return problems;
+}
+
+void RunSweep(const char* label, const std::vector<Problem>& problems,
+              FitAlgorithm algorithm, const Vector& start) {
+  PowerLawModel model;
+  size_t converged = 0, failed = 0, accurate = 0;
+  double total_iters = 0.0;
+  Timer timer;
+  for (const Problem& prob : problems) {
+    FitOptions opts;
+    opts.algorithm = algorithm;
+    opts.initial_parameters = start;
+    opts.max_iterations = 200;
+    opts.compute_standard_errors = false;
+    auto fit = FitModel(model, prob.x, prob.y, opts);
+    if (!fit.ok()) {
+      ++failed;
+      continue;
+    }
+    converged += fit->converged ? 1 : 0;
+    total_iters += static_cast<double>(fit->iterations);
+    if (std::fabs(fit->parameters[1] - prob.a_true) < 0.15) ++accurate;
+  }
+  const double ms = timer.ElapsedMillis();
+  const double n = static_cast<double>(problems.size());
+  std::printf("  %-22s %9.1f%% %9.1f%% %9.1f%% %10.1f %10.1f\n", label,
+              100.0 * static_cast<double>(converged) / n,
+              100.0 * static_cast<double>(failed) / n,
+              100.0 * static_cast<double>(accurate) / n,
+              total_iters / std::max(1.0, n - static_cast<double>(failed)),
+              ms);
+}
+
+}  // namespace
+
+int main() {
+  Banner("Ablation: nonlinear fitting algorithms on power laws",
+         "convergence of Gauss-Newton vs Levenberg-Marquardt vs log-linear "
+         "OLS, with good and bad starting points");
+
+  const auto problems = MakeProblems(2000, 99);
+
+  std::printf("\n%zu per-source problems, 40 observations each\n\n",
+              problems.size());
+  std::printf("  %-22s %10s %10s %10s %10s %10s\n", "algorithm",
+              "converged", "failed", "alpha ok", "avg iters", "total ms");
+
+  std::printf("warm start (model default / log-linear):\n");
+  RunSweep("log-linear only", problems, FitAlgorithm::kLogLinear, {});
+  RunSweep("Gauss-Newton", problems, FitAlgorithm::kGaussNewton, {});
+  RunSweep("Levenberg-Marquardt", problems, FitAlgorithm::kLevenbergMarquardt,
+           {});
+
+  std::printf("bad start (p=100, alpha=+2):\n");
+  const Vector bad = {100.0, 2.0};
+  RunSweep("Gauss-Newton", problems, FitAlgorithm::kGaussNewton, bad);
+  RunSweep("Levenberg-Marquardt", problems, FitAlgorithm::kLevenbergMarquardt,
+           bad);
+
+  std::printf(
+      "\nSHAPE OK when: all algorithms agree from the warm start "
+      "(log-linear is the cheapest); from the bad start plain Gauss-Newton "
+      "fails/diverges on a large fraction while Levenberg-Marquardt "
+      "still converges — the damping the paper's 'local extrema / "
+      "divergence' discussion calls for.\n");
+  return 0;
+}

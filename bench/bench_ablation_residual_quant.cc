@@ -1,0 +1,89 @@
+// Ablation: residual quantization step in lossy semantic compression
+// (DESIGN.md §4.4).
+//
+// The quantization step is the knob between storage and fidelity: the
+// reconstruction error is bounded by step/2 while residuals collapse to
+// small integers that the columnar encoders crush. This bench sweeps the
+// step over six decades on the LOFAR workload and prints bytes vs
+// measured max error (which must respect the bound at every step).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "compress/semantic.h"
+#include "lofar/generator.h"
+#include "model/grouped_fit.h"
+#include "model/model.h"
+
+int main() {
+  using namespace laws;
+  using namespace laws::bench;
+
+  Banner("Ablation: residual quantization step (lossy semantic "
+         "compression)",
+         "size vs bounded error; max |error| <= step/2 must hold at every "
+         "setting");
+
+  LofarConfig cfg;
+  cfg.num_sources = 5000;
+  cfg.num_rows = 200'000;
+  cfg.anomalous_fraction = 0.0;
+  auto data = Unwrap(GenerateLofar(cfg), "generate");
+  const Table& table = data.observations;
+
+  PowerLawModel model;
+  GroupedFitSpec spec;
+  spec.group_column = "source";
+  spec.input_columns = {"wavelength"};
+  spec.output_column = "intensity";
+  auto fits = Unwrap(FitGrouped(model, table, spec), "fit");
+
+  const Column& y0 = *Unwrap(table.ColumnByName("intensity"), "col");
+  const size_t raw = table.MemoryBytes();
+  std::printf("raw table: %zu rows, %s\n\n", table.num_rows(),
+              HumanBytes(raw).c_str());
+  std::printf("%12s %14s %8s %14s %14s\n", "step", "bytes", "ratio",
+              "bound (q/2)", "measured max");
+
+  auto lossless = Unwrap(SemanticCompress(table, model, fits, spec),
+                         "lossless");
+  std::printf("%12s %14zu %7.1f%% %14s %14s\n", "lossless",
+              lossless.TotalCompressedBytes(),
+              100.0 * lossless.CompressionRatio(), "0", "0");
+
+  size_t prev_bytes = lossless.TotalCompressedBytes();
+  for (double step : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}) {
+    SemanticCompressionOptions opts;
+    opts.lossless = false;
+    opts.quantization_step = step;
+    auto compressed =
+        Unwrap(SemanticCompress(table, model, fits, spec, opts), "compress");
+    Table back = Unwrap(SemanticDecompress(compressed), "decompress");
+    const Column& y1 = *Unwrap(back.ColumnByName("intensity"), "col");
+    double max_err = 0.0;
+    for (size_t i = 0; i < y0.size(); ++i) {
+      max_err = std::max(max_err, std::fabs(y1.DoubleAt(i) - y0.DoubleAt(i)));
+    }
+    std::printf("%12.0e %14zu %7.1f%% %14.1e %14.3e\n", step,
+                compressed.TotalCompressedBytes(),
+                100.0 * compressed.CompressionRatio(), step / 2.0, max_err);
+    if (max_err > step / 2.0 + 1e-15) {
+      std::fprintf(stderr, "FATAL: error bound violated at step %g\n", step);
+      return 1;
+    }
+    if (compressed.TotalCompressedBytes() > prev_bytes + raw / 100) {
+      std::fprintf(stderr,
+                   "FATAL: size not monotone non-increasing at step %g\n",
+                   step);
+      return 1;
+    }
+    prev_bytes = compressed.TotalCompressedBytes();
+  }
+
+  std::printf("\nSHAPE OK: size falls monotonically with coarser "
+              "quantization and the step/2 error bound holds "
+              "everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Table 2 / opportunity "Data anomalies" (§4.2).
+//
+// "Often, the observations that do not fit the model are of supreme
+// interest. These will stand out in the fitting process by showing large
+// residual errors ... there is a small number of radio sources where the
+// intensity is seemingly unrelated to the frequency." This bench plants
+// known anomalous sources at several rates and reports precision/recall of
+// the goodness-of-fit screen — computed from the parameter table alone.
+
+#include <cstdio>
+#include <set>
+
+#include "anomaly/anomaly.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/session.h"
+#include "lofar/pipeline.h"
+
+int main() {
+  using namespace laws;
+  using namespace laws::bench;
+
+  Banner("Table 2: data anomalies via residual screening",
+         "poor-fit sources (intensity unrelated to frequency) surface via "
+         "goodness of fit");
+
+  std::printf("%10s %10s %10s %10s %10s %12s\n", "fraction", "planted",
+              "flagged", "precision", "recall", "screen(ms)");
+
+  bool all_ok = true;
+  for (double fraction : {0.005, 0.01, 0.05, 0.10}) {
+    Catalog catalog;
+    ModelCatalog models;
+    Session session(&catalog, &models);
+    LofarConfig cfg;
+    cfg.num_sources = 5000;
+    cfg.num_rows = 200'000;
+    cfg.anomalous_fraction = fraction;
+    cfg.seed = 42 + static_cast<uint64_t>(fraction * 1000);
+    auto pipeline =
+        Unwrap(RunLofarPipeline(cfg, &catalog, &session, "m"), "pipeline");
+    const CapturedModel* model =
+        Unwrap(models.Get(pipeline.model_id), "model");
+
+    std::set<int64_t> planted;
+    for (const auto& t : pipeline.dataset.truth) {
+      if (t.anomalous) planted.insert(t.source);
+    }
+
+    AnomalyOptions options;
+    options.r_squared_threshold = 0.5;
+    options.rse_factor = 1e18;  // heteroscedastic brightness: screen on R2
+    Timer timer;
+    auto report = Unwrap(ScoreGroups(*model, options), "screen");
+    const double ms = timer.ElapsedMillis();
+
+    size_t tp = 0, fp = 0;
+    for (const auto& s : report.ranked) {
+      if (!s.flagged) continue;
+      (planted.count(s.group_key) > 0 ? tp : fp) += 1;
+    }
+    const double precision =
+        tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                    : 1.0;
+    const double recall =
+        planted.empty()
+            ? 1.0
+            : static_cast<double>(tp) / static_cast<double>(planted.size());
+    std::printf("%9.1f%% %10zu %10zu %10.3f %10.3f %12.2f\n",
+                100.0 * fraction, planted.size(), report.flagged, precision,
+                recall, ms);
+    if (precision < 0.9 || recall < 0.9) all_ok = false;
+  }
+
+  if (!all_ok) {
+    std::fprintf(stderr, "FATAL: screening quality below 0.9\n");
+    return 1;
+  }
+  std::printf("\nSHAPE OK: planted anomalies separate cleanly by "
+              "goodness of fit (precision and recall > 0.9 at every "
+              "rate), using only the captured parameter table.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Table 2 / opportunity "Zero-IO scans" (§4.1).
+//
+// "We do not even need to access the stored data at all ... transform an
+// IO-bound problem (scanning a large table) into a CPU-bound problem
+// (recalculating all the values from the model)." Google-benchmark pair:
+// aggregate over the full raw table vs aggregate over tuples reconstructed
+// from the captured model + enumerable domains (which never touches the
+// observations). The model path work scales with sources x bands, not
+// with raw rows — the crossover widens as observations accumulate per
+// source, the paper's "ten times more observations per source" argument.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+
+#include "aqp/domain.h"
+#include "aqp/model_aqp.h"
+#include "bench/bench_util.h"
+#include "core/session.h"
+#include "lofar/pipeline.h"
+#include "query/executor.h"
+
+namespace {
+
+using namespace laws;
+using namespace laws::bench;
+
+/// Shared state per observation-per-source density.
+struct State {
+  Catalog catalog;
+  ModelCatalog models;
+  DomainRegistry domains;
+  std::unique_ptr<Session> session;
+  std::unique_ptr<ModelQueryEngine> engine;
+  const CapturedModel* model = nullptr;
+
+  explicit State(size_t obs_per_source) {
+    LofarConfig cfg;
+    cfg.num_sources = 10'000;
+    cfg.num_rows = cfg.num_sources * obs_per_source;
+    cfg.band_jitter = 0.0;
+    cfg.anomalous_fraction = 0.0;
+    session = std::make_unique<Session>(&catalog, &models);
+    auto pipeline =
+        Unwrap(RunLofarPipeline(cfg, &catalog, session.get(), "m"), "pipe");
+    model = Unwrap(models.Get(pipeline.model_id), "model");
+    domains.Register("m", "wavelength", ColumnDomain::Explicit(cfg.bands));
+    engine = std::make_unique<ModelQueryEngine>(&catalog, &models, &domains);
+  }
+};
+
+State& SharedState(size_t obs_per_source) {
+  static auto* s8 = new State(8);
+  static auto* s40 = new State(40);
+  static auto* s80 = new State(80);
+  switch (obs_per_source) {
+    case 8:
+      return *s8;
+    case 40:
+      return *s40;
+    default:
+      return *s80;
+  }
+}
+
+void BM_FullScanAggregate(benchmark::State& state) {
+  State& s = SharedState(static_cast<size_t>(state.range(0)));
+  const std::string q =
+      "SELECT AVG(intensity) FROM m WHERE wavelength = 0.15";
+  for (auto _ : state) {
+    auto result = ExecuteQuery(s.catalog, q);
+    if (!result.ok()) state.SkipWithError("exact query failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("raw rows: " +
+                 std::to_string((**s.catalog.Get("m")).num_rows()));
+}
+BENCHMARK(BM_FullScanAggregate)->Arg(8)->Arg(40)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ModelZeroIoAggregate(benchmark::State& state) {
+  State& s = SharedState(static_cast<size_t>(state.range(0)));
+  const std::string q =
+      "SELECT AVG(intensity) FROM m WHERE wavelength = 0.15";
+  for (auto _ : state) {
+    auto result = s.engine->Execute(q);
+    if (!result.ok()) state.SkipWithError("model query failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("reconstructs 10000 tuples regardless of raw rows");
+}
+BENCHMARK(BM_ModelZeroIoAggregate)->Arg(8)->Arg(40)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+/// Raw reconstruction throughput: tuples/s generated from the model.
+void BM_ModelReconstruction(benchmark::State& state) {
+  State& s = SharedState(40);
+  size_t tuples = 0;
+  for (auto _ : state) {
+    auto recon = s.engine->ReconstructTable(*s.model, {});
+    if (!recon.ok()) state.SkipWithError("reconstruct failed");
+    tuples += recon->tuples_reconstructed;
+    benchmark::DoNotOptimize(recon);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+}
+BENCHMARK(BM_ModelReconstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

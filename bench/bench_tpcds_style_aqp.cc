@@ -1,0 +1,188 @@
+// §6 proposed evaluation — benchmark-style AQP over generated data.
+//
+// "A straightforward way of evaluating this system would be to create
+// models that describe the considerable regularity in the generated
+// datasets for popular database benchmarks such as TPC-DS. Then, the
+// complex benchmark queries serve as tasks for approximate query
+// answering." Our retail workload stands in for TPC-DS (same property:
+// generated regularity with known ground truth — DESIGN.md §1). Each
+// benchmark query is answered four ways: exact scan, captured model,
+// uniform sample, histogram synopsis; we report answer error, latency and
+// auxiliary storage.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "aqp/domain.h"
+#include "aqp/histogram_aqp.h"
+#include "aqp/model_aqp.h"
+#include "aqp/sampling_aqp.h"
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/session.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "workload/retail.h"
+
+namespace {
+
+using namespace laws;
+using namespace laws::bench;
+
+struct QueryCase {
+  const char* label;
+  const char* sql;          // for exact + model engines
+  AggregateFunc agg;        // for sample/histogram baselines
+  const char* agg_column;
+  const char* filter;       // predicate for the sampler
+  const char* hist_filter_col;
+  double hist_lo, hist_hi;
+  bool selective;  // restricted to one SKU?
+};
+
+}  // namespace
+
+int main() {
+  Banner("S6: TPC-DS-style AQP over generated regularity",
+         "benchmark queries answered approximately; model vs sampling vs "
+         "synopses (accuracy / latency / storage)");
+
+  RetailConfig cfg;
+  cfg.num_skus = 1000;
+  cfg.num_days = 365;
+  auto retail = Unwrap(GenerateRetail(cfg), "retail");
+  Catalog catalog;
+  auto table = std::make_shared<Table>(std::move(retail.sales));
+  catalog.RegisterOrReplace("sales", table);
+
+  ModelCatalog models;
+  Session session(&catalog, &models);
+  FitRequest fit;
+  fit.table = "sales";
+  fit.model_source = "seasonal(7)";
+  fit.input_columns = {"day"};
+  fit.output_column = "units";
+  fit.group_column = "sku";
+  FitReport report = Unwrap(session.Fit(fit), "fit");
+  const CapturedModel* captured = Unwrap(models.Get(report.model_id), "get");
+
+  DomainRegistry domains;
+  domains.Register("sales", "day",
+                   ColumnDomain::IntegerRange(
+                       0, static_cast<int64_t>(cfg.num_days) - 1, 1));
+  ModelQueryEngine model_engine(&catalog, &models, &domains);
+  SamplingEngine sampler(*table, 0.01);
+  auto stratified = Unwrap(
+      StratifiedSamplingEngine::Build(*table, "sku", /*per_group_cap=*/4),
+      "stratified");
+  auto hist = Unwrap(HistogramEngine::Build(*table, 64), "hist");
+
+  std::printf("table: %zu rows (%s). auxiliary sizes: model %s, 1%% uniform "
+              "sample %s, stratified sample %s, histograms %s\n\n",
+              table->num_rows(), HumanBytes(table->MemoryBytes()).c_str(),
+              HumanBytes(captured->StorageBytes()).c_str(),
+              HumanBytes(sampler.SampleBytes()).c_str(),
+              HumanBytes(stratified.SampleBytes()).c_str(),
+              HumanBytes(hist.SizeBytes()).c_str());
+
+  const QueryCase cases[] = {
+      {"Q1: one SKU, one quarter",
+       "SELECT SUM(units) FROM sales WHERE sku = 17 AND day >= 90 AND day "
+       "<= 180",
+       AggregateFunc::kSum, "units", "sku = 17 AND day >= 90 AND day <= 180",
+       "day", 90, 180, true},
+      {"Q2: chain-wide daily average",
+       "SELECT AVG(units) FROM sales WHERE day >= 180 AND day <= 270",
+       AggregateFunc::kAvg, "units", "day >= 180 AND day <= 270", "day", 180,
+       270, false},
+      {"Q3: one SKU single day",
+       "SELECT AVG(units) FROM sales WHERE sku = 500 AND day = 42",
+       AggregateFunc::kAvg, "units", "sku = 500 AND day = 42", "day", 42, 42,
+       true},
+  };
+
+  bool model_ok = true;
+  for (const QueryCase& c : cases) {
+    Timer exact_timer;
+    Table exact = Unwrap(ExecuteQuery(catalog, c.sql), "exact");
+    const double exact_ms = exact_timer.ElapsedMillis();
+    const double truth = *exact.GetValue(0, 0).AsDouble();
+
+    std::printf("%s\n  %s\n", c.label, c.sql);
+    std::printf("  %-10s %14.2f %10s %10.2f ms\n", "exact", truth, "-",
+                exact_ms);
+
+    Timer model_timer;
+    auto model_ans = model_engine.Execute(c.sql);
+    const double model_ms = model_timer.ElapsedMillis();
+    if (model_ans.ok()) {
+      const double v = *model_ans->table.GetValue(0, 0).AsDouble();
+      const double err = std::fabs(v - truth) / std::max(std::fabs(truth), 1e-9);
+      std::printf("  %-10s %14.2f %9.2f%% %10.2f ms\n", "model", v,
+                  100.0 * err, model_ms);
+      if (err > 0.05) model_ok = false;
+    } else {
+      std::printf("  %-10s failed: %s\n", "model",
+                  model_ans.status().ToString().c_str());
+      model_ok = false;
+    }
+
+    auto pred = Unwrap(ParseExpression(c.filter), "pred");
+    Timer sample_timer;
+    auto sample_ans =
+        sampler.EstimateAggregate(c.agg, c.agg_column, pred.get());
+    const double sample_ms = sample_timer.ElapsedMillis();
+    if (sample_ans.ok() && sample_ans->sample_rows_used > 0) {
+      const double err = std::fabs(sample_ans->value - truth) /
+                         std::max(std::fabs(truth), 1e-9);
+      std::printf("  %-10s %14.2f %9.2f%% %10.2f ms  (n=%zu, CI +/- %.1f)\n",
+                  "sample", sample_ans->value, 100.0 * err, sample_ms,
+                  sample_ans->sample_rows_used, sample_ans->ci_half_width);
+    } else {
+      std::printf("  %-10s no qualifying sample rows (selective predicate "
+                  "defeats uniform sampling)\n",
+                  "sample");
+    }
+
+    Timer strat_timer;
+    auto strat_ans =
+        stratified.EstimateAggregate(c.agg, c.agg_column, pred.get());
+    const double strat_ms = strat_timer.ElapsedMillis();
+    if (strat_ans.ok() && strat_ans->sample_rows_used > 0) {
+      const double err = std::fabs(strat_ans->value - truth) /
+                         std::max(std::fabs(truth), 1e-9);
+      std::printf("  %-10s %14.2f %9.2f%% %10.2f ms  (n=%zu)\n",
+                  "stratified", strat_ans->value, 100.0 * err, strat_ms,
+                  strat_ans->sample_rows_used);
+    } else {
+      std::printf("  %-10s no qualifying sample rows\n", "stratified");
+    }
+
+    auto hist_ans = hist.EstimateRange(c.agg, c.agg_column,
+                                       c.hist_filter_col, c.hist_lo,
+                                       c.hist_hi);
+    if (hist_ans.ok()) {
+      const double err =
+          std::fabs(*hist_ans - truth) / std::max(std::fabs(truth), 1e-9);
+      std::printf("  %-10s %14.2f %9.2f%%   (sku predicate ignored)\n",
+                  "histogram", *hist_ans, 100.0 * err);
+    } else {
+      std::printf("  %-10s n/a: %s\n", "histogram",
+                  hist_ans.status().ToString().c_str());
+    }
+    std::printf("\n");
+  }
+
+  if (!model_ok) {
+    std::fprintf(stderr, "FATAL: model answers exceeded 5%% error\n");
+    return 1;
+  }
+  std::printf("SHAPE OK: the captured model answers every query within "
+              "5%%; uniform samples degrade (or fail) on selective "
+              "predicates and per-column histograms cannot honour "
+              "cross-column restrictions — the gaps the paper's proposal "
+              "targets.\n");
+  return 0;
+}

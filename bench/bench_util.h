@@ -1,0 +1,48 @@
+#ifndef LAWSDB_BENCH_BENCH_UTIL_H_
+#define LAWSDB_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the reproduction harness. Each bench binary
+// regenerates one table or figure of the paper (see DESIGN.md §3) and
+// prints the same rows/series the paper reports, plus our measured
+// numbers. Binaries exit non-zero on any internal error so the harness
+// loop surfaces breakage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace laws::bench {
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+/// Aborts the binary with a message when a Status is not OK.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Unwraps a Result or aborts.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace laws::bench
+
+#endif  // LAWSDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,373 @@
+// lawsdb_shell — a small interactive shell over the whole engine.
+//
+//   $ ./build/examples/lawsdb_shell
+//   lawsdb> gen lofar 1000 40000
+//   lawsdb> fit measurements power_law wavelength intensity group source
+//   lawsdb> domain measurements wavelength
+//   lawsdb> approx SELECT intensity FROM measurements WHERE source = 42
+//           AND wavelength = 0.15
+//   lawsdb> sql SELECT COUNT(*) FROM measurements
+//   lawsdb> suggest measurements wavelength intensity group source
+//   lawsdb> save /tmp/db.laws
+//   lawsdb> quit
+//
+// Also scriptable: pipe commands via stdin (used by the repo's smoke
+// checks). Type `help` for the full command list.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "aqp/domain.h"
+#include "aqp/model_aqp.h"
+#include "common/string_util.h"
+#include "core/advisor.h"
+#include "core/diagnose.h"
+#include "core/persistence.h"
+#include "core/session.h"
+#include "lofar/generator.h"
+#include "query/executor.h"
+#include "storage/csv.h"
+#include "workload/retail.h"
+
+namespace {
+
+using namespace laws;
+
+struct Shell {
+  Catalog data;
+  ModelCatalog models;
+  DomainRegistry domains;
+  Session session{&data, &models};
+  ModelQueryEngine aqp{&data, &models, &domains};
+
+  void PrintTable(const Table& t, size_t max_rows = 12) {
+    std::printf("%s", t.ToString(max_rows).c_str());
+    std::printf("(%zu rows)\n", t.num_rows());
+  }
+
+  void Help() {
+    std::printf(
+        "commands:\n"
+        "  gen lofar <sources> <rows>     generate + register 'measurements'\n"
+        "  gen retail <skus> <days>       generate + register 'sales'\n"
+        "  tables                         list tables\n"
+        "  sql <SELECT ...>               exact query\n"
+        "  explain <SELECT ...>           show the execution plan\n"
+        "  approx <SELECT ...>            answer from captured models only\n"
+        "  fit <table> <model> <input> <output> [group <col>] [where <pred>]\n"
+        "  models                         list captured models\n"
+        "  suggest <table> <input> <output> [group <col>]   model advisor\n"
+        "  domain <table> <column>        infer + register enumerable domain\n"
+        "  view <model_id> <name>         materialize a model grid as a table\n"
+        "  diagnose <model_id> [group]    residual normality + autocorrelation\n"
+        "  refresh                        refit stale models\n"
+        "  import <path> <table> <name:type[?],...>   load a CSV file\n"
+        "  export <table> <path>          write a table as CSV\n"
+        "  save <path> | load <path>      persist / restore the database\n"
+        "  help | quit\n");
+  }
+
+  void Gen(std::istringstream& args) {
+    std::string kind;
+    size_t a = 0, b = 0;
+    args >> kind >> a >> b;
+    if (kind == "lofar" && a > 0 && b >= a * 8) {
+      LofarConfig cfg;
+      cfg.num_sources = a;
+      cfg.num_rows = b;
+      cfg.band_jitter = 0.0;
+      auto gen = GenerateLofar(cfg);
+      if (!gen.ok()) {
+        std::printf("error: %s\n", gen.status().ToString().c_str());
+        return;
+      }
+      data.RegisterOrReplace(
+          "measurements",
+          std::make_shared<Table>(std::move(gen->observations)));
+      domains.Register("measurements", "wavelength",
+                       ColumnDomain::Explicit(cfg.bands));
+      std::printf("registered 'measurements' (%zu rows; wavelength domain "
+                  "registered)\n",
+                  b);
+      return;
+    }
+    if (kind == "retail" && a > 0 && b > 0) {
+      RetailConfig cfg;
+      cfg.num_skus = a;
+      cfg.num_days = b;
+      auto gen = GenerateRetail(cfg);
+      if (!gen.ok()) {
+        std::printf("error: %s\n", gen.status().ToString().c_str());
+        return;
+      }
+      data.RegisterOrReplace("sales",
+                             std::make_shared<Table>(std::move(gen->sales)));
+      domains.Register(
+          "sales", "day",
+          ColumnDomain::IntegerRange(0, static_cast<int64_t>(b) - 1, 1));
+      std::printf("registered 'sales' (%zu rows; day domain registered)\n",
+                  a * b);
+      return;
+    }
+    std::printf("usage: gen lofar <sources> <rows> | gen retail <skus> "
+                "<days>\n");
+  }
+
+  void Fit(std::istringstream& args) {
+    FitRequest request;
+    std::string input;
+    args >> request.table >> request.model_source >> input >>
+        request.output_column;
+    request.input_columns = {input};
+    std::string word;
+    while (args >> word) {
+      if (EqualsIgnoreCase(word, "group")) {
+        args >> request.group_column;
+      } else if (EqualsIgnoreCase(word, "where")) {
+        std::getline(args, request.where);
+        request.where = std::string(Trim(request.where));
+      }
+    }
+    if (request.table.empty() || request.output_column.empty()) {
+      std::printf("usage: fit <table> <model> <input> <output> [group <col>] "
+                  "[where <pred>]\n");
+      return;
+    }
+    auto report = session.Fit(request);
+    if (!report.ok()) {
+      std::printf("error: %s\n", report.status().ToString().c_str());
+      return;
+    }
+    auto captured = models.Get(report->model_id);
+    std::printf("captured: %s\n", (*captured)->Summary().c_str());
+  }
+
+  void Models() {
+    if (models.size() == 0) {
+      std::printf("(no captured models)\n");
+      return;
+    }
+    for (uint64_t id : models.ListIds()) {
+      std::printf("%s\n", (*models.Get(id))->Summary().c_str());
+    }
+  }
+
+  void Suggest(std::istringstream& args) {
+    std::string table, input, output, word, group;
+    args >> table >> input >> output;
+    while (args >> word) {
+      if (EqualsIgnoreCase(word, "group")) args >> group;
+    }
+    auto t = data.Get(table);
+    if (!t.ok()) {
+      std::printf("error: %s\n", t.status().ToString().c_str());
+      return;
+    }
+    auto candidates =
+        group.empty() ? SuggestModels(**t, input, output)
+                      : SuggestGroupedModels(**t, group, input, output);
+    if (!candidates.ok()) {
+      std::printf("error: %s\n", candidates.status().ToString().c_str());
+      return;
+    }
+    std::printf("%-18s %10s %12s\n", "model", "R2", "BIC");
+    for (const auto& c : *candidates) {
+      if (c.fitted) {
+        std::printf("%-18s %10.4f %12.1f\n", c.model_source.c_str(),
+                    c.r_squared, c.bic);
+      } else {
+        std::printf("%-18s   failed: %s\n", c.model_source.c_str(),
+                    c.failure.c_str());
+      }
+    }
+  }
+
+  void Domain(std::istringstream& args) {
+    std::string table, column;
+    args >> table >> column;
+    auto t = data.Get(table);
+    if (!t.ok()) {
+      std::printf("error: %s\n", t.status().ToString().c_str());
+      return;
+    }
+    auto col = (*t)->ColumnByName(column);
+    if (!col.ok()) {
+      std::printf("error: %s\n", col.status().ToString().c_str());
+      return;
+    }
+    auto domain = DomainRegistry::InferFromColumn(**col);
+    if (!domain.ok()) {
+      std::printf("error: %s\n", domain.status().ToString().c_str());
+      return;
+    }
+    std::printf("registered domain with %zu values\n",
+                domain->Cardinality());
+    domains.Register(table, column, std::move(*domain));
+  }
+
+  void Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty()) return;
+    if (EqualsIgnoreCase(command, "help")) {
+      Help();
+    } else if (EqualsIgnoreCase(command, "gen")) {
+      Gen(in);
+    } else if (EqualsIgnoreCase(command, "tables")) {
+      for (const auto& name : data.ListTables()) {
+        std::printf("%s (%zu rows)\n", name.c_str(),
+                    (*data.Get(name))->num_rows());
+      }
+    } else if (EqualsIgnoreCase(command, "sql")) {
+      std::string query;
+      std::getline(in, query);
+      auto result = ExecuteQuery(data, query);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        PrintTable(*result);
+      }
+    } else if (EqualsIgnoreCase(command, "explain")) {
+      std::string query;
+      std::getline(in, query);
+      auto plan = ExplainQuery(data, query);
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      } else {
+        std::printf("%s", plan->c_str());
+      }
+    } else if (EqualsIgnoreCase(command, "approx")) {
+      std::string query;
+      std::getline(in, query);
+      auto answer = aqp.Execute(query);
+      if (!answer.ok()) {
+        std::printf("error: %s\n", answer.status().ToString().c_str());
+      } else {
+        PrintTable(answer->table);
+        std::printf("method=%s  error bound ~ +/-%.6g  raw rows read=%zu\n",
+                    answer->method.c_str(), answer->error_bound,
+                    answer->raw_rows_accessed);
+      }
+    } else if (EqualsIgnoreCase(command, "fit")) {
+      Fit(in);
+    } else if (EqualsIgnoreCase(command, "models")) {
+      Models();
+    } else if (EqualsIgnoreCase(command, "suggest")) {
+      Suggest(in);
+    } else if (EqualsIgnoreCase(command, "domain")) {
+      Domain(in);
+    } else if (EqualsIgnoreCase(command, "diagnose")) {
+      uint64_t model_id = 0;
+      int64_t group = 0;
+      in >> model_id;
+      in >> group;  // optional; stays 0 on failure
+      auto model = models.Get(model_id);
+      if (!model.ok()) {
+        std::printf("error: %s\n", model.status().ToString().c_str());
+        return;
+      }
+      auto table = data.Get((*model)->table_name);
+      if (!table.ok()) {
+        std::printf("error: %s\n", table.status().ToString().c_str());
+        return;
+      }
+      auto diag = DiagnoseModel(**table, **model, group);
+      if (!diag.ok()) {
+        std::printf("error: %s\n", diag.status().ToString().c_str());
+      } else {
+        std::printf("residuals: %zu  KS p=%.4f (%s)  Durbin-Watson=%.3f  "
+                    "-> %s\n",
+                    diag->residuals_used, diag->residual_normality.p_value,
+                    diag->residual_normality.normal_at_05 ? "normal"
+                                                          : "non-normal",
+                    diag->durbin_watson,
+                    diag->healthy ? "healthy" : "suspect");
+      }
+    } else if (EqualsIgnoreCase(command, "view")) {
+      uint64_t model_id = 0;
+      std::string name;
+      in >> model_id >> name;
+      auto tuples = aqp.MaterializeView(model_id, name, &data);
+      if (!tuples.ok()) {
+        std::printf("error: %s\n", tuples.status().ToString().c_str());
+      } else {
+        std::printf("materialized '%s' with %zu tuples\n", name.c_str(),
+                    *tuples);
+      }
+    } else if (EqualsIgnoreCase(command, "refresh")) {
+      auto sweep = session.RefitStale();
+      if (!sweep.ok()) {
+        std::printf("error: %s\n", sweep.status().ToString().c_str());
+      } else {
+        std::printf("checked=%zu stale=%zu refitted=%zu\n", sweep->checked,
+                    sweep->stale, sweep->refitted);
+      }
+    } else if (EqualsIgnoreCase(command, "import")) {
+      std::string path, table, spec;
+      in >> path >> table;
+      std::getline(in, spec);
+      auto schema = ParseSchemaSpec(std::string(Trim(spec)));
+      if (!schema.ok()) {
+        std::printf("error: %s\n", schema.status().ToString().c_str());
+        return;
+      }
+      auto loaded = ReadCsvFile(path, *schema);
+      if (!loaded.ok()) {
+        std::printf("error: %s\n", loaded.status().ToString().c_str());
+        return;
+      }
+      const size_t rows = loaded->num_rows();
+      data.RegisterOrReplace(table,
+                             std::make_shared<Table>(std::move(*loaded)));
+      std::printf("imported %zu rows into '%s'\n", rows, table.c_str());
+    } else if (EqualsIgnoreCase(command, "export")) {
+      std::string table, path;
+      in >> table >> path;
+      auto t = data.Get(table);
+      if (!t.ok()) {
+        std::printf("error: %s\n", t.status().ToString().c_str());
+        return;
+      }
+      auto status = WriteCsvFile(**t, path);
+      std::printf("%s\n",
+                  status.ok() ? "exported" : status.ToString().c_str());
+    } else if (EqualsIgnoreCase(command, "save")) {
+      std::string path;
+      in >> path;
+      auto status = SaveDatabase(data, models, path);
+      std::printf("%s\n", status.ok() ? "saved" : status.ToString().c_str());
+    } else if (EqualsIgnoreCase(command, "load")) {
+      std::string path;
+      in >> path;
+      auto status = LoadDatabase(path, &data, &models);
+      std::printf("%s\n", status.ok() ? "loaded" : status.ToString().c_str());
+    } else {
+      std::printf("unknown command '%s' (try: help)\n", command.c_str());
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  std::printf("LawsDB shell — type 'help' for commands\n");
+  std::string line;
+  while (true) {
+    std::printf("lawsdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string trimmed(laws::Trim(line));
+    if (laws::EqualsIgnoreCase(trimmed, "quit") ||
+        laws::EqualsIgnoreCase(trimmed, "exit")) {
+      break;
+    }
+    shell.Dispatch(trimmed);
+  }
+  std::printf("\n");
+  return 0;
+}

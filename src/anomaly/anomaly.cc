@@ -1,0 +1,121 @@
+#include "anomaly/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/session.h"
+#include "model/model.h"
+
+namespace laws {
+
+Result<GroupAnomalyReport> ScoreGroups(const CapturedModel& model,
+                                       const AnomalyOptions& options) {
+  if (!model.grouped) {
+    return Status::InvalidArgument("group screening needs a grouped model");
+  }
+  const Table& pt = model.parameter_table;
+  LAWS_ASSIGN_OR_RETURN(size_t rse_idx, pt.schema().FieldIndex("residual_se"));
+  LAWS_ASSIGN_OR_RETURN(size_t r2_idx, pt.schema().FieldIndex("r_squared"));
+
+  std::vector<double> rses, r2s;
+  rses.reserve(pt.num_rows());
+  for (size_t r = 0; r < pt.num_rows(); ++r) {
+    rses.push_back(pt.column(rse_idx).DoubleAt(r));
+    r2s.push_back(pt.column(r2_idx).DoubleAt(r));
+  }
+  GroupAnomalyReport report;
+  report.median_residual_se = MedianOf(rses);
+  report.median_r_squared = MedianOf(r2s);
+  const double rse_cut =
+      options.rse_factor * std::max(report.median_residual_se, 1e-300);
+
+  report.ranked.reserve(pt.num_rows());
+  for (size_t r = 0; r < pt.num_rows(); ++r) {
+    GroupAnomalyScore s;
+    s.group_key = pt.column(0).Int64At(r);
+    s.residual_se = rses[r];
+    s.r_squared = r2s[r];
+    const double rse_ratio =
+        rses[r] / std::max(report.median_residual_se, 1e-300);
+    const double r2_penalty = std::max(0.0, 1.0 - std::max(r2s[r], 0.0));
+    s.score = rse_ratio + r2_penalty;
+    s.flagged =
+        r2s[r] < options.r_squared_threshold || rses[r] > rse_cut;
+    if (s.flagged) ++report.flagged;
+    report.ranked.push_back(s);
+  }
+  std::sort(report.ranked.begin(), report.ranked.end(),
+            [](const GroupAnomalyScore& a, const GroupAnomalyScore& b) {
+              return a.score > b.score;
+            });
+  return report;
+}
+
+Result<std::vector<TupleOutlier>> DetectOutlierTuples(
+    const Table& table, const CapturedModel& model, double z_threshold) {
+  if (!model.grouped) {
+    return Status::InvalidArgument("tuple screening needs a grouped model");
+  }
+  LAWS_ASSIGN_OR_RETURN(ModelPtr fn, ModelFromSource(model.model_source));
+  const Table& pt = model.parameter_table;
+  const size_t p = fn->num_parameters();
+  LAWS_ASSIGN_OR_RETURN(size_t rse_idx, pt.schema().FieldIndex("residual_se"));
+
+  struct GroupInfo {
+    Vector params;
+    double rse;
+  };
+  std::unordered_map<int64_t, GroupInfo> lookup;
+  lookup.reserve(pt.num_rows());
+  for (size_t r = 0; r < pt.num_rows(); ++r) {
+    GroupInfo info;
+    info.params.resize(p);
+    for (size_t j = 0; j < p; ++j) info.params[j] = pt.column(j + 1).DoubleAt(r);
+    info.rse = pt.column(rse_idx).DoubleAt(r);
+    lookup.emplace(pt.column(0).Int64At(r), std::move(info));
+  }
+
+  LAWS_ASSIGN_OR_RETURN(const Column* group,
+                        table.ColumnByName(model.group_column));
+  std::vector<const Column*> inputs;
+  for (const auto& name : model.input_columns) {
+    LAWS_ASSIGN_OR_RETURN(const Column* c, table.ColumnByName(name));
+    inputs.push_back(c);
+  }
+  LAWS_ASSIGN_OR_RETURN(const Column* output,
+                        table.ColumnByName(model.output_column));
+
+  std::vector<TupleOutlier> outliers;
+  Vector x(inputs.size());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    if (group->IsNull(i) || output->IsNull(i)) continue;
+    const auto it = lookup.find(group->Int64At(i));
+    if (it == lookup.end()) continue;
+    bool ok = true;
+    for (size_t c = 0; c < inputs.size(); ++c) {
+      if (inputs[c]->IsNull(i)) {
+        ok = false;
+        break;
+      }
+      auto v = inputs[c]->NumericAt(i);
+      if (!v.ok()) return v.status();
+      x[c] = *v;
+    }
+    if (!ok) continue;
+    const double predicted = fn->Evaluate(x, it->second.params);
+    LAWS_ASSIGN_OR_RETURN(double observed, output->NumericAt(i));
+    const double denom = std::max(it->second.rse, 1e-300);
+    const double z = (observed - predicted) / denom;
+    if (std::fabs(z) >= z_threshold) {
+      outliers.push_back(TupleOutlier{i, it->first, observed, predicted, z});
+    }
+  }
+  std::sort(outliers.begin(), outliers.end(),
+            [](const TupleOutlier& a, const TupleOutlier& b) {
+              return std::fabs(a.z_score) > std::fabs(b.z_score);
+            });
+  return outliers;
+}
+
+}  // namespace laws

@@ -1,0 +1,71 @@
+#ifndef LAWSDB_ANOMALY_ANOMALY_H_
+#define LAWSDB_ANOMALY_ANOMALY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/model_catalog.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// Fit-quality score for one group of a grouped captured model. The
+/// paper's "Data anomalies" opportunity (§4.2): observations that do not
+/// fit the model "stand out in the fitting process by showing large
+/// residual errors" — for LOFAR, the sources whose intensity is unrelated
+/// to frequency.
+struct GroupAnomalyScore {
+  int64_t group_key = 0;
+  double residual_se = 0.0;
+  double r_squared = 0.0;
+  /// Composite interestingness: residual SE relative to the median, plus a
+  /// penalty for low R². Higher = more anomalous.
+  double score = 0.0;
+  bool flagged = false;
+};
+
+/// Screening result over all groups, ranked most-anomalous first.
+struct GroupAnomalyReport {
+  std::vector<GroupAnomalyScore> ranked;
+  size_t flagged = 0;
+  double median_residual_se = 0.0;
+  double median_r_squared = 0.0;
+};
+
+/// Options for group screening.
+struct AnomalyOptions {
+  /// Flag groups with R² below this (scale-free; robust when the output
+  /// magnitude varies across groups)...
+  double r_squared_threshold = 0.5;
+  /// ...or residual SE above `rse_factor` x median RSE. Note this is an
+  /// *absolute* criterion: on heteroscedastic data (e.g. source brightness
+  /// spanning decades) it flags bright-but-well-fitted groups; raise it or
+  /// rely on the R² screen there.
+  double rse_factor = 3.0;
+};
+
+/// Screens the per-group fits of a grouped captured model. Zero IO: only
+/// the parameter table is consulted.
+Result<GroupAnomalyReport> ScoreGroups(const CapturedModel& model,
+                                       const AnomalyOptions& options = {});
+
+/// A single observation whose residual is extreme under the captured
+/// model.
+struct TupleOutlier {
+  size_t row = 0;
+  int64_t group_key = 0;
+  double observed = 0.0;
+  double predicted = 0.0;
+  /// Residual standardized by the group's residual SE.
+  double z_score = 0.0;
+};
+
+/// Finds observations with |standardized residual| >= z_threshold. This
+/// pass reads the raw table (it is a data-quality sweep, not a query).
+Result<std::vector<TupleOutlier>> DetectOutlierTuples(
+    const Table& table, const CapturedModel& model, double z_threshold = 4.0);
+
+}  // namespace laws
+
+#endif  // LAWSDB_ANOMALY_ANOMALY_H_

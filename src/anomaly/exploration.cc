@@ -1,0 +1,58 @@
+#include "anomaly/exploration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/model.h"
+
+namespace laws {
+
+Result<std::vector<GradientPoint>> FindHighGradientRegions(
+    const CapturedModel& model, const ColumnDomain& domain, size_t top_k) {
+  LAWS_ASSIGN_OR_RETURN(ModelPtr fn, ModelFromSource(model.model_source));
+  if (fn->num_inputs() != 1) {
+    return Status::InvalidArgument(
+        "gradient sweep implemented for single-input models");
+  }
+
+  struct GroupParams {
+    int64_t key;
+    Vector params;
+  };
+  std::vector<GroupParams> groups;
+  if (model.grouped) {
+    const Table& pt = model.parameter_table;
+    const size_t p = fn->num_parameters();
+    groups.reserve(pt.num_rows());
+    for (size_t r = 0; r < pt.num_rows(); ++r) {
+      GroupParams g;
+      g.key = pt.column(0).Int64At(r);
+      g.params.resize(p);
+      for (size_t j = 0; j < p; ++j) g.params[j] = pt.column(j + 1).DoubleAt(r);
+      groups.push_back(std::move(g));
+    }
+  } else {
+    groups.push_back(GroupParams{0, model.parameters});
+  }
+
+  std::vector<GradientPoint> points;
+  Vector x(1), grad;
+  const size_t n = domain.Cardinality();
+  for (const GroupParams& g : groups) {
+    for (size_t i = 0; i < n; ++i) {
+      x[0] = domain.ValueAt(i);
+      fn->InputGradient(x, g.params, &grad);
+      if (!std::isfinite(grad[0])) continue;
+      points.push_back(GradientPoint{g.key, x[0], grad[0]});
+    }
+  }
+  const size_t keep = std::min(top_k, points.size());
+  std::partial_sort(points.begin(), points.begin() + keep, points.end(),
+                    [](const GradientPoint& a, const GradientPoint& b) {
+                      return std::fabs(a.gradient) > std::fabs(b.gradient);
+                    });
+  points.resize(keep);
+  return points;
+}
+
+}  // namespace laws

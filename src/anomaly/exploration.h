@@ -1,0 +1,31 @@
+#ifndef LAWSDB_ANOMALY_EXPLORATION_H_
+#define LAWSDB_ANOMALY_EXPLORATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "aqp/domain.h"
+#include "common/result.h"
+#include "core/model_catalog.h"
+
+namespace laws {
+
+/// A point of the model surface with a steep first derivative — the
+/// paper's "Model exploration" opportunity (§4.2): "find interesting
+/// subsets of the data by analyzing the first derivative of the model
+/// function for regions in the parameter space with high gradients".
+struct GradientPoint {
+  int64_t group_key = 0;
+  double input = 0.0;
+  double gradient = 0.0;  // df/dx at (group, input)
+};
+
+/// Sweeps the model's single input over `domain` for every group (or once
+/// for ungrouped models) and returns the `top_k` points with the largest
+/// |df/dx|. Zero IO: evaluates the stored models only.
+Result<std::vector<GradientPoint>> FindHighGradientRegions(
+    const CapturedModel& model, const ColumnDomain& domain, size_t top_k);
+
+}  // namespace laws
+
+#endif  // LAWSDB_ANOMALY_EXPLORATION_H_

@@ -1,0 +1,108 @@
+#include "aqp/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace laws {
+
+Result<AnalyticAggregate> AnalyticLinearAggregate(const CapturedModel& model,
+                                                  AggregateFunc agg,
+                                                  const ColumnDomain& domain,
+                                                  double lo, double hi) {
+  if (model.grouped) {
+    return Status::InvalidArgument(
+        "analytic aggregates require an ungrouped model");
+  }
+  if (model.model_source != "linear(1)") {
+    return Status::InvalidArgument(
+        "analytic aggregates implemented for linear(1) models; got " +
+        model.model_source);
+  }
+  if (model.parameters.size() != 2) {
+    return Status::Internal("linear(1) model with wrong parameter count");
+  }
+  const double a = model.parameters[0];  // intercept
+  const double b = model.parameters[1];  // slope
+  const double rse = model.quality.residual_standard_error;
+
+  double x_first = 0.0, x_last = 0.0, x_sum = 0.0;
+  size_t n = 0;
+
+  if (domain.kind == ColumnDomain::Kind::kIntegerRange) {
+    // Clamp [lo, hi] to the progression in O(1).
+    const double dstart = static_cast<double>(domain.start);
+    const double dstep = static_cast<double>(domain.step);
+    double first = dstart;
+    if (lo > first) {
+      const double k = std::ceil((lo - dstart) / dstep);
+      first = dstart + k * dstep;
+    }
+    double last = static_cast<double>(domain.stop);
+    if (hi < last) {
+      const double k = std::floor((hi - dstart) / dstep);
+      last = dstart + k * dstep;
+    }
+    if (first > last) {
+      AnalyticAggregate out;
+      out.n = 0;
+      out.value = agg == AggregateFunc::kCount ? 0.0 : 0.0;
+      return out;
+    }
+    n = static_cast<size_t>((last - first) / dstep) + 1;
+    x_first = first;
+    x_last = last;
+    // Arithmetic series sum.
+    x_sum = static_cast<double>(n) * (x_first + x_last) / 2.0;
+  } else {
+    for (size_t i : domain.IndicesInRange(lo, hi)) {
+      const double x = domain.ValueAt(i);
+      if (n == 0) x_first = x;
+      x_last = x;
+      x_sum += x;
+      ++n;
+    }
+    if (n == 0) {
+      AnalyticAggregate out;
+      out.n = 0;
+      return out;
+    }
+  }
+
+  const double y_first = a + b * x_first;
+  const double y_last = a + b * x_last;
+  const double nd = static_cast<double>(n);
+
+  AnalyticAggregate out;
+  out.n = n;
+  switch (agg) {
+    case AggregateFunc::kCount:
+      out.value = nd;
+      out.error_bound = 0.0;
+      return out;
+    case AggregateFunc::kSum:
+      out.value = nd * a + b * x_sum;
+      out.error_bound = rse * std::sqrt(nd);
+      return out;
+    case AggregateFunc::kAvg:
+      out.value = a + b * (x_sum / nd);
+      out.error_bound = rse / std::sqrt(nd);
+      return out;
+    case AggregateFunc::kMin:
+      // A univariate affine function is monotone: extrema at endpoints.
+      out.value = std::min(y_first, y_last);
+      out.error_bound = rse;
+      return out;
+    case AggregateFunc::kMax:
+      out.value = std::max(y_first, y_last);
+      out.error_bound = rse;
+      return out;
+    case AggregateFunc::kVariance:
+    case AggregateFunc::kStddev:
+      return Status::Unimplemented(
+          "analytic VARIANCE/STDDEV not implemented (model predictions "
+          "carry no within-point spread)");
+  }
+  return Status::Internal("unknown aggregate");
+}
+
+}  // namespace laws

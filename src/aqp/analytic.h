@@ -1,0 +1,38 @@
+#ifndef LAWSDB_AQP_ANALYTIC_H_
+#define LAWSDB_AQP_ANALYTIC_H_
+
+#include "aqp/domain.h"
+#include "common/result.h"
+#include "core/model_catalog.h"
+#include "query/ast.h"
+
+namespace laws {
+
+/// A closed-form aggregate answer for a linear model (paper §4.2 "Analytic
+/// solutions for linear models": "given a well-fitting linear model we can
+/// calculate the minimum and maximum value for a column").
+struct AnalyticAggregate {
+  double value = 0.0;
+  /// Error bound derived from the model's residual SE: RSE for MIN/MAX,
+  /// RSE/sqrt(n) for AVG, RSE*sqrt(n) for SUM, 0 for COUNT.
+  double error_bound = 0.0;
+  /// Number of domain points covered.
+  size_t n = 0;
+};
+
+/// Evaluates agg(output) over the model's single input ranging across the
+/// domain restricted to [lo, hi], without enumerating values: COUNT and the
+/// moments of an arithmetic progression have closed forms, and a univariate
+/// linear model is monotone so MIN/MAX sit at the interval endpoints.
+///
+/// Requirements: ungrouped captured model, linear(1) structure, integer-
+/// range domain (explicit domains fall back to an O(|domain|) loop over
+/// the stored values — still zero IO).
+Result<AnalyticAggregate> AnalyticLinearAggregate(const CapturedModel& model,
+                                                  AggregateFunc agg,
+                                                  const ColumnDomain& domain,
+                                                  double lo, double hi);
+
+}  // namespace laws
+
+#endif  // LAWSDB_AQP_ANALYTIC_H_

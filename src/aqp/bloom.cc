@@ -1,0 +1,114 @@
+#include "aqp/bloom.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace laws {
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(size_t expected_items, double target_fpr) {
+  expected_items = std::max<size_t>(expected_items, 1);
+  target_fpr = std::min(std::max(target_fpr, 1e-9), 0.5);
+  // Optimal sizing: m = -n ln(p) / (ln 2)^2, k = m/n ln 2.
+  const double ln2 = std::log(2.0);
+  const double m_bits = -static_cast<double>(expected_items) *
+                        std::log(target_fpr) / (ln2 * ln2);
+  const size_t bytes = static_cast<size_t>(std::ceil(m_bits / 8.0));
+  bits_.assign(std::max<size_t>(bytes, 8), 0);
+  const double k =
+      m_bits / static_cast<double>(expected_items) * ln2;
+  num_hashes_ = std::max<size_t>(1, static_cast<size_t>(std::lround(k)));
+}
+
+void BloomFilter::Insert(uint64_t key) {
+  const uint64_t h1 = Mix64(key);
+  const uint64_t h2 = Mix64(key ^ 0x9E3779B97F4A7C15ULL) | 1;
+  const uint64_t m = num_bits();
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = (h1 + i * h2) % m;
+    bits_[bit >> 3] |= static_cast<uint8_t>(1u << (bit & 7));
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  const uint64_t h1 = Mix64(key);
+  const uint64_t h2 = Mix64(key ^ 0x9E3779B97F4A7C15ULL) | 1;
+  const uint64_t m = num_bits();
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = (h1 + i * h2) % m;
+    if (!((bits_[bit >> 3] >> (bit & 7)) & 1)) return false;
+  }
+  return true;
+}
+
+uint64_t HashCombination(const std::vector<double>& values) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (double v : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = Mix64(h ^ bits);
+  }
+  return h;
+}
+
+Result<LegalCombinationFilter> LegalCombinationFilter::Build(
+    const Table& table, const std::string& group_column,
+    const std::vector<std::string>& input_columns, double target_fpr) {
+  const bool has_group = !group_column.empty();
+  const Column* group = nullptr;
+  if (has_group) {
+    LAWS_ASSIGN_OR_RETURN(group, table.ColumnByName(group_column));
+  }
+  std::vector<const Column*> inputs;
+  for (const auto& name : input_columns) {
+    LAWS_ASSIGN_OR_RETURN(const Column* c, table.ColumnByName(name));
+    inputs.push_back(c);
+  }
+
+  BloomFilter bloom(table.num_rows(), target_fpr);
+  size_t items = 0;
+  std::vector<double> combo(inputs.size() + (has_group ? 1 : 0));
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    bool ok = true;
+    size_t slot = 0;
+    if (has_group) {
+      if (group->IsNull(i)) continue;
+      combo[slot++] = static_cast<double>(group->Int64At(i));
+    }
+    for (const Column* c : inputs) {
+      if (c->IsNull(i)) {
+        ok = false;
+        break;
+      }
+      auto v = c->NumericAt(i);
+      if (!v.ok()) return v.status();
+      combo[slot++] = *v;
+    }
+    if (!ok) continue;
+    bloom.Insert(HashCombination(combo));
+    ++items;
+  }
+  return LegalCombinationFilter(std::move(bloom), has_group, items);
+}
+
+bool LegalCombinationFilter::MayContain(
+    int64_t group, const std::vector<double>& inputs) const {
+  std::vector<double> combo;
+  combo.reserve(inputs.size() + 1);
+  if (has_group_) combo.push_back(static_cast<double>(group));
+  combo.insert(combo.end(), inputs.begin(), inputs.end());
+  return bloom_.MayContain(HashCombination(combo));
+}
+
+}  // namespace laws

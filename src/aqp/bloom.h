@@ -1,0 +1,70 @@
+#ifndef LAWSDB_AQP_BLOOM_H_
+#define LAWSDB_AQP_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// Standard Bloom filter with double hashing. Used to encode the *legal*
+/// parameter combinations of a captured model (paper §4.2): point queries
+/// for combinations that never occurred in the original data would
+/// otherwise fabricate tuples and violate relational semantics.
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_items` at `target_fpr` false-positive
+  /// rate.
+  BloomFilter(size_t expected_items, double target_fpr);
+
+  void Insert(uint64_t key);
+  /// True if the key *may* have been inserted (false positives possible,
+  /// false negatives impossible).
+  bool MayContain(uint64_t key) const;
+
+  size_t SizeBytes() const { return bits_.size(); }
+  size_t num_hashes() const { return num_hashes_; }
+  size_t num_bits() const { return bits_.size() * 8; }
+
+ private:
+  std::vector<uint8_t> bits_;
+  size_t num_hashes_;
+};
+
+/// Hashes a combination of doubles into a Bloom key (order-sensitive).
+uint64_t HashCombination(const std::vector<double>& values);
+
+/// The legal-combination structure for one captured model: a Bloom filter
+/// over (group, input...) tuples observed in the raw data. Built once at
+/// capture time; thereafter membership checks need no data access.
+class LegalCombinationFilter {
+ public:
+  /// Scans `table` and inserts every observed (group, inputs...) tuple.
+  /// `group_column` may be empty (inputs only).
+  static Result<LegalCombinationFilter> Build(
+      const Table& table, const std::string& group_column,
+      const std::vector<std::string>& input_columns,
+      double target_fpr = 0.01);
+
+  /// May the combination (group, inputs...) have occurred? `group` is
+  /// ignored when the filter was built without a group column.
+  bool MayContain(int64_t group, const std::vector<double>& inputs) const;
+
+  size_t SizeBytes() const { return bloom_.SizeBytes(); }
+  size_t items_inserted() const { return items_; }
+
+ private:
+  LegalCombinationFilter(BloomFilter bloom, bool has_group, size_t items)
+      : bloom_(std::move(bloom)), has_group_(has_group), items_(items) {}
+
+  BloomFilter bloom_;
+  bool has_group_;
+  size_t items_;
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_AQP_BLOOM_H_

@@ -1,0 +1,127 @@
+#include "aqp/domain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace laws {
+
+ColumnDomain ColumnDomain::Explicit(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  ColumnDomain d;
+  d.kind = Kind::kExplicitValues;
+  d.values = std::move(values);
+  return d;
+}
+
+ColumnDomain ColumnDomain::IntegerRange(int64_t start, int64_t stop,
+                                        int64_t step) {
+  ColumnDomain d;
+  d.kind = Kind::kIntegerRange;
+  d.start = start;
+  d.stop = stop;
+  d.step = step <= 0 ? 1 : step;
+  return d;
+}
+
+size_t ColumnDomain::Cardinality() const {
+  if (kind == Kind::kExplicitValues) return values.size();
+  if (stop < start) return 0;
+  return static_cast<size_t>((stop - start) / step) + 1;
+}
+
+double ColumnDomain::ValueAt(size_t i) const {
+  if (kind == Kind::kExplicitValues) return values[i];
+  return static_cast<double>(start + static_cast<int64_t>(i) * step);
+}
+
+bool ColumnDomain::Contains(double v) const {
+  if (kind == Kind::kExplicitValues) {
+    auto it = std::lower_bound(values.begin(), values.end(), v - 1e-9);
+    return it != values.end() && std::fabs(*it - v) <= 1e-9;
+  }
+  const double r = std::round(v);
+  if (r != v) return false;
+  const auto iv = static_cast<int64_t>(r);
+  if (iv < start || iv > stop) return false;
+  return (iv - start) % step == 0;
+}
+
+std::vector<size_t> ColumnDomain::IndicesInRange(double lo, double hi) const {
+  std::vector<size_t> out;
+  const size_t n = Cardinality();
+  if (kind == Kind::kExplicitValues) {
+    for (size_t i = 0; i < n; ++i) {
+      if (values[i] >= lo - 1e-12 && values[i] <= hi + 1e-12) {
+        out.push_back(i);
+      }
+    }
+    return out;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double v = ValueAt(i);
+    if (v >= lo && v <= hi) out.push_back(i);
+  }
+  return out;
+}
+
+void DomainRegistry::Register(const std::string& table,
+                              const std::string& column, ColumnDomain domain) {
+  domains_[{table, column}] = std::move(domain);
+}
+
+Result<const ColumnDomain*> DomainRegistry::Get(
+    const std::string& table, const std::string& column) const {
+  auto it = domains_.find({table, column});
+  if (it == domains_.end()) {
+    return Status::NotFound("no enumerable domain for " + table + "." +
+                            column);
+  }
+  return &it->second;
+}
+
+bool DomainRegistry::Contains(const std::string& table,
+                              const std::string& column) const {
+  return domains_.count({table, column}) > 0;
+}
+
+Result<ColumnDomain> DomainRegistry::InferFromColumn(const Column& column,
+                                                     size_t max_distinct) {
+  if (column.type() == DataType::kString) {
+    return Status::TypeMismatch("string columns are not enumerable as such");
+  }
+  std::set<double> distinct;
+  for (size_t i = 0; i < column.size(); ++i) {
+    if (column.IsNull(i)) continue;
+    auto v = column.NumericAt(i);
+    if (!v.ok()) return v.status();
+    distinct.insert(*v);
+    if (distinct.size() > max_distinct) {
+      return Status::NotFound("column exceeds distinct-value cap (" +
+                              std::to_string(max_distinct) + ")");
+    }
+  }
+  if (distinct.empty()) {
+    return Status::NotFound("column has no non-null values");
+  }
+  // INT64 columns whose values form a regular progression compress to a
+  // range description.
+  if (column.type() == DataType::kInt64 && distinct.size() >= 3) {
+    std::vector<double> vals(distinct.begin(), distinct.end());
+    const double step = vals[1] - vals[0];
+    bool regular = step > 0;
+    for (size_t i = 2; regular && i < vals.size(); ++i) {
+      if (vals[i] - vals[i - 1] != step) regular = false;
+    }
+    if (regular) {
+      return ColumnDomain::IntegerRange(static_cast<int64_t>(vals.front()),
+                                        static_cast<int64_t>(vals.back()),
+                                        static_cast<int64_t>(step));
+    }
+  }
+  return ColumnDomain::Explicit(
+      std::vector<double>(distinct.begin(), distinct.end()));
+}
+
+}  // namespace laws

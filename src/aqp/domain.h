@@ -1,0 +1,73 @@
+#ifndef LAWSDB_AQP_DOMAIN_H_
+#define LAWSDB_AQP_DOMAIN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+
+namespace laws {
+
+/// An enumerable column domain (paper §4.2 "Parameter space enumeration"):
+/// either an explicit small value set (categorical frequencies, the LOFAR
+/// bands {0.12, 0.15, 0.16, 0.18}) or a regular integer progression
+/// (continuous integer timestamps).
+struct ColumnDomain {
+  enum class Kind { kExplicitValues, kIntegerRange };
+
+  Kind kind = Kind::kExplicitValues;
+
+  /// kExplicitValues: the sorted distinct values.
+  std::vector<double> values;
+
+  /// kIntegerRange: start, stop (inclusive), step.
+  int64_t start = 0;
+  int64_t stop = -1;
+  int64_t step = 1;
+
+  static ColumnDomain Explicit(std::vector<double> values);
+  static ColumnDomain IntegerRange(int64_t start, int64_t stop, int64_t step);
+
+  size_t Cardinality() const;
+  double ValueAt(size_t i) const;
+
+  /// True if `v` is a member of the domain (within 1e-9 for explicit
+  /// values).
+  bool Contains(double v) const;
+
+  /// Indices of domain members within [lo, hi] — used by range-predicate
+  /// pushdown during enumeration.
+  std::vector<size_t> IndicesInRange(double lo, double hi) const;
+};
+
+/// Registry of enumerable domains keyed by (table, column). Domains can be
+/// registered explicitly (the user knows the telescope's bands) or inferred
+/// by scanning a column at capture time.
+class DomainRegistry {
+ public:
+  DomainRegistry() = default;
+
+  void Register(const std::string& table, const std::string& column,
+                ColumnDomain domain);
+
+  Result<const ColumnDomain*> Get(const std::string& table,
+                                  const std::string& column) const;
+
+  bool Contains(const std::string& table, const std::string& column) const;
+
+  /// Infers a domain from column contents: distinct values when there are
+  /// at most `max_distinct`; for INT64 columns whose distinct values form a
+  /// regular progression, an integer range. NotFound when the column is not
+  /// enumerable under the cap.
+  static Result<ColumnDomain> InferFromColumn(const Column& column,
+                                              size_t max_distinct = 4096);
+
+ private:
+  std::map<std::pair<std::string, std::string>, ColumnDomain> domains_;
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_AQP_DOMAIN_H_

@@ -1,0 +1,97 @@
+#include "aqp/histogram_aqp.h"
+
+#include "common/string_util.h"
+
+namespace laws {
+
+Result<HistogramEngine> HistogramEngine::Build(const Table& table,
+                                               size_t buckets) {
+  HistogramEngine engine;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Field& f = table.schema().field(c);
+    if (f.type == DataType::kString || f.type == DataType::kBool) continue;
+    auto values = table.column(c).ToDoubleVector();
+    if (!values.ok()) return values.status();
+    if (values->empty()) continue;
+    LAWS_ASSIGN_OR_RETURN(Histogram h,
+                          Histogram::BuildEquiDepth(std::move(*values),
+                                                    buckets));
+    engine.histograms_.emplace(ToLower(f.name), std::move(h));
+  }
+  return engine;
+}
+
+Result<double> HistogramEngine::EstimateRange(AggregateFunc agg,
+                                              const std::string& agg_column,
+                                              const std::string& filter_column,
+                                              double lo, double hi) const {
+  const Histogram* filter_hist = GetHistogram(filter_column);
+  if (filter_hist == nullptr) {
+    return Status::NotFound("no histogram for column " + filter_column);
+  }
+  const bool same = EqualsIgnoreCase(agg_column, filter_column);
+  switch (agg) {
+    case AggregateFunc::kCount:
+      return filter_hist->EstimateRangeCount(lo, hi);
+    case AggregateFunc::kSum:
+      if (!same) {
+        return Status::Unimplemented(
+            "independent per-column histograms cannot estimate SUM of a "
+            "different column");
+      }
+      return filter_hist->EstimateRangeSum(lo, hi);
+    case AggregateFunc::kAvg:
+      if (!same) {
+        return Status::Unimplemented(
+            "independent per-column histograms cannot estimate AVG of a "
+            "different column");
+      }
+      return filter_hist->EstimateRangeAvg(lo, hi);
+    case AggregateFunc::kMin:
+    case AggregateFunc::kMax: {
+      if (!same) {
+        return Status::Unimplemented(
+            "independent per-column histograms cannot estimate MIN/MAX of a "
+            "different column");
+      }
+      // Clamp the query range to the populated buckets.
+      const auto& bounds = filter_hist->boundaries();
+      const auto& counts = filter_hist->counts();
+      double best = 0.0;
+      bool found = false;
+      for (size_t b = 0; b < counts.size(); ++b) {
+        if (counts[b] == 0) continue;
+        const double blo = std::max(bounds[b], lo);
+        const double bhi = std::min(bounds[b + 1], hi);
+        if (blo > bhi) continue;
+        const double candidate = agg == AggregateFunc::kMin ? blo : bhi;
+        if (!found || (agg == AggregateFunc::kMin ? candidate < best
+                                                  : candidate > best)) {
+          best = candidate;
+          found = true;
+        }
+      }
+      if (!found) return Status::NotFound("range covers no populated bucket");
+      return best;
+    }
+    case AggregateFunc::kVariance:
+    case AggregateFunc::kStddev:
+      return Status::Unimplemented(
+          "histogram VARIANCE/STDDEV not implemented");
+  }
+  return Status::Internal("unknown aggregate");
+}
+
+size_t HistogramEngine::SizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, h] : histograms_) bytes += h.SizeBytes();
+  return bytes;
+}
+
+const Histogram* HistogramEngine::GetHistogram(
+    const std::string& column) const {
+  auto it = histograms_.find(ToLower(column));
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+}  // namespace laws

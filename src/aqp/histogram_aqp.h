@@ -1,0 +1,45 @@
+#ifndef LAWSDB_AQP_HISTOGRAM_AQP_H_
+#define LAWSDB_AQP_HISTOGRAM_AQP_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "query/ast.h"
+#include "stats/histogram.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// The synopsis-based AQP baseline (paper §1, refs [8, 9]): per-column
+/// histograms built once, answering COUNT/SUM/AVG over single-column range
+/// predicates with the standard uniform-within-bucket estimators.
+class HistogramEngine {
+ public:
+  /// Builds equi-depth histograms with `buckets` buckets for every numeric
+  /// column of `table`.
+  static Result<HistogramEngine> Build(const Table& table, size_t buckets);
+
+  /// Estimates agg(`agg_column`) over rows with `filter_column` in
+  /// [lo, hi]. When agg_column == filter_column the estimate uses bucket
+  /// contents directly; otherwise COUNT works but SUM/AVG of a different
+  /// column are not derivable from independent per-column histograms and
+  /// return Unimplemented (a real limitation of synopses the paper calls
+  /// out against model-based answers).
+  Result<double> EstimateRange(AggregateFunc agg,
+                               const std::string& agg_column,
+                               const std::string& filter_column, double lo,
+                               double hi) const;
+
+  /// Total synopsis footprint in bytes.
+  size_t SizeBytes() const;
+
+  const Histogram* GetHistogram(const std::string& column) const;
+
+ private:
+  std::map<std::string, Histogram> histograms_;  // lower-cased column name
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_AQP_HISTOGRAM_AQP_H_

@@ -1,0 +1,87 @@
+#include "aqp/hybrid.h"
+
+#include "common/string_util.h"
+#include "query/executor.h"
+#include "query/parser.h"
+
+namespace laws {
+namespace {
+
+bool ContainsCountStar(const Expr& expr) {
+  if (expr.kind == ExprKind::kAggregate &&
+      expr.aggregate_func == AggregateFunc::kCount &&
+      expr.children[0]->kind == ExprKind::kStar) {
+    return true;
+  }
+  for (const auto& c : expr.children) {
+    if (ContainsCountStar(*c)) return true;
+  }
+  return false;
+}
+
+/// COUNT(*) asks for raw tuple multiplicity, which a reconstructed grid
+/// (one tuple per enumerated combination) cannot reproduce — the paper's
+/// griding caveat. Such statements must take the exact path.
+bool StatementNeedsRawMultiplicity(const SelectStatement& stmt) {
+  for (const SelectItem& item : stmt.select_list) {
+    if (!item.is_star && ContainsCountStar(*item.expr)) return true;
+  }
+  if (stmt.having != nullptr && ContainsCountStar(*stmt.having)) return true;
+  for (const auto& k : stmt.order_by) {
+    if (ContainsCountStar(*k.expr)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<HybridAnswer> HybridQueryEngine::Execute(const std::string& sql) const {
+  HybridAnswer answer;
+
+  LAWS_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  if (StatementNeedsRawMultiplicity(stmt)) {
+    if (!options_.allow_exact_fallback) {
+      return Status::InvalidArgument(
+          "COUNT(*) needs raw multiplicity; the model grid cannot provide "
+          "it and exact fallback is disabled");
+    }
+    LAWS_ASSIGN_OR_RETURN(answer.table, ExecuteSelect(*data_, stmt));
+    answer.method = "exact";
+    answer.approximate = false;
+    answer.fallback_reason =
+        "COUNT(*) multiplicity is not reproducible from the model grid";
+    return answer;
+  }
+
+  auto approx = model_engine_->ExecuteStatement(stmt);
+  if (approx.ok()) {
+    // Quality gate: only serve answers from models judged good enough.
+    auto model = model_engine_->model_catalog()->Get(approx->model_id);
+    const double quality =
+        model.ok() ? (*model)->ArbitrationQuality() : 0.0;
+    if (quality >= options_.min_quality) {
+      answer.table = std::move(approx->table);
+      answer.method = approx->method;
+      answer.approximate = true;
+      answer.error_bound = approx->max_error_bound;
+      return answer;
+    }
+    answer.fallback_reason =
+        "model quality " + FormatDouble(quality, 4) + " below threshold " +
+        FormatDouble(options_.min_quality, 4);
+  } else {
+    answer.fallback_reason = approx.status().ToString();
+  }
+
+  if (!options_.allow_exact_fallback) {
+    return Status::NotFound("model path unavailable (" +
+                            answer.fallback_reason +
+                            ") and exact fallback disabled");
+  }
+  LAWS_ASSIGN_OR_RETURN(answer.table, ExecuteSelect(*data_, stmt));
+  answer.method = "exact";
+  answer.approximate = false;
+  return answer;
+}
+
+}  // namespace laws

@@ -1,0 +1,48 @@
+#ifndef LAWSDB_AQP_INVERSE_H_
+#define LAWSDB_AQP_INVERSE_H_
+
+#include <vector>
+
+#include "aqp/domain.h"
+#include "common/result.h"
+#include "core/model_catalog.h"
+
+namespace laws {
+
+/// Inverse prediction over captured models — the direction explored by
+/// Zimmer et al. (SSDBM'14), which the paper discusses in §5: "Given a
+/// model and desired output, they search for the input values that are
+/// likely to create this output." Here the model is not user-specified but
+/// harvested, so inverse queries come for free once a model is captured.
+///
+/// For a single-input model and an enumerable domain, the legal inputs are
+/// finite: we evaluate the model across the domain (per group for grouped
+/// models) and merge consecutive qualifying points into intervals.
+struct InverseRegion {
+  int64_t group_key = 0;
+  /// Inclusive input interval whose predictions fall in the target range.
+  double input_lo = 0.0;
+  double input_hi = 0.0;
+  /// Number of domain points inside the interval.
+  size_t points = 0;
+};
+
+/// Finds all (group, input-interval) regions whose predicted output lies in
+/// [y_lo, y_hi]. Requires a single-input model. Zero IO: only the captured
+/// parameters and the domain are consulted.
+Result<std::vector<InverseRegion>> InversePredict(const CapturedModel& model,
+                                                  const ColumnDomain& domain,
+                                                  double y_lo, double y_hi);
+
+/// Continuous inverse for a monotone single-input model: finds the input
+/// x in [x_lo, x_hi] with f(x; params) = y via bisection. Returns
+/// NotFound when y is outside the attained range, InvalidArgument when the
+/// model is not monotone on the interval (checked at the endpoints and
+/// midpoint).
+Result<double> InvertMonotone(const Model& model, const Vector& params,
+                              double y, double x_lo, double x_hi,
+                              double tolerance = 1e-10);
+
+}  // namespace laws
+
+#endif  // LAWSDB_AQP_INVERSE_H_

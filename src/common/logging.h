@@ -1,0 +1,45 @@
+#ifndef LAWSDB_COMMON_LOGGING_H_
+#define LAWSDB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace laws {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log message; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace laws
+
+#define LAWS_LOG(level)                                             \
+  ::laws::internal::LogMessage(::laws::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+#endif  // LAWSDB_COMMON_LOGGING_H_

@@ -1,0 +1,56 @@
+#ifndef LAWSDB_COMMON_RANDOM_H_
+#define LAWSDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace laws {
+
+/// Deterministic, seedable PRNG (xoshiro256++). Used everywhere randomness
+/// is needed — data generators, sampling, property tests — so that every
+/// experiment in the repository is reproducible from a seed.
+class Rng {
+ public:
+  /// Seeds the generator via SplitMix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box–Muller (cached second deviate).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// Exponential with rate lambda (> 0).
+  double Exponential(double lambda);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed integer in [1, n] with exponent s (> 0), via rejection
+  /// sampling; suitable for skewed categorical workloads.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Fisher–Yates shuffle of indices [0, n); returns the permutation.
+  std::vector<uint32_t> Permutation(uint32_t n);
+
+ private:
+  uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_COMMON_RANDOM_H_

@@ -1,0 +1,123 @@
+#ifndef LAWSDB_COMMON_STATUS_H_
+#define LAWSDB_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace laws {
+
+/// Error categories used across the library. Mirrors the usual database
+/// engine taxonomy (cf. RocksDB / Arrow): a small closed set of codes plus a
+/// free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+  kParseError,
+  kTypeMismatch,
+  kNumericError,   // singular matrix, divergent fit, NaN propagation, ...
+  kAborted,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK (no message
+/// allocation). The library does not throw exceptions across API boundaries;
+/// every fallible public function returns Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace laws
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define LAWS_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::laws::Status _laws_status = (expr);         \
+    if (!_laws_status.ok()) return _laws_status;  \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status,
+/// otherwise assigns the value to `lhs`.
+#define LAWS_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  LAWS_ASSIGN_OR_RETURN_IMPL_(                            \
+      LAWS_STATUS_CONCAT_(_laws_result, __LINE__), lhs, rexpr)
+
+#define LAWS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define LAWS_STATUS_CONCAT_(a, b) LAWS_STATUS_CONCAT_IMPL_(a, b)
+#define LAWS_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // LAWSDB_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+#ifndef LAWSDB_COMMON_STRING_UTIL_H_
+#define LAWSDB_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace laws {
+
+/// Splits `input` on `delim`. Adjacent delimiters yield empty fields; the
+/// result always has (number of delimiters + 1) entries.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a byte count with binary units ("11.1 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats a double with `digits` significant digits (for report tables).
+std::string FormatDouble(double v, int digits = 6);
+
+}  // namespace laws
+
+#endif  // LAWSDB_COMMON_STRING_UTIL_H_

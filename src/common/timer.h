@@ -1,0 +1,34 @@
+#ifndef LAWSDB_COMMON_TIMER_H_
+#define LAWSDB_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace laws {
+
+/// Monotonic wall-clock stopwatch for benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_COMMON_TIMER_H_

@@ -1,0 +1,417 @@
+#include "compress/column_compressor.h"
+
+#include "common/bytes.h"
+#include "compress/encoding.h"
+
+namespace laws {
+namespace {
+
+void WriteValidity(const Column& column, ByteWriter* out) {
+  const bool has_nulls = column.null_count() > 0;
+  out->PutU8(has_nulls ? 1 : 0);
+  if (has_nulls) {
+    out->PutVarint(column.validity().size());
+    out->PutRaw(column.validity().data(), column.validity().size());
+  }
+}
+
+Result<std::vector<uint8_t>> ReadValidity(ByteReader* in) {
+  LAWS_ASSIGN_OR_RETURN(uint8_t has_nulls, in->GetU8());
+  std::vector<uint8_t> validity;
+  if (has_nulls) {
+    LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+    validity.resize(n);
+    LAWS_RETURN_IF_ERROR(in->GetRaw(validity.data(), n));
+  }
+  return validity;
+}
+
+std::vector<int64_t> CodesAsInt64(const std::vector<uint32_t>& codes) {
+  return std::vector<int64_t>(codes.begin(), codes.end());
+}
+
+/// Encodes the column body (everything after validity) with `encoding`.
+/// Returns Unimplemented when the encoding does not apply to the type.
+Status EncodeBody(const Column& column, ColumnEncoding encoding,
+                  ByteWriter* out) {
+  const size_t n = column.size();
+  switch (column.type()) {
+    case DataType::kInt64: {
+      const auto& data = column.int64_data();
+      switch (encoding) {
+        case ColumnEncoding::kPlain:
+          out->PutVarint(n);
+          out->PutRaw(data.data(), n * sizeof(int64_t));
+          return Status::OK();
+        case ColumnEncoding::kRle:
+          RleEncodeInt64(data, out);
+          return Status::OK();
+        case ColumnEncoding::kDeltaVarint:
+          DeltaVarintEncodeInt64(data, out);
+          return Status::OK();
+        case ColumnEncoding::kBitPack:
+          BitPackEncodeInt64(data, out);
+          return Status::OK();
+        case ColumnEncoding::kShuffleZlib: {
+          ByteWriter shuffled;
+          ByteShuffleEncodeInt64(data, &shuffled);
+          LAWS_ASSIGN_OR_RETURN(
+              std::vector<uint8_t> z,
+              ZlibCompress(shuffled.data().data(), shuffled.size()));
+          out->PutVarint(z.size());
+          out->PutRaw(z.data(), z.size());
+          return Status::OK();
+        }
+        default:
+          break;
+      }
+      break;
+    }
+    case DataType::kDouble: {
+      const auto& data = column.double_data();
+      switch (encoding) {
+        case ColumnEncoding::kPlain:
+          out->PutVarint(n);
+          out->PutRaw(data.data(), n * sizeof(double));
+          return Status::OK();
+        case ColumnEncoding::kShuffleZlib: {
+          ByteWriter shuffled;
+          ByteShuffleEncodeDouble(data, &shuffled);
+          LAWS_ASSIGN_OR_RETURN(
+              std::vector<uint8_t> z,
+              ZlibCompress(shuffled.data().data(), shuffled.size()));
+          out->PutVarint(z.size());
+          out->PutRaw(z.data(), z.size());
+          return Status::OK();
+        }
+        default:
+          break;
+      }
+      break;
+    }
+    case DataType::kString: {
+      switch (encoding) {
+        case ColumnEncoding::kPlain:
+        case ColumnEncoding::kRle:
+        case ColumnEncoding::kBitPack: {
+          out->PutVarint(column.dictionary().size());
+          for (const auto& s : column.dictionary()) out->PutString(s);
+          const std::vector<int64_t> codes =
+              CodesAsInt64(column.string_codes());
+          if (encoding == ColumnEncoding::kRle) {
+            RleEncodeInt64(codes, out);
+          } else if (encoding == ColumnEncoding::kBitPack) {
+            BitPackEncodeInt64(codes, out);
+          } else {
+            out->PutVarint(n);
+            out->PutRaw(column.string_codes().data(), n * sizeof(uint32_t));
+          }
+          return Status::OK();
+        }
+        default:
+          break;
+      }
+      break;
+    }
+    case DataType::kBool: {
+      if (encoding == ColumnEncoding::kPlain) {
+        out->PutVarint(n);
+        out->PutRaw(column.bool_data().data(), n);
+        return Status::OK();
+      }
+      break;
+    }
+  }
+  return Status::Unimplemented("encoding not applicable to column type");
+}
+
+Result<Column> DecodeBody(ByteReader* in, const Field& field,
+                          ColumnEncoding encoding,
+                          const std::vector<uint8_t>& validity) {
+  auto valid_at = [&](size_t i) {
+    if (validity.empty()) return true;
+    return ((validity[i >> 3] >> (i & 7)) & 1) != 0;
+  };
+  Column col(field.type, field.nullable || !validity.empty());
+
+  auto append_int64s = [&](const std::vector<int64_t>& data) -> Status {
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (valid_at(i)) {
+        col.AppendInt64(data[i]);
+      } else {
+        LAWS_RETURN_IF_ERROR(col.AppendNull());
+      }
+    }
+    return Status::OK();
+  };
+
+  switch (field.type) {
+    case DataType::kInt64: {
+      std::vector<int64_t> data;
+      switch (encoding) {
+        case ColumnEncoding::kPlain: {
+          LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+          data.resize(n);
+          LAWS_RETURN_IF_ERROR(in->GetRaw(data.data(), n * sizeof(int64_t)));
+          break;
+        }
+        case ColumnEncoding::kRle: {
+          LAWS_ASSIGN_OR_RETURN(data, RleDecodeInt64(in));
+          break;
+        }
+        case ColumnEncoding::kDeltaVarint: {
+          LAWS_ASSIGN_OR_RETURN(data, DeltaVarintDecodeInt64(in));
+          break;
+        }
+        case ColumnEncoding::kBitPack: {
+          LAWS_ASSIGN_OR_RETURN(data, BitPackDecodeInt64(in));
+          break;
+        }
+        case ColumnEncoding::kShuffleZlib: {
+          LAWS_ASSIGN_OR_RETURN(uint64_t zsize, in->GetVarint());
+          std::vector<uint8_t> blob(zsize);
+          LAWS_RETURN_IF_ERROR(in->GetRaw(blob.data(), zsize));
+          LAWS_ASSIGN_OR_RETURN(std::vector<uint8_t> plain,
+                                ZlibDecompress(blob));
+          ByteReader r(plain);
+          LAWS_ASSIGN_OR_RETURN(data, ByteShuffleDecodeInt64(&r));
+          break;
+        }
+        default:
+          return Status::ParseError("bad INT64 encoding tag");
+      }
+      LAWS_RETURN_IF_ERROR(append_int64s(data));
+      return col;
+    }
+    case DataType::kDouble: {
+      std::vector<double> data;
+      switch (encoding) {
+        case ColumnEncoding::kPlain: {
+          LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+          data.resize(n);
+          LAWS_RETURN_IF_ERROR(in->GetRaw(data.data(), n * sizeof(double)));
+          break;
+        }
+        case ColumnEncoding::kShuffleZlib: {
+          LAWS_ASSIGN_OR_RETURN(uint64_t zsize, in->GetVarint());
+          std::vector<uint8_t> blob(zsize);
+          LAWS_RETURN_IF_ERROR(in->GetRaw(blob.data(), zsize));
+          LAWS_ASSIGN_OR_RETURN(std::vector<uint8_t> plain,
+                                ZlibDecompress(blob));
+          ByteReader r(plain);
+          LAWS_ASSIGN_OR_RETURN(data, ByteShuffleDecodeDouble(&r));
+          break;
+        }
+        default:
+          return Status::ParseError("bad DOUBLE encoding tag");
+      }
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (valid_at(i)) {
+          col.AppendDouble(data[i]);
+        } else {
+          LAWS_RETURN_IF_ERROR(col.AppendNull());
+        }
+      }
+      return col;
+    }
+    case DataType::kString: {
+      LAWS_ASSIGN_OR_RETURN(uint64_t dict_size, in->GetVarint());
+      std::vector<std::string> dict(dict_size);
+      for (auto& s : dict) {
+        LAWS_ASSIGN_OR_RETURN(s, in->GetString());
+      }
+      std::vector<int64_t> codes;
+      if (encoding == ColumnEncoding::kRle) {
+        LAWS_ASSIGN_OR_RETURN(codes, RleDecodeInt64(in));
+      } else if (encoding == ColumnEncoding::kBitPack) {
+        LAWS_ASSIGN_OR_RETURN(codes, BitPackDecodeInt64(in));
+      } else if (encoding == ColumnEncoding::kPlain) {
+        LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+        std::vector<uint32_t> raw(n);
+        LAWS_RETURN_IF_ERROR(in->GetRaw(raw.data(), n * sizeof(uint32_t)));
+        codes.assign(raw.begin(), raw.end());
+      } else {
+        return Status::ParseError("bad STRING encoding tag");
+      }
+      for (size_t i = 0; i < codes.size(); ++i) {
+        if (!valid_at(i)) {
+          LAWS_RETURN_IF_ERROR(col.AppendNull());
+          continue;
+        }
+        if (codes[i] < 0 || static_cast<uint64_t>(codes[i]) >= dict.size()) {
+          return Status::ParseError("dictionary code out of range");
+        }
+        col.AppendString(dict[static_cast<size_t>(codes[i])]);
+      }
+      return col;
+    }
+    case DataType::kBool: {
+      if (encoding != ColumnEncoding::kPlain) {
+        return Status::ParseError("bad BOOL encoding tag");
+      }
+      LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+      std::vector<uint8_t> data(n);
+      LAWS_RETURN_IF_ERROR(in->GetRaw(data.data(), n));
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (valid_at(i)) {
+          col.AppendBool(data[i] != 0);
+        } else {
+          LAWS_RETURN_IF_ERROR(col.AppendNull());
+        }
+      }
+      return col;
+    }
+  }
+  return Status::Internal("corrupt column type");
+}
+
+/// Candidate non-zlib encodings for a type (kZlib wraps kPlain separately).
+std::vector<ColumnEncoding> CandidatesFor(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return {ColumnEncoding::kPlain, ColumnEncoding::kRle,
+              ColumnEncoding::kDeltaVarint, ColumnEncoding::kBitPack,
+              ColumnEncoding::kShuffleZlib};
+    case DataType::kDouble:
+      return {ColumnEncoding::kPlain, ColumnEncoding::kShuffleZlib};
+    case DataType::kString:
+      return {ColumnEncoding::kPlain, ColumnEncoding::kRle,
+              ColumnEncoding::kBitPack};
+    case DataType::kBool:
+      return {ColumnEncoding::kPlain};
+  }
+  return {ColumnEncoding::kPlain};
+}
+
+Result<CompressedColumn> CompressWith(const Column& column,
+                                      ColumnEncoding encoding) {
+  CompressedColumn out;
+  out.uncompressed_bytes = column.MemoryBytes();
+  if (encoding == ColumnEncoding::kZlib) {
+    // DEFLATE over the plain body (validity stays raw up front).
+    ByteWriter plain;
+    LAWS_RETURN_IF_ERROR(EncodeBody(column, ColumnEncoding::kPlain, &plain));
+    ByteWriter w;
+    WriteValidity(column, &w);
+    LAWS_ASSIGN_OR_RETURN(std::vector<uint8_t> z,
+                          ZlibCompress(plain.data().data(), plain.size()));
+    w.PutVarint(z.size());
+    w.PutRaw(z.data(), z.size());
+    out.encoding = ColumnEncoding::kZlib;
+    out.payload = w.TakeData();
+    return out;
+  }
+  ByteWriter w;
+  WriteValidity(column, &w);
+  LAWS_RETURN_IF_ERROR(EncodeBody(column, encoding, &w));
+  out.encoding = encoding;
+  out.payload = w.TakeData();
+  return out;
+}
+
+}  // namespace
+
+std::string_view ColumnEncodingToString(ColumnEncoding e) {
+  switch (e) {
+    case ColumnEncoding::kPlain:
+      return "plain";
+    case ColumnEncoding::kRle:
+      return "rle";
+    case ColumnEncoding::kDeltaVarint:
+      return "delta_varint";
+    case ColumnEncoding::kBitPack:
+      return "bitpack";
+    case ColumnEncoding::kShuffleZlib:
+      return "shuffle_zlib";
+    case ColumnEncoding::kZlib:
+      return "zlib";
+    case ColumnEncoding::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+size_t CompressedTable::TotalCompressedBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : columns) bytes += c.compressed_bytes();
+  return bytes;
+}
+
+size_t CompressedTable::TotalUncompressedBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : columns) bytes += c.uncompressed_bytes;
+  return bytes;
+}
+
+double CompressedTable::CompressionRatio() const {
+  const size_t raw = TotalUncompressedBytes();
+  if (raw == 0) return 1.0;
+  return static_cast<double>(TotalCompressedBytes()) /
+         static_cast<double>(raw);
+}
+
+Result<CompressedColumn> CompressColumn(const Column& column,
+                                        ColumnEncoding encoding) {
+  if (encoding != ColumnEncoding::kAuto) {
+    return CompressWith(column, encoding);
+  }
+  Result<CompressedColumn> best =
+      Status::Internal("no applicable encoding");
+  for (ColumnEncoding cand : CandidatesFor(column.type())) {
+    auto c = CompressWith(column, cand);
+    if (!c.ok()) continue;
+    if (!best.ok() || c->payload.size() < best->payload.size()) best = c;
+  }
+  // Also consider generic DEFLATE.
+  auto z = CompressWith(column, ColumnEncoding::kZlib);
+  if (z.ok() && (!best.ok() || z->payload.size() < best->payload.size())) {
+    best = z;
+  }
+  return best;
+}
+
+Result<Column> DecompressColumn(const CompressedColumn& compressed,
+                                const Field& field) {
+  ByteReader in(compressed.payload);
+  LAWS_ASSIGN_OR_RETURN(std::vector<uint8_t> validity, ReadValidity(&in));
+  if (compressed.encoding == ColumnEncoding::kZlib) {
+    LAWS_ASSIGN_OR_RETURN(uint64_t zsize, in.GetVarint());
+    std::vector<uint8_t> blob(zsize);
+    LAWS_RETURN_IF_ERROR(in.GetRaw(blob.data(), zsize));
+    LAWS_ASSIGN_OR_RETURN(std::vector<uint8_t> plain, ZlibDecompress(blob));
+    ByteReader body(plain);
+    return DecodeBody(&body, field, ColumnEncoding::kPlain, validity);
+  }
+  return DecodeBody(&in, field, compressed.encoding, validity);
+}
+
+Result<CompressedTable> CompressTable(const Table& table,
+                                      ColumnEncoding encoding) {
+  CompressedTable out;
+  out.schema = table.schema();
+  out.num_rows = table.num_rows();
+  out.columns.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    LAWS_ASSIGN_OR_RETURN(CompressedColumn cc,
+                          CompressColumn(table.column(c), encoding));
+    out.columns.push_back(std::move(cc));
+  }
+  return out;
+}
+
+Result<Table> DecompressTable(const CompressedTable& compressed) {
+  std::vector<Column> columns;
+  columns.reserve(compressed.columns.size());
+  for (size_t c = 0; c < compressed.columns.size(); ++c) {
+    LAWS_ASSIGN_OR_RETURN(
+        Column col,
+        DecompressColumn(compressed.columns[c], compressed.schema.field(c)));
+    if (col.size() != compressed.num_rows) {
+      return Status::ParseError("row count mismatch after decompression");
+    }
+    columns.push_back(std::move(col));
+  }
+  return Table::FromColumns(compressed.schema, std::move(columns));
+}
+
+}  // namespace laws

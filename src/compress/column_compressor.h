@@ -1,0 +1,67 @@
+#ifndef LAWSDB_COMPRESS_COLUMN_COMPRESSOR_H_
+#define LAWSDB_COMPRESS_COLUMN_COMPRESSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// Per-column encoding schemes. kAuto tries all applicable encodings and
+/// keeps the smallest.
+enum class ColumnEncoding : uint8_t {
+  kPlain = 0,
+  kRle = 1,
+  kDeltaVarint = 2,
+  kBitPack = 3,
+  kShuffleZlib = 4,  // byte-shuffle + DEFLATE (doubles)
+  kZlib = 5,         // DEFLATE over the plain encoding
+  kAuto = 255,
+};
+
+std::string_view ColumnEncodingToString(ColumnEncoding e);
+
+/// One compressed column: the chosen encoding and its payload.
+struct CompressedColumn {
+  ColumnEncoding encoding = ColumnEncoding::kPlain;
+  std::vector<uint8_t> payload;
+  size_t uncompressed_bytes = 0;
+
+  size_t compressed_bytes() const { return payload.size(); }
+};
+
+/// A generically compressed table: schema + per-column blobs. This is the
+/// model-free baseline the semantic compressor is measured against.
+struct CompressedTable {
+  Schema schema;
+  size_t num_rows = 0;
+  std::vector<CompressedColumn> columns;
+
+  size_t TotalCompressedBytes() const;
+  size_t TotalUncompressedBytes() const;
+  /// compressed / uncompressed, lower is better.
+  double CompressionRatio() const;
+};
+
+/// Compresses one column with the requested encoding (kAuto = best of all
+/// applicable).
+Result<CompressedColumn> CompressColumn(const Column& column,
+                                        ColumnEncoding encoding);
+
+/// Reconstructs a column; `field` supplies type/nullability.
+Result<Column> DecompressColumn(const CompressedColumn& compressed,
+                                const Field& field);
+
+/// Compresses all columns of a table (kAuto per column by default).
+Result<CompressedTable> CompressTable(
+    const Table& table, ColumnEncoding encoding = ColumnEncoding::kAuto);
+
+/// Reconstructs the full table; round-trips losslessly.
+Result<Table> DecompressTable(const CompressedTable& compressed);
+
+}  // namespace laws
+
+#endif  // LAWSDB_COMPRESS_COLUMN_COMPRESSOR_H_

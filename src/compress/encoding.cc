@@ -1,0 +1,237 @@
+#include "compress/encoding.h"
+
+#include <zlib.h>
+
+#include <cstring>
+
+namespace laws {
+
+void RleEncodeInt64(const std::vector<int64_t>& values, ByteWriter* out) {
+  out->PutVarint(values.size());
+  size_t i = 0;
+  while (i < values.size()) {
+    const int64_t v = values[i];
+    size_t run = 1;
+    while (i + run < values.size() && values[i + run] == v) ++run;
+    out->PutSignedVarint(v);
+    out->PutVarint(run);
+    i += run;
+  }
+}
+
+Result<std::vector<int64_t>> RleDecodeInt64(ByteReader* in) {
+  LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+  std::vector<int64_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    LAWS_ASSIGN_OR_RETURN(int64_t v, in->GetSignedVarint());
+    LAWS_ASSIGN_OR_RETURN(uint64_t run, in->GetVarint());
+    if (run == 0 || out.size() + run > n) {
+      return Status::ParseError("corrupt RLE run");
+    }
+    out.insert(out.end(), run, v);
+  }
+  return out;
+}
+
+void DeltaVarintEncodeInt64(const std::vector<int64_t>& values,
+                            ByteWriter* out) {
+  out->PutVarint(values.size());
+  int64_t prev = 0;
+  for (int64_t v : values) {
+    // Wrapping subtraction keeps the transform invertible at extremes.
+    out->PutSignedVarint(static_cast<int64_t>(static_cast<uint64_t>(v) -
+                                              static_cast<uint64_t>(prev)));
+    prev = v;
+  }
+}
+
+Result<std::vector<int64_t>> DeltaVarintDecodeInt64(ByteReader* in) {
+  LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+  std::vector<int64_t> out;
+  out.reserve(n);
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    LAWS_ASSIGN_OR_RETURN(int64_t d, in->GetSignedVarint());
+    prev = static_cast<int64_t>(static_cast<uint64_t>(prev) +
+                                static_cast<uint64_t>(d));
+    out.push_back(prev);
+  }
+  return out;
+}
+
+void BitPackEncodeInt64(const std::vector<int64_t>& values, ByteWriter* out) {
+  out->PutVarint(values.size());
+  if (values.empty()) return;
+  int64_t lo = values[0], hi = values[0];
+  for (int64_t v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  int width = 0;
+  while (width < 64 && (width == 64 ? 0 : (range >> width)) != 0) ++width;
+  out->PutSignedVarint(lo);
+  // Widths above 56 cannot be packed through a 64-bit accumulator with a
+  // partial byte pending; store raw values under a sentinel width instead.
+  if (width > 56) {
+    out->PutU8(255);
+    for (int64_t v : values) out->PutI64(v);
+    return;
+  }
+  out->PutU8(static_cast<uint8_t>(width));
+  if (width == 0) return;
+  // Pack offsets LSB-first into a bit buffer.
+  uint64_t acc = 0;
+  int bits = 0;
+  for (int64_t v : values) {
+    const uint64_t off = static_cast<uint64_t>(v) - static_cast<uint64_t>(lo);
+    acc |= off << bits;
+    bits += width;
+    while (bits >= 8) {
+      out->PutU8(static_cast<uint8_t>(acc & 0xFF));
+      acc >>= 8;
+      bits -= 8;
+    }
+  }
+  if (bits > 0) out->PutU8(static_cast<uint8_t>(acc & 0xFF));
+}
+
+Result<std::vector<int64_t>> BitPackDecodeInt64(ByteReader* in) {
+  LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+  std::vector<int64_t> out;
+  out.reserve(n);
+  if (n == 0) return out;
+  LAWS_ASSIGN_OR_RETURN(int64_t lo, in->GetSignedVarint());
+  LAWS_ASSIGN_OR_RETURN(uint8_t width, in->GetU8());
+  if (width == 0) {
+    out.assign(n, lo);
+    return out;
+  }
+  if (width == 255) {
+    for (uint64_t i = 0; i < n; ++i) {
+      LAWS_ASSIGN_OR_RETURN(int64_t v, in->GetI64());
+      out.push_back(v);
+    }
+    return out;
+  }
+  if (width > 56) {
+    return Status::ParseError("corrupt bit width");
+  }
+  uint64_t acc = 0;
+  int bits = 0;
+  const uint64_t mask = (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+  for (uint64_t i = 0; i < n; ++i) {
+    while (bits < width) {
+      LAWS_ASSIGN_OR_RETURN(uint8_t b, in->GetU8());
+      acc |= static_cast<uint64_t>(b) << bits;
+      bits += 8;
+    }
+    const uint64_t off = acc & mask;
+    acc >>= width;
+    bits -= width;
+    out.push_back(static_cast<int64_t>(static_cast<uint64_t>(lo) + off));
+  }
+  return out;
+}
+
+void ByteShuffleEncodeDouble(const std::vector<double>& values,
+                             ByteWriter* out) {
+  out->PutVarint(values.size());
+  const size_t n = values.size();
+  if (n == 0) return;
+  const auto* src = reinterpret_cast<const uint8_t*>(values.data());
+  std::vector<uint8_t> shuffled(n * 8);
+  for (size_t byte = 0; byte < 8; ++byte) {
+    for (size_t i = 0; i < n; ++i) {
+      shuffled[byte * n + i] = src[i * 8 + byte];
+    }
+  }
+  out->PutRaw(shuffled.data(), shuffled.size());
+}
+
+Result<std::vector<double>> ByteShuffleDecodeDouble(ByteReader* in) {
+  LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+  std::vector<double> out(n);
+  if (n == 0) return out;
+  std::vector<uint8_t> shuffled(n * 8);
+  LAWS_RETURN_IF_ERROR(in->GetRaw(shuffled.data(), shuffled.size()));
+  auto* dst = reinterpret_cast<uint8_t*>(out.data());
+  for (size_t byte = 0; byte < 8; ++byte) {
+    for (size_t i = 0; i < n; ++i) {
+      dst[i * 8 + byte] = shuffled[byte * n + i];
+    }
+  }
+  return out;
+}
+
+void ByteShuffleEncodeInt64(const std::vector<int64_t>& values,
+                            ByteWriter* out) {
+  out->PutVarint(values.size());
+  const size_t n = values.size();
+  if (n == 0) return;
+  const auto* src = reinterpret_cast<const uint8_t*>(values.data());
+  std::vector<uint8_t> shuffled(n * 8);
+  for (size_t byte = 0; byte < 8; ++byte) {
+    for (size_t i = 0; i < n; ++i) {
+      shuffled[byte * n + i] = src[i * 8 + byte];
+    }
+  }
+  out->PutRaw(shuffled.data(), shuffled.size());
+}
+
+Result<std::vector<int64_t>> ByteShuffleDecodeInt64(ByteReader* in) {
+  LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+  std::vector<int64_t> out(n);
+  if (n == 0) return out;
+  std::vector<uint8_t> shuffled(n * 8);
+  LAWS_RETURN_IF_ERROR(in->GetRaw(shuffled.data(), shuffled.size()));
+  auto* dst = reinterpret_cast<uint8_t*>(out.data());
+  for (size_t byte = 0; byte < 8; ++byte) {
+    for (size_t i = 0; i < n; ++i) {
+      dst[i * 8 + byte] = shuffled[byte * n + i];
+    }
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> ZlibCompress(const uint8_t* data, size_t size) {
+  uLongf bound = compressBound(static_cast<uLong>(size));
+  std::vector<uint8_t> out(sizeof(uint64_t) + bound);
+  const uint64_t original = size;
+  std::memcpy(out.data(), &original, sizeof(original));
+  const int rc =
+      compress2(out.data() + sizeof(uint64_t), &bound, data,
+                static_cast<uLong>(size), /*level=*/6);
+  if (rc != Z_OK) {
+    return Status::Internal("zlib compress2 failed rc=" + std::to_string(rc));
+  }
+  out.resize(sizeof(uint64_t) + bound);
+  return out;
+}
+
+Result<std::vector<uint8_t>> ZlibDecompress(const std::vector<uint8_t>& blob) {
+  if (blob.size() < sizeof(uint64_t)) {
+    return Status::ParseError("zlib blob too small");
+  }
+  uint64_t original = 0;
+  std::memcpy(&original, blob.data(), sizeof(original));
+  // DEFLATE expands at most ~1032:1; a larger claimed size means the header
+  // is corrupt. Guard before allocating.
+  const uint64_t payload = blob.size() - sizeof(uint64_t);
+  if (original > payload * 1032 + 64) {
+    return Status::ParseError("zlib blob claims implausible size");
+  }
+  std::vector<uint8_t> out(original);
+  uLongf out_size = static_cast<uLongf>(original);
+  const int rc = uncompress(out.data(), &out_size,
+                            blob.data() + sizeof(uint64_t),
+                            static_cast<uLong>(blob.size() - sizeof(uint64_t)));
+  if (rc != Z_OK || out_size != original) {
+    return Status::ParseError("zlib uncompress failed rc=" +
+                              std::to_string(rc));
+  }
+  return out;
+}
+
+}  // namespace laws

@@ -1,0 +1,51 @@
+#ifndef LAWSDB_COMPRESS_ENCODING_H_
+#define LAWSDB_COMPRESS_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace laws {
+
+/// Lightweight block encoders for columnar data. These are the generic
+/// (model-free) compression baselines the semantic compressor is compared
+/// against, in the spirit of the paper's SPARTAN/gzip discussion (§4.1,
+/// ref [5]).
+
+/// Run-length encodes int64 values as (value, run) pairs with varints.
+void RleEncodeInt64(const std::vector<int64_t>& values, ByteWriter* out);
+Result<std::vector<int64_t>> RleDecodeInt64(ByteReader* in);
+
+/// Delta + zigzag + varint coding; excellent for sorted/clustered ids and
+/// integer timestamps.
+void DeltaVarintEncodeInt64(const std::vector<int64_t>& values,
+                            ByteWriter* out);
+Result<std::vector<int64_t>> DeltaVarintDecodeInt64(ByteReader* in);
+
+/// Frame-of-reference bit packing: subtract the minimum, pack each offset
+/// in ceil(log2(range+1)) bits.
+void BitPackEncodeInt64(const std::vector<int64_t>& values, ByteWriter* out);
+Result<std::vector<int64_t>> BitPackDecodeInt64(ByteReader* in);
+
+/// Byte-transposes IEEE doubles (all MSBs first) so entropy coders can
+/// exploit exponent redundancy, then stores raw. Pair with Zlib for actual
+/// size reduction.
+void ByteShuffleEncodeDouble(const std::vector<double>& values,
+                             ByteWriter* out);
+Result<std::vector<double>> ByteShuffleDecodeDouble(ByteReader* in);
+
+/// Same byte transposition for int64 payloads (e.g. XOR bit-deltas from the
+/// semantic compressor, whose high bytes are mostly zero).
+void ByteShuffleEncodeInt64(const std::vector<int64_t>& values,
+                            ByteWriter* out);
+Result<std::vector<int64_t>> ByteShuffleDecodeInt64(ByteReader* in);
+
+/// DEFLATE via zlib (level 6). The output embeds the uncompressed size.
+Result<std::vector<uint8_t>> ZlibCompress(const uint8_t* data, size_t size);
+Result<std::vector<uint8_t>> ZlibDecompress(const std::vector<uint8_t>& blob);
+
+}  // namespace laws
+
+#endif  // LAWSDB_COMPRESS_ENCODING_H_

@@ -1,0 +1,281 @@
+#include "compress/semantic.h"
+
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "model/model.h"
+
+namespace laws {
+namespace {
+
+/// Builds group -> parameter vector lookup from the parameter table layout
+/// produced by GroupedFitToTable (group, params..., residual_se, r_squared,
+/// n_obs).
+Result<std::unordered_map<int64_t, Vector>> ParameterLookup(
+    const Table& params, size_t num_parameters) {
+  if (params.num_columns() < num_parameters + 1) {
+    return Status::InvalidArgument("parameter table too narrow");
+  }
+  std::unordered_map<int64_t, Vector> lookup;
+  lookup.reserve(params.num_rows());
+  const Column& group = params.column(0);
+  for (size_t r = 0; r < params.num_rows(); ++r) {
+    Vector beta(num_parameters);
+    for (size_t p = 0; p < num_parameters; ++p) {
+      beta[p] = params.column(p + 1).DoubleAt(r);
+    }
+    lookup.emplace(group.Int64At(r), std::move(beta));
+  }
+  return lookup;
+}
+
+/// Per-row model prediction; rows without parameters (unfitted groups) or
+/// with NULL inputs predict 0 so residuals degrade to the raw values.
+Result<Vector> PredictRows(const Table& table, const Model& model,
+                           const std::unordered_map<int64_t, Vector>& params,
+                           const std::string& group_column,
+                           const std::vector<std::string>& input_columns) {
+  LAWS_ASSIGN_OR_RETURN(const Column* group, table.ColumnByName(group_column));
+  std::vector<const Column*> inputs;
+  for (const auto& name : input_columns) {
+    LAWS_ASSIGN_OR_RETURN(const Column* c, table.ColumnByName(name));
+    inputs.push_back(c);
+  }
+  const size_t n = table.num_rows();
+  Vector pred(n, 0.0);
+  Vector x(inputs.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (group->IsNull(i)) continue;
+    const auto it = params.find(group->Int64At(i));
+    if (it == params.end()) continue;
+    bool ok = true;
+    for (size_t c = 0; c < inputs.size(); ++c) {
+      if (inputs[c]->IsNull(i)) {
+        ok = false;
+        break;
+      }
+      auto v = inputs[c]->NumericAt(i);
+      if (!v.ok()) return v.status();
+      x[c] = *v;
+    }
+    if (!ok) continue;
+    const double y = model.Evaluate(x, it->second);
+    pred[i] = std::isfinite(y) ? y : 0.0;
+  }
+  return pred;
+}
+
+}  // namespace
+
+size_t SemanticCompressedTable::TotalCompressedBytes() const {
+  size_t bytes = residual_column.compressed_bytes();
+  bytes += parameter_table.MemoryBytes();
+  for (const auto& c : other_columns) bytes += c.compressed_bytes();
+  bytes += model_source.size();
+  return bytes;
+}
+
+double SemanticCompressedTable::CompressionRatio() const {
+  if (uncompressed_bytes == 0) return 1.0;
+  return static_cast<double>(TotalCompressedBytes()) /
+         static_cast<double>(uncompressed_bytes);
+}
+
+size_t SemanticCompressedTable::OutputColumnBytes() const {
+  return residual_column.compressed_bytes() + parameter_table.MemoryBytes() +
+         model_source.size();
+}
+
+Result<SemanticCompressedTable> SemanticCompress(
+    const Table& table, const Model& model, const GroupedFitOutput& fits,
+    const GroupedFitSpec& spec, const SemanticCompressionOptions& options) {
+  SemanticCompressedTable out;
+  out.schema = table.schema();
+  out.num_rows = table.num_rows();
+  out.model_source = model.ToSource();
+  out.group_column = spec.group_column;
+  out.input_columns = spec.input_columns;
+  out.output_column = spec.output_column;
+  out.lossless = options.lossless;
+  out.quantization_step = options.lossless ? 0.0 : options.quantization_step;
+  out.uncompressed_bytes = table.MemoryBytes();
+  if (!options.lossless && !(options.quantization_step > 0.0)) {
+    return Status::InvalidArgument("lossy mode needs quantization_step > 0");
+  }
+
+  LAWS_ASSIGN_OR_RETURN(out.parameter_table,
+                        GroupedFitToTable(model, fits, spec.group_column));
+  LAWS_ASSIGN_OR_RETURN(
+      auto lookup, ParameterLookup(out.parameter_table,
+                                   model.num_parameters()));
+
+  LAWS_ASSIGN_OR_RETURN(const Column* output_col,
+                        table.ColumnByName(spec.output_column));
+  if (output_col->type() != DataType::kDouble) {
+    return Status::TypeMismatch(
+        "semantic compression models a DOUBLE output column");
+  }
+  LAWS_ASSIGN_OR_RETURN(
+      Vector pred, PredictRows(table, model, lookup, spec.group_column,
+                               spec.input_columns));
+
+  // Residual column, preserving nullability.
+  const size_t n = table.num_rows();
+  if (options.lossless) {
+    // Bit-exact reconstruction requires an exactly invertible transform:
+    // floating-point `pred + (y - pred)` can be off by an ulp, so lossless
+    // mode stores the XOR of the IEEE bit patterns instead. Good
+    // predictions zero the sign/exponent/leading-mantissa bytes, which the
+    // byte-shuffled DEFLATE encoding then squeezes out.
+    Column residuals(DataType::kInt64, output_col->nullable());
+    for (size_t i = 0; i < n; ++i) {
+      if (output_col->IsNull(i)) {
+        LAWS_RETURN_IF_ERROR(residuals.AppendNull());
+      } else {
+        uint64_t ybits, pbits;
+        const double y = output_col->DoubleAt(i);
+        std::memcpy(&ybits, &y, sizeof(ybits));
+        std::memcpy(&pbits, &pred[i], sizeof(pbits));
+        residuals.AppendInt64(static_cast<int64_t>(ybits ^ pbits));
+      }
+    }
+    LAWS_ASSIGN_OR_RETURN(out.residual_column,
+                          CompressColumn(residuals, ColumnEncoding::kAuto));
+  } else {
+    const double q = options.quantization_step;
+    Column residuals(DataType::kInt64, output_col->nullable());
+    for (size_t i = 0; i < n; ++i) {
+      if (output_col->IsNull(i)) {
+        LAWS_RETURN_IF_ERROR(residuals.AppendNull());
+      } else {
+        const double r = output_col->DoubleAt(i) - pred[i];
+        residuals.AppendInt64(static_cast<int64_t>(std::llround(r / q)));
+      }
+    }
+    LAWS_ASSIGN_OR_RETURN(out.residual_column,
+                          CompressColumn(residuals, ColumnEncoding::kAuto));
+  }
+
+  // Remaining columns, generically compressed.
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const std::string& name = table.schema().field(c).name;
+    if (name == spec.output_column) continue;
+    LAWS_ASSIGN_OR_RETURN(
+        CompressedColumn cc,
+        CompressColumn(table.column(c), options.other_columns_encoding));
+    out.other_columns.push_back(std::move(cc));
+    out.other_column_names.push_back(name);
+  }
+  return out;
+}
+
+Result<Table> SemanticDecompress(const SemanticCompressedTable& compressed) {
+  LAWS_ASSIGN_OR_RETURN(ModelPtr model,
+                        ModelFromSource(compressed.model_source));
+
+  // Rebuild the non-output columns first (predictions need the inputs).
+  std::vector<Column> columns;
+  columns.reserve(compressed.schema.num_fields());
+  size_t other_idx = 0;
+  // Output slot placeholder (filled below); remember its index.
+  size_t output_idx = compressed.schema.num_fields();
+  for (size_t c = 0; c < compressed.schema.num_fields(); ++c) {
+    const Field& f = compressed.schema.field(c);
+    if (f.name == compressed.output_column) {
+      output_idx = c;
+      columns.emplace_back(f.type, f.nullable);  // placeholder
+      continue;
+    }
+    if (other_idx >= compressed.other_columns.size() ||
+        compressed.other_column_names[other_idx] != f.name) {
+      return Status::ParseError("column order mismatch in semantic blob");
+    }
+    LAWS_ASSIGN_OR_RETURN(
+        Column col,
+        DecompressColumn(compressed.other_columns[other_idx], f));
+    columns.push_back(std::move(col));
+    ++other_idx;
+  }
+  if (output_idx == compressed.schema.num_fields()) {
+    return Status::ParseError("output column missing from schema");
+  }
+
+  // Assemble a temporary table of the inputs for prediction.
+  std::vector<Field> tmp_fields;
+  std::vector<Column> tmp_cols;
+  for (size_t c = 0; c < compressed.schema.num_fields(); ++c) {
+    if (c == output_idx) continue;
+    tmp_fields.push_back(compressed.schema.field(c));
+    tmp_cols.push_back(columns[c]);
+  }
+  LAWS_ASSIGN_OR_RETURN(
+      Table tmp, Table::FromColumns(Schema(tmp_fields), std::move(tmp_cols)));
+
+  LAWS_ASSIGN_OR_RETURN(
+      auto lookup,
+      ParameterLookup(compressed.parameter_table, model->num_parameters()));
+  LAWS_ASSIGN_OR_RETURN(
+      Vector pred, PredictRows(tmp, *model, lookup, compressed.group_column,
+                               compressed.input_columns));
+
+  // Reconstruct the output column from residuals.
+  const Field& out_field = compressed.schema.field(output_idx);
+  Column output(DataType::kDouble, out_field.nullable);
+  if (compressed.lossless) {
+    Field residual_field{"residual", DataType::kInt64, out_field.nullable};
+    LAWS_ASSIGN_OR_RETURN(
+        Column residuals,
+        DecompressColumn(compressed.residual_column, residual_field));
+    if (residuals.size() != compressed.num_rows) {
+      return Status::ParseError("residual row count mismatch");
+    }
+    for (size_t i = 0; i < residuals.size(); ++i) {
+      if (residuals.IsNull(i)) {
+        LAWS_RETURN_IF_ERROR(output.AppendNull());
+      } else {
+        uint64_t pbits;
+        std::memcpy(&pbits, &pred[i], sizeof(pbits));
+        const uint64_t ybits =
+            pbits ^ static_cast<uint64_t>(residuals.Int64At(i));
+        double y;
+        std::memcpy(&y, &ybits, sizeof(y));
+        output.AppendDouble(y);
+      }
+    }
+  } else {
+    Field residual_field{"residual", DataType::kInt64, out_field.nullable};
+    LAWS_ASSIGN_OR_RETURN(
+        Column residuals,
+        DecompressColumn(compressed.residual_column, residual_field));
+    if (residuals.size() != compressed.num_rows) {
+      return Status::ParseError("residual row count mismatch");
+    }
+    for (size_t i = 0; i < residuals.size(); ++i) {
+      if (residuals.IsNull(i)) {
+        LAWS_RETURN_IF_ERROR(output.AppendNull());
+      } else {
+        output.AppendDouble(pred[i] + static_cast<double>(residuals.Int64At(
+                                          i)) *
+                                          compressed.quantization_step);
+      }
+    }
+  }
+  columns[output_idx] = std::move(output);
+  return Table::FromColumns(compressed.schema, std::move(columns));
+}
+
+Result<SemanticCompressedTable> SemanticRecompress(
+    const SemanticCompressedTable& old_blob, const Model& new_model,
+    const GroupedFitOutput& new_fits, const GroupedFitSpec& new_spec,
+    const SemanticCompressionOptions& options) {
+  if (!old_blob.lossless) {
+    return Status::InvalidArgument(
+        "refusing to recompress a lossy blob (errors would accumulate); "
+        "recompress from the original data instead");
+  }
+  LAWS_ASSIGN_OR_RETURN(Table restored, SemanticDecompress(old_blob));
+  return SemanticCompress(restored, new_model, new_fits, new_spec, options);
+}
+
+}  // namespace laws

@@ -1,0 +1,224 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "model/model.h"
+
+namespace laws {
+namespace {
+
+std::vector<std::string> DefaultBattery() {
+  return {"linear(1)", "poly(2)",     "poly(3)",
+          "power_law", "exponential", "logistic"};
+}
+
+/// Extracts paired non-null observations from two numeric columns.
+Status ExtractPairs(const Column& in_col, const Column& out_col,
+                    std::vector<double>* xs, std::vector<double>* ys) {
+  if (in_col.type() == DataType::kString ||
+      out_col.type() == DataType::kString) {
+    return Status::TypeMismatch("advisor needs numeric columns");
+  }
+  for (size_t i = 0; i < in_col.size(); ++i) {
+    if (in_col.IsNull(i) || out_col.IsNull(i)) continue;
+    LAWS_ASSIGN_OR_RETURN(double x, in_col.NumericAt(i));
+    LAWS_ASSIGN_OR_RETURN(double y, out_col.NumericAt(i));
+    xs->push_back(x);
+    ys->push_back(y);
+  }
+  return Status::OK();
+}
+
+/// Uniform row subsample (without replacement) down to `max_rows`.
+void Subsample(std::vector<double>* xs, std::vector<double>* ys,
+               size_t max_rows, uint64_t seed) {
+  if (max_rows == 0 || xs->size() <= max_rows) return;
+  Rng rng(seed);
+  const auto perm = rng.Permutation(static_cast<uint32_t>(xs->size()));
+  std::vector<double> nx(max_rows), ny(max_rows);
+  for (size_t i = 0; i < max_rows; ++i) {
+    nx[i] = (*xs)[perm[i]];
+    ny[i] = (*ys)[perm[i]];
+  }
+  *xs = std::move(nx);
+  *ys = std::move(ny);
+}
+
+ModelCandidate TryCandidate(const std::string& source,
+                            const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  ModelCandidate c;
+  c.model_source = source;
+  auto model = ModelFromSource(source);
+  if (!model.ok()) {
+    c.failure = model.status().ToString();
+    return c;
+  }
+  if ((*model)->num_inputs() != 1) {
+    c.failure = "advisor battery expects single-input models";
+    return c;
+  }
+  Matrix x(xs.size(), 1);
+  Vector y(ys.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    x(i, 0) = xs[i];
+    y[i] = ys[i];
+  }
+  FitOptions opts;
+  opts.compute_standard_errors = false;
+  auto fit = FitModel(**model, x, y, opts);
+  if (!fit.ok()) {
+    c.failure = fit.status().ToString();
+    return c;
+  }
+  c.fitted = true;
+  c.fit = std::move(*fit);
+  c.bic = c.fit.quality.bic;
+  c.r_squared = c.fit.quality.r_squared;
+  return c;
+}
+
+void SortCandidates(std::vector<ModelCandidate>* candidates) {
+  std::sort(candidates->begin(), candidates->end(),
+            [](const ModelCandidate& a, const ModelCandidate& b) {
+              if (a.fitted != b.fitted) return a.fitted;
+              return a.bic < b.bic;
+            });
+}
+
+}  // namespace
+
+Result<std::vector<ModelCandidate>> SuggestModels(
+    const Table& table, const std::string& input_column,
+    const std::string& output_column, const AdvisorOptions& options) {
+  LAWS_ASSIGN_OR_RETURN(const Column* in_col,
+                        table.ColumnByName(input_column));
+  LAWS_ASSIGN_OR_RETURN(const Column* out_col,
+                        table.ColumnByName(output_column));
+  std::vector<double> xs, ys;
+  LAWS_RETURN_IF_ERROR(ExtractPairs(*in_col, *out_col, &xs, &ys));
+  Subsample(&xs, &ys, options.max_rows, options.seed);
+  if (xs.size() < 8) {
+    return Status::InvalidArgument("too few observations for the advisor");
+  }
+
+  const auto battery = options.candidate_sources.empty()
+                           ? DefaultBattery()
+                           : options.candidate_sources;
+  std::vector<ModelCandidate> candidates;
+  candidates.reserve(battery.size());
+  for (const auto& source : battery) {
+    candidates.push_back(TryCandidate(source, xs, ys));
+  }
+  SortCandidates(&candidates);
+  if (candidates.empty() || !candidates.front().fitted) {
+    return Status::InvalidArgument("no candidate model could be fitted");
+  }
+  return candidates;
+}
+
+Result<std::vector<ModelCandidate>> SuggestGroupedModels(
+    const Table& table, const std::string& group_column,
+    const std::string& input_column, const std::string& output_column,
+    const AdvisorOptions& options) {
+  LAWS_ASSIGN_OR_RETURN(const Column* group_col,
+                        table.ColumnByName(group_column));
+  if (group_col->type() != DataType::kInt64) {
+    return Status::TypeMismatch("group column must be INT64");
+  }
+  LAWS_ASSIGN_OR_RETURN(const Column* in_col,
+                        table.ColumnByName(input_column));
+  LAWS_ASSIGN_OR_RETURN(const Column* out_col,
+                        table.ColumnByName(output_column));
+
+  // Bucket rows per group.
+  std::unordered_map<int64_t, std::vector<uint32_t>> buckets;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    if (group_col->IsNull(i) || in_col->IsNull(i) || out_col->IsNull(i)) {
+      continue;
+    }
+    buckets[group_col->Int64At(i)].push_back(static_cast<uint32_t>(i));
+  }
+  if (buckets.empty()) {
+    return Status::InvalidArgument("no usable groups");
+  }
+
+  // Sample groups deterministically.
+  std::vector<int64_t> keys;
+  keys.reserve(buckets.size());
+  for (const auto& [k, rows] : buckets) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  Rng rng(options.seed);
+  const auto perm = rng.Permutation(static_cast<uint32_t>(keys.size()));
+  const size_t take = std::min(options.sample_groups, keys.size());
+
+  const auto battery = options.candidate_sources.empty()
+                           ? DefaultBattery()
+                           : options.candidate_sources;
+  struct Tally {
+    double bic_sum = 0.0;
+    double r2_sum = 0.0;
+    size_t fits = 0;
+    size_t failures = 0;
+    ModelCandidate last;
+  };
+  std::vector<Tally> tallies(battery.size());
+
+  for (size_t s = 0; s < take; ++s) {
+    const auto& rows = buckets[keys[perm[s]]];
+    std::vector<double> xs, ys;
+    xs.reserve(rows.size());
+    ys.reserve(rows.size());
+    for (uint32_t r : rows) {
+      auto x = in_col->NumericAt(r);
+      auto y = out_col->NumericAt(r);
+      if (!x.ok() || !y.ok()) continue;
+      xs.push_back(*x);
+      ys.push_back(*y);
+    }
+    if (xs.size() < 8) continue;
+    for (size_t b = 0; b < battery.size(); ++b) {
+      ModelCandidate c = TryCandidate(battery[b], xs, ys);
+      if (c.fitted) {
+        tallies[b].bic_sum += c.bic;
+        tallies[b].r2_sum += c.r_squared;
+        ++tallies[b].fits;
+        tallies[b].last = std::move(c);
+      } else {
+        ++tallies[b].failures;
+        tallies[b].last = std::move(c);
+      }
+    }
+  }
+
+  std::vector<ModelCandidate> candidates;
+  candidates.reserve(battery.size());
+  for (size_t b = 0; b < battery.size(); ++b) {
+    ModelCandidate c;
+    c.model_source = battery[b];
+    // A class must fit the (large) majority of sampled groups to qualify.
+    if (tallies[b].fits > 0 && tallies[b].failures <= tallies[b].fits / 4) {
+      c.fitted = true;
+      c.bic = tallies[b].bic_sum / static_cast<double>(tallies[b].fits);
+      c.r_squared =
+          tallies[b].r2_sum / static_cast<double>(tallies[b].fits);
+      c.fit = tallies[b].last.fit;
+    } else {
+      c.failure = tallies[b].fits == 0
+                      ? (tallies[b].last.failure.empty()
+                             ? "no group could be fitted"
+                             : tallies[b].last.failure)
+                      : "failed on too many groups";
+    }
+    candidates.push_back(std::move(c));
+  }
+  SortCandidates(&candidates);
+  if (candidates.empty() || !candidates.front().fitted) {
+    return Status::InvalidArgument("no candidate model class qualified");
+  }
+  return candidates;
+}
+
+}  // namespace laws

@@ -1,0 +1,66 @@
+#ifndef LAWSDB_CORE_ADVISOR_H_
+#define LAWSDB_CORE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/fit.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// One candidate model class evaluated by the advisor.
+struct ModelCandidate {
+  std::string model_source;
+  bool fitted = false;
+  /// Fit outcome when fitted (ungrouped) or the aggregate over sampled
+  /// groups (grouped).
+  FitOutput fit;
+  /// Selection criterion: BIC (lower is better). For grouped advice this
+  /// is the mean BIC over the sampled groups.
+  double bic = 0.0;
+  /// Mean R² (grouped: over sampled groups).
+  double r_squared = 0.0;
+  std::string failure;  // why the fit failed, when !fitted
+};
+
+/// Controls for the advisor.
+struct AdvisorOptions {
+  /// Model classes to try. Empty = the default battery:
+  /// linear(1), poly(2), poly(3), power_law, exponential, logistic.
+  std::vector<std::string> candidate_sources;
+  /// Ungrouped: cap on rows used for trial fits (uniformly sampled
+  /// without replacement when the table is larger). 0 = all rows.
+  size_t max_rows = 20'000;
+  /// Grouped: number of groups sampled for the trial fits.
+  size_t sample_groups = 32;
+  uint64_t seed = 1234;
+};
+
+/// The paper's vision is *autonomous and proactive* harvesting: the
+/// database should be able to propose model classes itself, not only
+/// intercept user fits (§6 also notes that "focusing on a single class of
+/// models ... is unlikely to cover enough ground"). The advisor fits a
+/// battery of model classes to (input, output) — optionally per group —
+/// and ranks them by BIC, which trades fit quality against parameter
+/// count. Candidates whose fit fails (domain violations, divergence) are
+/// reported with the reason rather than dropped.
+///
+/// Returns candidates sorted best-first (fitted ones by ascending BIC,
+/// failed ones last). InvalidArgument when no candidate applies at all.
+Result<std::vector<ModelCandidate>> SuggestModels(
+    const Table& table, const std::string& input_column,
+    const std::string& output_column, const AdvisorOptions& options = {});
+
+/// Grouped variant: samples `options.sample_groups` groups, fits every
+/// candidate to each sampled group, and ranks classes by mean BIC. Useful
+/// before committing to a 35k-group fit.
+Result<std::vector<ModelCandidate>> SuggestGroupedModels(
+    const Table& table, const std::string& group_column,
+    const std::string& input_column, const std::string& output_column,
+    const AdvisorOptions& options = {});
+
+}  // namespace laws
+
+#endif  // LAWSDB_CORE_ADVISOR_H_

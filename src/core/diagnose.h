@@ -1,0 +1,38 @@
+#ifndef LAWSDB_CORE_DIAGNOSE_H_
+#define LAWSDB_CORE_DIAGNOSE_H_
+
+#include "common/result.h"
+#include "core/model_catalog.h"
+#include "stats/diagnostics.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// Residual diagnostics for a captured model against current table
+/// contents — the deeper layer of "judge the quality of the fitted model"
+/// (paper §3). R² alone cannot tell whether the Gaussian error bounds
+/// attached to approximate answers are trustworthy (residual normality)
+/// or whether the model missed smooth structure (residual
+/// autocorrelation along the input axis).
+struct ModelDiagnostics {
+  /// KS test of residuals against a fitted normal.
+  KsTestResult residual_normality;
+  /// Durbin-Watson over residuals ordered by the first input (2 = clean;
+  /// << 2 = missed structure).
+  double durbin_watson = 2.0;
+  size_t residuals_used = 0;
+  /// Convenience verdict: normal residuals and DW in [1, 3].
+  bool healthy = false;
+};
+
+/// Diagnoses an ungrouped captured model over the whole table, or one
+/// group of a grouped model (pass the group key; ignored for ungrouped
+/// models). Reads the raw rows (this is an offline quality sweep, like
+/// outlier detection).
+Result<ModelDiagnostics> DiagnoseModel(const Table& table,
+                                       const CapturedModel& model,
+                                       int64_t group_key = 0);
+
+}  // namespace laws
+
+#endif  // LAWSDB_CORE_DIAGNOSE_H_

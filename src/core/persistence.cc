@@ -1,0 +1,281 @@
+#include "core/persistence.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "compress/column_compressor.h"
+#include "storage/serialize.h"
+
+namespace laws {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'W', 'D', 'B'};
+constexpr uint8_t kVersion = 1;
+
+void SerializeVector(const Vector& v, ByteWriter* out) {
+  out->PutVarint(v.size());
+  for (double x : v) out->PutDouble(x);
+}
+
+Result<Vector> DeserializeVector(ByteReader* in) {
+  LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+  Vector v(n);
+  for (auto& x : v) {
+    LAWS_ASSIGN_OR_RETURN(x, in->GetDouble());
+  }
+  return v;
+}
+
+void SerializeQuality(const FitQuality& q, ByteWriter* out) {
+  out->PutVarint(q.n_observations);
+  out->PutVarint(q.n_parameters);
+  out->PutDouble(q.r_squared);
+  out->PutDouble(q.adjusted_r_squared);
+  out->PutDouble(q.residual_standard_error);
+  out->PutDouble(q.residual_sum_of_squares);
+  out->PutDouble(q.total_sum_of_squares);
+  out->PutDouble(q.aic);
+  out->PutDouble(q.bic);
+}
+
+Result<FitQuality> DeserializeQuality(ByteReader* in) {
+  FitQuality q;
+  LAWS_ASSIGN_OR_RETURN(uint64_t n_obs, in->GetVarint());
+  LAWS_ASSIGN_OR_RETURN(uint64_t n_par, in->GetVarint());
+  q.n_observations = n_obs;
+  q.n_parameters = n_par;
+  LAWS_ASSIGN_OR_RETURN(q.r_squared, in->GetDouble());
+  LAWS_ASSIGN_OR_RETURN(q.adjusted_r_squared, in->GetDouble());
+  LAWS_ASSIGN_OR_RETURN(q.residual_standard_error, in->GetDouble());
+  LAWS_ASSIGN_OR_RETURN(q.residual_sum_of_squares, in->GetDouble());
+  LAWS_ASSIGN_OR_RETURN(q.total_sum_of_squares, in->GetDouble());
+  LAWS_ASSIGN_OR_RETURN(q.aic, in->GetDouble());
+  LAWS_ASSIGN_OR_RETURN(q.bic, in->GetDouble());
+  return q;
+}
+
+/// Compressed-table image: schema + per-column (encoding, payload).
+Status SerializeTableCompressed(const Table& table, ByteWriter* out) {
+  LAWS_ASSIGN_OR_RETURN(CompressedTable ct, CompressTable(table));
+  out->PutVarint(ct.schema.num_fields());
+  for (const Field& f : ct.schema.fields()) {
+    out->PutString(f.name);
+    out->PutU8(static_cast<uint8_t>(f.type));
+    out->PutU8(f.nullable ? 1 : 0);
+  }
+  out->PutVarint(ct.num_rows);
+  for (const CompressedColumn& c : ct.columns) {
+    out->PutU8(static_cast<uint8_t>(c.encoding));
+    out->PutVarint(c.payload.size());
+    out->PutRaw(c.payload.data(), c.payload.size());
+  }
+  return Status::OK();
+}
+
+Result<Table> DeserializeTableCompressed(ByteReader* in) {
+  LAWS_ASSIGN_OR_RETURN(uint64_t nfields, in->GetVarint());
+  std::vector<Field> fields;
+  fields.reserve(nfields);
+  for (uint64_t i = 0; i < nfields; ++i) {
+    Field f;
+    LAWS_ASSIGN_OR_RETURN(f.name, in->GetString());
+    LAWS_ASSIGN_OR_RETURN(uint8_t t, in->GetU8());
+    if (t > static_cast<uint8_t>(DataType::kBool)) {
+      return Status::ParseError("bad column type tag");
+    }
+    f.type = static_cast<DataType>(t);
+    LAWS_ASSIGN_OR_RETURN(uint8_t nullable, in->GetU8());
+    f.nullable = nullable != 0;
+    fields.push_back(std::move(f));
+  }
+  CompressedTable ct;
+  ct.schema = Schema(std::move(fields));
+  LAWS_ASSIGN_OR_RETURN(uint64_t rows, in->GetVarint());
+  ct.num_rows = rows;
+  ct.columns.reserve(ct.schema.num_fields());
+  for (size_t c = 0; c < ct.schema.num_fields(); ++c) {
+    CompressedColumn col;
+    LAWS_ASSIGN_OR_RETURN(uint8_t enc, in->GetU8());
+    col.encoding = static_cast<ColumnEncoding>(enc);
+    LAWS_ASSIGN_OR_RETURN(uint64_t psize, in->GetVarint());
+    col.payload.resize(psize);
+    LAWS_RETURN_IF_ERROR(in->GetRaw(col.payload.data(), psize));
+    ct.columns.push_back(std::move(col));
+  }
+  return DecompressTable(ct);
+}
+
+}  // namespace
+
+void SerializeCapturedModel(const CapturedModel& model, ByteWriter* out) {
+  out->PutU64(model.id);
+  out->PutString(model.table_name);
+  out->PutVarint(model.input_columns.size());
+  for (const auto& c : model.input_columns) out->PutString(c);
+  out->PutString(model.output_column);
+  out->PutString(model.group_column);
+  out->PutString(model.subset_predicate);
+  out->PutString(model.model_source);
+  SerializeVector(model.parameters, out);
+  SerializeVector(model.standard_errors, out);
+  SerializeQuality(model.quality, out);
+  out->PutU8(model.grouped ? 1 : 0);
+  if (model.grouped) {
+    SerializeTable(model.parameter_table, out);
+  }
+  out->PutVarint(model.num_groups);
+  out->PutVarint(model.groups_skipped);
+  out->PutVarint(model.groups_failed);
+  out->PutDouble(model.median_r_squared);
+  out->PutDouble(model.median_residual_se);
+  out->PutU64(model.fitted_data_version);
+  out->PutVarint(model.rows_fitted);
+}
+
+Result<CapturedModel> DeserializeCapturedModel(ByteReader* in) {
+  CapturedModel m;
+  LAWS_ASSIGN_OR_RETURN(m.id, in->GetU64());
+  LAWS_ASSIGN_OR_RETURN(m.table_name, in->GetString());
+  LAWS_ASSIGN_OR_RETURN(uint64_t n_inputs, in->GetVarint());
+  m.input_columns.resize(n_inputs);
+  for (auto& c : m.input_columns) {
+    LAWS_ASSIGN_OR_RETURN(c, in->GetString());
+  }
+  LAWS_ASSIGN_OR_RETURN(m.output_column, in->GetString());
+  LAWS_ASSIGN_OR_RETURN(m.group_column, in->GetString());
+  LAWS_ASSIGN_OR_RETURN(m.subset_predicate, in->GetString());
+  LAWS_ASSIGN_OR_RETURN(m.model_source, in->GetString());
+  LAWS_ASSIGN_OR_RETURN(m.parameters, DeserializeVector(in));
+  LAWS_ASSIGN_OR_RETURN(m.standard_errors, DeserializeVector(in));
+  LAWS_ASSIGN_OR_RETURN(m.quality, DeserializeQuality(in));
+  LAWS_ASSIGN_OR_RETURN(uint8_t grouped, in->GetU8());
+  m.grouped = grouped != 0;
+  if (m.grouped) {
+    LAWS_ASSIGN_OR_RETURN(m.parameter_table, DeserializeTable(in));
+  }
+  LAWS_ASSIGN_OR_RETURN(uint64_t num_groups, in->GetVarint());
+  LAWS_ASSIGN_OR_RETURN(uint64_t skipped, in->GetVarint());
+  LAWS_ASSIGN_OR_RETURN(uint64_t failed, in->GetVarint());
+  m.num_groups = num_groups;
+  m.groups_skipped = skipped;
+  m.groups_failed = failed;
+  LAWS_ASSIGN_OR_RETURN(m.median_r_squared, in->GetDouble());
+  LAWS_ASSIGN_OR_RETURN(m.median_residual_se, in->GetDouble());
+  LAWS_ASSIGN_OR_RETURN(m.fitted_data_version, in->GetU64());
+  LAWS_ASSIGN_OR_RETURN(uint64_t rows, in->GetVarint());
+  m.rows_fitted = rows;
+  return m;
+}
+
+void SerializeModelCatalog(const ModelCatalog& models, ByteWriter* out) {
+  const auto ids = models.ListIds();
+  out->PutVarint(ids.size());
+  for (uint64_t id : ids) {
+    const auto model = models.Get(id);
+    SerializeCapturedModel(**model, out);
+  }
+}
+
+Status DeserializeModelCatalog(ByteReader* in, ModelCatalog* models) {
+  LAWS_ASSIGN_OR_RETURN(uint64_t count, in->GetVarint());
+  for (uint64_t i = 0; i < count; ++i) {
+    LAWS_ASSIGN_OR_RETURN(CapturedModel m, DeserializeCapturedModel(in));
+    LAWS_RETURN_IF_ERROR(models->RestoreWithId(std::move(m)));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> SaveDatabaseToBytes(const Catalog& data,
+                                                 const ModelCatalog& models) {
+  ByteWriter out;
+  out.PutRaw(kMagic, sizeof(kMagic));
+  out.PutU8(kVersion);
+
+  const auto table_names = data.ListTables();
+  out.PutVarint(table_names.size());
+  for (const auto& name : table_names) {
+    LAWS_ASSIGN_OR_RETURN(TablePtr table, data.Get(name));
+    out.PutString(name);
+    // Freshness of every model fitted on this table, so staleness
+    // semantics survive the round trip (loaded tables restart their
+    // version counters).
+    out.PutU64(table->data_version());
+    LAWS_RETURN_IF_ERROR(SerializeTableCompressed(*table, &out));
+  }
+  SerializeModelCatalog(models, &out);
+  return out.TakeData();
+}
+
+Status LoadDatabaseFromBytes(const std::vector<uint8_t>& bytes, Catalog* data,
+                             ModelCatalog* models) {
+  if (data == nullptr || models == nullptr) {
+    return Status::InvalidArgument("null output catalog");
+  }
+  ByteReader in(bytes);
+  char magic[4];
+  LAWS_RETURN_IF_ERROR(in.GetRaw(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    return Status::ParseError("not a LawsDB database image");
+  }
+  LAWS_ASSIGN_OR_RETURN(uint8_t version, in.GetU8());
+  if (version != kVersion) {
+    return Status::ParseError("unsupported database image version");
+  }
+
+  LAWS_ASSIGN_OR_RETURN(uint64_t n_tables, in.GetVarint());
+  // Saved data version -> loaded table (for freshness re-stamping).
+  std::map<std::string, std::pair<uint64_t, TablePtr>> loaded;
+  for (uint64_t i = 0; i < n_tables; ++i) {
+    LAWS_ASSIGN_OR_RETURN(std::string name, in.GetString());
+    LAWS_ASSIGN_OR_RETURN(uint64_t saved_version, in.GetU64());
+    LAWS_ASSIGN_OR_RETURN(Table table, DeserializeTableCompressed(&in));
+    auto ptr = std::make_shared<Table>(std::move(table));
+    loaded[name] = {saved_version, ptr};
+    data->RegisterOrReplace(name, ptr);
+  }
+
+  ModelCatalog restored;
+  LAWS_RETURN_IF_ERROR(DeserializeModelCatalog(&in, &restored));
+  for (uint64_t id : restored.ListIds()) {
+    auto model = restored.Get(id);
+    CapturedModel m = **model;
+    // Re-stamp freshness against the reloaded table's version counter.
+    auto it = loaded.find(m.table_name);
+    if (it != loaded.end()) {
+      const bool was_fresh =
+          m.fitted_data_version == it->second.first;
+      const uint64_t current = it->second.second->data_version();
+      m.fitted_data_version = was_fresh ? current : current - 1;
+    }
+    LAWS_RETURN_IF_ERROR(models->RestoreWithId(std::move(m)));
+  }
+  return Status::OK();
+}
+
+Status SaveDatabase(const Catalog& data, const ModelCatalog& models,
+                    const std::string& path) {
+  LAWS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                        SaveDatabaseToBytes(data, models));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadDatabase(const std::string& path, Catalog* data,
+                    ModelCatalog* models) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) return Status::IOError("read failed for " + path);
+  return LoadDatabaseFromBytes(bytes, data, models);
+}
+
+}  // namespace laws

@@ -1,0 +1,43 @@
+#ifndef LAWSDB_CORE_PERSISTENCE_H_
+#define LAWSDB_CORE_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "core/model_catalog.h"
+#include "storage/catalog.h"
+
+namespace laws {
+
+/// Durable storage for the whole engine state: data tables (generically
+/// compressed per column) plus the model catalog. The paper's premise is
+/// that captured models are retained "forever"; persistence makes that
+/// literal — a reopened database still knows every harvested model, its
+/// parameters and its goodness of fit.
+
+/// Serializes one captured model, including the grouped parameter table.
+void SerializeCapturedModel(const CapturedModel& model, ByteWriter* out);
+Result<CapturedModel> DeserializeCapturedModel(ByteReader* in);
+
+/// Serializes the full model catalog (ids are preserved).
+void SerializeModelCatalog(const ModelCatalog& models, ByteWriter* out);
+Status DeserializeModelCatalog(ByteReader* in, ModelCatalog* models);
+
+/// Writes data catalog + model catalog into one image. Tables are stored
+/// with best-of generic column compression. Model staleness survives the
+/// round trip: models fresh at save time are fresh after load.
+Result<std::vector<uint8_t>> SaveDatabaseToBytes(const Catalog& data,
+                                                 const ModelCatalog& models);
+Status LoadDatabaseFromBytes(const std::vector<uint8_t>& bytes, Catalog* data,
+                             ModelCatalog* models);
+
+/// File-based convenience wrappers.
+Status SaveDatabase(const Catalog& data, const ModelCatalog& models,
+                    const std::string& path);
+Status LoadDatabase(const std::string& path, Catalog* data,
+                    ModelCatalog* models);
+
+}  // namespace laws
+
+#endif  // LAWSDB_CORE_PERSISTENCE_H_

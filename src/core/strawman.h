@@ -1,0 +1,69 @@
+#ifndef LAWSDB_CORE_STRAWMAN_H_
+#define LAWSDB_CORE_STRAWMAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/session.h"
+
+namespace laws {
+
+/// The user-facing half of the paper's §3 mechanism: "constructing a
+/// so-called 'strawman object' in the statistical environment, which wraps
+/// a database table or query result, but is indistinguishable from a local
+/// dataset. Any command the user performs on this object is forwarded to
+/// the data management system."
+///
+/// This is that object, in C++: a lightweight handle over a catalog table
+/// that accumulates dataframe-style operations (filters, grouping) and
+/// forwards fitting into the engine — where the model is intercepted and
+/// captured as a side effect. Handles are cheap values; copying one forks
+/// the pending operation chain.
+///
+///   Strawman df(&session, "measurements");
+///   auto report = df.Filter("wavelength < 0.2")
+///                   .GroupBy("source")
+///                   .Fit("power_law", {"wavelength"}, "intensity");
+class Strawman {
+ public:
+  Strawman(Session* session, std::string table)
+      : session_(session), table_(std::move(table)) {}
+
+  /// Restricts subsequent operations to rows satisfying `predicate` (SQL
+  /// expression syntax). Multiple filters conjoin.
+  Strawman Filter(const std::string& predicate) const;
+
+  /// Sets the grouping column for per-group fits.
+  Strawman GroupBy(const std::string& column) const;
+
+  /// Forwards the fit into the engine (Figure 2 steps 1-3): the model is
+  /// fitted on this handle's current view and captured in the model
+  /// catalog; the goodness of fit comes back, exactly as the paper's user
+  /// sees it.
+  Result<FitReport> Fit(const std::string& model_source,
+                        const std::vector<std::string>& input_columns,
+                        const std::string& output_column,
+                        const FitOptions& options = {}) const;
+
+  /// Materializes the handle's current view as a local table (the
+  /// "indistinguishable from a local dataset" escape hatch).
+  Result<Table> Collect() const;
+
+  /// Number of rows in the current view (forwarded count, no transfer).
+  Result<size_t> Count() const;
+
+  const std::string& table() const { return table_; }
+  const std::string& predicate() const { return predicate_; }
+  const std::string& group_column() const { return group_; }
+
+ private:
+  Session* session_;
+  std::string table_;
+  std::string predicate_;  // conjunction of Filter() calls; "" = all rows
+  std::string group_;      // "" = ungrouped
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_CORE_STRAWMAN_H_

@@ -1,0 +1,104 @@
+#ifndef LAWSDB_LINALG_MATRIX_H_
+#define LAWSDB_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace laws {
+
+/// Column vector of doubles. A plain std::vector is used so numeric code can
+/// interoperate with the rest of the library without conversions.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles. Sized for statistical model fitting:
+/// design matrices are tall and thin (n observations x p parameters, p
+/// small), so no blocking or SIMD heroics — clarity and numerical soundness
+/// first.
+class Matrix {
+ public:
+  /// Creates a rows x cols matrix initialized to zero.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Creates an empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Creates a matrix from row-major initializer data; `data.size()` must be
+  /// rows*cols.
+  Matrix(size_t rows, size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  static Matrix Identity(size_t n) {
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t i, size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Matrix product this * other; dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product this * v; v.size() must equal cols().
+  Vector MultiplyVec(const Vector& v) const;
+
+  /// Computes A^T * A directly (the Gram matrix), exploiting symmetry.
+  Matrix Gram() const;
+
+  /// Computes A^T * b for b of length rows().
+  Vector TransposeMultiplyVec(const Vector& b) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Human-readable rendering for diagnostics.
+  std::string ToString(int digits = 4) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of v.
+double Norm2(const Vector& v);
+
+/// Dot product; sizes must agree.
+double Dot(const Vector& a, const Vector& b);
+
+/// a - b elementwise; sizes must agree.
+Vector Subtract(const Vector& a, const Vector& b);
+
+/// a + b elementwise; sizes must agree.
+Vector Add(const Vector& a, const Vector& b);
+
+/// alpha * v.
+Vector Scale(const Vector& v, double alpha);
+
+}  // namespace laws
+
+#endif  // LAWSDB_LINALG_MATRIX_H_

@@ -1,0 +1,233 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+namespace laws {
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      return Status::NumericError(
+          "matrix is not positive definite (Cholesky pivot <= 0)");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v / ljj;
+    }
+  }
+  return l;
+}
+
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("CholeskySolve: dimension mismatch");
+  }
+  LAWS_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  const size_t n = l.rows();
+  // Forward substitution L y = b.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (size_t k = 0; k < i; ++k) v -= l(i, k) * y[k];
+    y[i] = v / l(i, i);
+  }
+  // Back substitution L^T x = y.
+  Vector x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double v = y[i];
+    for (size_t k = i + 1; k < n; ++k) v -= l(k, i) * x[k];
+    x[i] = v / l(i, i);
+  }
+  return x;
+}
+
+Result<QrFactors> QrFactorize(const Matrix& a) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument("QR requires rows >= cols");
+  }
+  QrFactors f{a, Vector(n, 0.0)};
+  Matrix& qr = f.qr;
+  for (size_t k = 0; k < n; ++k) {
+    // Norm of the k-th column below (and including) the diagonal.
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) norm += qr(i, k) * qr(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0 || !std::isfinite(norm)) {
+      return Status::NumericError("rank-deficient matrix in QR");
+    }
+    // Choose sign to avoid cancellation.
+    const double alpha = qr(k, k) >= 0.0 ? -norm : norm;
+    // v = x - alpha*e1; store normalized so v[0] = 1 implicitly.
+    const double vk = qr(k, k) - alpha;
+    for (size_t i = k + 1; i < m; ++i) qr(i, k) /= vk;
+    f.tau[k] = -vk / alpha;  // tau = 2 / (v^T v) with v[0]=1 scaling
+    qr(k, k) = alpha;
+    // Apply the reflection to the remaining columns.
+    for (size_t j = k + 1; j < n; ++j) {
+      double dot = qr(k, j);
+      for (size_t i = k + 1; i < m; ++i) dot += qr(i, k) * qr(i, j);
+      dot *= f.tau[k];
+      qr(k, j) -= dot;
+      for (size_t i = k + 1; i < m; ++i) qr(i, j) -= dot * qr(i, k);
+    }
+  }
+  return f;
+}
+
+void ApplyQTranspose(const QrFactors& f, Vector& b) {
+  const size_t m = f.qr.rows();
+  const size_t n = f.qr.cols();
+  for (size_t k = 0; k < n; ++k) {
+    double dot = b[k];
+    for (size_t i = k + 1; i < m; ++i) dot += f.qr(i, k) * b[i];
+    dot *= f.tau[k];
+    b[k] -= dot;
+    for (size_t i = k + 1; i < m; ++i) b[i] -= dot * f.qr(i, k);
+  }
+}
+
+Result<Vector> LeastSquaresQr(const Matrix& a, const Vector& b) {
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("LeastSquaresQr: dimension mismatch");
+  }
+  LAWS_ASSIGN_OR_RETURN(QrFactors f, QrFactorize(a));
+  Vector qtb = b;
+  ApplyQTranspose(f, qtb);
+  const size_t n = a.cols();
+  // Relative singularity threshold: a diagonal entry vanishing relative to
+  // the largest one signals (numerical) rank deficiency.
+  double max_diag = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    max_diag = std::max(max_diag, std::fabs(f.qr(i, i)));
+  }
+  const double tol = 1e-12 * max_diag;
+  Vector x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double v = qtb[i];
+    for (size_t j = i + 1; j < n; ++j) v -= f.qr(i, j) * x[j];
+    const double rii = f.qr(i, i);
+    if (std::fabs(rii) <= tol || !std::isfinite(rii)) {
+      return Status::NumericError("singular R in QR back substitution");
+    }
+    x[i] = v / rii;
+  }
+  return x;
+}
+
+Result<Vector> LeastSquaresNormal(const Matrix& a, const Vector& b) {
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("LeastSquaresNormal: dimension mismatch");
+  }
+  return CholeskySolve(a.Gram(), a.TransposeMultiplyVec(b));
+}
+
+Result<Vector> SolveLinearSystem(Matrix a, Vector b) {
+  if (a.rows() != a.cols() || b.size() != a.rows()) {
+    return Status::InvalidArgument("SolveLinearSystem: dimension mismatch");
+  }
+  const size_t n = a.rows();
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    size_t piv = k;
+    double best = std::fabs(a(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      if (std::fabs(a(i, k)) > best) {
+        best = std::fabs(a(i, k));
+        piv = i;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      return Status::NumericError("singular matrix in Gaussian elimination");
+    }
+    if (piv != k) {
+      for (size_t j = 0; j < n; ++j) std::swap(a(k, j), a(piv, j));
+      std::swap(b[k], b[piv]);
+    }
+    for (size_t i = k + 1; i < n; ++i) {
+      const double factor = a(i, k) / a(k, k);
+      if (factor == 0.0) continue;
+      for (size_t j = k; j < n; ++j) a(i, j) -= factor * a(k, j);
+      b[i] -= factor * b[k];
+    }
+  }
+  Vector x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double v = b[i];
+    for (size_t j = i + 1; j < n; ++j) v -= a(i, j) * x[j];
+    x[i] = v / a(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> Invert(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Invert requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix work = a;
+  Matrix inv = Matrix::Identity(n);
+  for (size_t k = 0; k < n; ++k) {
+    size_t piv = k;
+    double best = std::fabs(work(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      if (std::fabs(work(i, k)) > best) {
+        best = std::fabs(work(i, k));
+        piv = i;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      return Status::NumericError("singular matrix in inversion");
+    }
+    if (piv != k) {
+      for (size_t j = 0; j < n; ++j) {
+        std::swap(work(k, j), work(piv, j));
+        std::swap(inv(k, j), inv(piv, j));
+      }
+    }
+    const double pivot = work(k, k);
+    for (size_t j = 0; j < n; ++j) {
+      work(k, j) /= pivot;
+      inv(k, j) /= pivot;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (i == k) continue;
+      const double factor = work(i, k);
+      if (factor == 0.0) continue;
+      for (size_t j = 0; j < n; ++j) {
+        work(i, j) -= factor * work(k, j);
+        inv(i, j) -= factor * inv(k, j);
+      }
+    }
+  }
+  return inv;
+}
+
+Result<double> ConditionEstimate(const Matrix& a) {
+  LAWS_ASSIGN_OR_RETURN(QrFactors f, QrFactorize(a));
+  double lo = std::fabs(f.qr(0, 0));
+  double hi = lo;
+  for (size_t i = 1; i < a.cols(); ++i) {
+    const double r = std::fabs(f.qr(i, i));
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  if (lo == 0.0) return Status::NumericError("zero diagonal in R");
+  return hi / lo;
+}
+
+}  // namespace laws

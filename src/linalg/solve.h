@@ -1,0 +1,58 @@
+#ifndef LAWSDB_LINALG_SOLVE_H_
+#define LAWSDB_LINALG_SOLVE_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace laws {
+
+/// Cholesky factorization A = L * L^T for a symmetric positive-definite A.
+/// Returns the lower-triangular factor L, or NumericError if A is not
+/// (numerically) positive definite.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b);
+
+/// Householder QR of an m x n matrix with m >= n. `r` is upper triangular
+/// (n x n); `q_applied_b` support comes from ApplyQTranspose.
+struct QrFactors {
+  /// Compact Householder storage: the strict lower part of each column k
+  /// holds the Householder vector (with implicit leading 1), the upper
+  /// triangle holds R.
+  Matrix qr;
+  /// Householder scalar for each reflection.
+  Vector tau;
+};
+
+/// Computes the Householder QR factorization. Returns NumericError for
+/// rank-deficient inputs (a zero pivot column).
+Result<QrFactors> QrFactorize(const Matrix& a);
+
+/// Applies Q^T (from the factorization) to b in place.
+void ApplyQTranspose(const QrFactors& f, Vector& b);
+
+/// Solves the least-squares problem min ||A x - b||_2 via Householder QR.
+/// Numerically preferable to normal equations for ill-conditioned designs.
+Result<Vector> LeastSquaresQr(const Matrix& a, const Vector& b);
+
+/// Solves the least-squares problem by forming the normal equations
+/// A^T A x = A^T b and Cholesky-solving. Faster but squares the condition
+/// number; kept as an ablation baseline (see DESIGN.md §4.1).
+Result<Vector> LeastSquaresNormal(const Matrix& a, const Vector& b);
+
+/// General square solve A x = b via Gaussian elimination with partial
+/// pivoting. Returns NumericError for (numerically) singular A.
+Result<Vector> SolveLinearSystem(Matrix a, Vector b);
+
+/// Inverse of a square matrix via Gauss-Jordan with partial pivoting. Used
+/// for parameter covariance (X^T X)^{-1} in standard-error computation.
+Result<Matrix> Invert(const Matrix& a);
+
+/// Ratio of largest to smallest |R_ii| from a QR factorization — a cheap
+/// condition-number proxy used in fit diagnostics.
+Result<double> ConditionEstimate(const Matrix& a);
+
+}  // namespace laws
+
+#endif  // LAWSDB_LINALG_SOLVE_H_

@@ -1,0 +1,80 @@
+#include "lofar/generator.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace laws {
+
+Result<LofarDataset> GenerateLofar(const LofarConfig& config) {
+  if (config.num_sources == 0 || config.bands.empty()) {
+    return Status::InvalidArgument("need sources and bands");
+  }
+  constexpr size_t kMinObsPerSource = 8;
+  if (config.num_rows < config.num_sources * kMinObsPerSource) {
+    return Status::InvalidArgument(
+        "num_rows too small for per-source fits (need >= 8 per source)");
+  }
+
+  Rng rng(config.seed);
+  LofarDataset dataset;
+  dataset.config = config;
+
+  // Ground-truth spectra.
+  dataset.truth.reserve(config.num_sources);
+  for (size_t s = 0; s < config.num_sources; ++s) {
+    LofarSourceTruth t;
+    t.source = static_cast<int64_t>(s + 1);
+    t.p = std::exp(rng.Normal(config.log_p_mu, config.log_p_sd));
+    t.alpha = rng.Normal(config.alpha_mean, config.alpha_sd);
+    t.anomalous = rng.Bernoulli(config.anomalous_fraction);
+    dataset.truth.push_back(t);
+  }
+
+  Schema schema({Field{"source", DataType::kInt64, false},
+                 Field{"wavelength", DataType::kDouble, false},
+                 Field{"intensity", DataType::kDouble, false}});
+  Table table(schema);
+  Column* source_col = table.mutable_column(0);
+  Column* wavelength_col = table.mutable_column(1);
+  Column* intensity_col = table.mutable_column(2);
+
+  auto emit_row = [&](const LofarSourceTruth& t) {
+    const double band =
+        config.bands[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(config.bands.size()) - 1))];
+    const double nu =
+        band * (1.0 + config.band_jitter * (rng.NextDouble() - 0.5));
+    double intensity;
+    if (t.anomalous) {
+      // Frequency-independent emission with heavy scatter: the flat /
+      // turn-over spectra the paper wants to surface via goodness of fit.
+      intensity = t.p * std::pow(0.15, t.alpha) *
+                  std::exp(rng.Normal(0.0, 0.9));
+    } else {
+      intensity = t.p * std::pow(nu, t.alpha) *
+                  std::exp(rng.Normal(0.0, config.noise_sd));
+    }
+    source_col->AppendInt64(t.source);
+    wavelength_col->AppendDouble(nu);
+    intensity_col->AppendDouble(intensity);
+  };
+
+  // Guarantee a well-posed fit for every source, then fill the remainder
+  // uniformly.
+  for (const LofarSourceTruth& t : dataset.truth) {
+    for (size_t k = 0; k < kMinObsPerSource; ++k) emit_row(t);
+  }
+  const size_t remaining =
+      config.num_rows - config.num_sources * kMinObsPerSource;
+  for (size_t i = 0; i < remaining; ++i) {
+    const auto s = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(config.num_sources) - 1));
+    emit_row(dataset.truth[s]);
+  }
+  LAWS_RETURN_IF_ERROR(table.SyncRowCount());
+  dataset.observations = std::move(table);
+  return dataset;
+}
+
+}  // namespace laws

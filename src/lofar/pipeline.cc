@@ -1,0 +1,40 @@
+#include "lofar/pipeline.h"
+
+namespace laws {
+
+Result<LofarPipelineResult> RunLofarPipeline(const LofarConfig& config,
+                                             Catalog* catalog,
+                                             Session* session,
+                                             const std::string& table_name) {
+  LofarPipelineResult result;
+  LAWS_ASSIGN_OR_RETURN(result.dataset, GenerateLofar(config));
+  auto table = std::make_shared<Table>(std::move(result.dataset.observations));
+  result.raw_bytes = table->MemoryBytes();
+  catalog->RegisterOrReplace(table_name, table);
+  // Keep a handle in the result for downstream use.
+  result.dataset.observations = *table;
+
+  FitRequest request;
+  request.table = table_name;
+  request.model_source = "power_law";
+  request.input_columns = {"wavelength"};
+  request.output_column = "intensity";
+  request.group_column = "source";
+  // The LOFAR model is log-linearizable; the auto algorithm warm-starts
+  // from the log-log OLS and polishes with Levenberg-Marquardt.
+  request.options.algorithm = FitAlgorithm::kAuto;
+  LAWS_ASSIGN_OR_RETURN(result.report, session->Fit(request));
+  result.model_id = result.report.model_id;
+
+  LAWS_ASSIGN_OR_RETURN(const CapturedModel* captured,
+                        session->model_catalog().Get(result.model_id));
+  result.parameter_bytes = captured->StorageBytes();
+  result.parameter_ratio =
+      result.raw_bytes > 0
+          ? static_cast<double>(result.parameter_bytes) /
+                static_cast<double>(result.raw_bytes)
+          : 0.0;
+  return result;
+}
+
+}  // namespace laws

@@ -1,0 +1,309 @@
+#include "model/fit.h"
+
+#include <cmath>
+
+#include "linalg/solve.h"
+
+namespace laws {
+namespace {
+
+Vector RowOf(const Matrix& inputs, size_t i) {
+  Vector x(inputs.cols());
+  for (size_t j = 0; j < inputs.cols(); ++j) x[j] = inputs(i, j);
+  return x;
+}
+
+double ResidualSumOfSquares(const Vector& y, const Vector& pred) {
+  double rss = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    const double r = y[i] - pred[i];
+    rss += r * r;
+  }
+  return rss;
+}
+
+/// Jacobian of the model function wrt parameters, evaluated at every row.
+Matrix ComputeJacobian(const Model& model, const Matrix& inputs,
+                       const Vector& params) {
+  const size_t n = inputs.rows();
+  const size_t p = model.num_parameters();
+  Matrix j(n, p);
+  Vector grad;
+  for (size_t i = 0; i < n; ++i) {
+    const Vector x = RowOf(inputs, i);
+    model.ParameterGradient(x, params, &grad);
+    for (size_t k = 0; k < p; ++k) j(i, k) = grad[k];
+  }
+  return j;
+}
+
+bool AllFinite(const Vector& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+/// sigma^2 * (J^T J)^{-1} diagonal square roots.
+Vector StandardErrors(const Matrix& jacobian, double rss, size_t n,
+                      size_t p) {
+  if (n <= p) return {};
+  auto inv = Invert(jacobian.Gram());
+  if (!inv.ok()) return {};
+  const double sigma2 = rss / static_cast<double>(n - p);
+  Vector se(p, 0.0);
+  for (size_t k = 0; k < p; ++k) {
+    const double v = sigma2 * (*inv)(k, k);
+    se[k] = v > 0.0 ? std::sqrt(v) : 0.0;
+  }
+  return se;
+}
+
+Result<FitOutput> FitLinear(const Model& model, const Matrix& inputs,
+                            const Vector& outputs, const FitOptions& options,
+                            bool use_qr) {
+  LAWS_ASSIGN_OR_RETURN(Matrix design, BuildDesignMatrix(model, inputs));
+  Result<Vector> beta = use_qr ? LeastSquaresQr(design, outputs)
+                               : LeastSquaresNormal(design, outputs);
+  if (!beta.ok()) return beta.status();
+  FitOutput out;
+  out.parameters = std::move(*beta);
+  out.converged = true;
+  out.iterations = 1;
+  out.algorithm_used =
+      use_qr ? FitAlgorithm::kOls : FitAlgorithm::kOlsNormalEquations;
+  const Vector pred = design.MultiplyVec(out.parameters);
+  LAWS_ASSIGN_OR_RETURN(
+      out.quality,
+      ComputeFitQuality(outputs, pred, model.num_parameters()));
+  if (options.compute_standard_errors) {
+    out.standard_errors =
+        StandardErrors(design, out.quality.residual_sum_of_squares,
+                       outputs.size(), model.num_parameters());
+  }
+  return out;
+}
+
+Result<FitOutput> FitIterative(const Model& model, const Matrix& inputs,
+                               const Vector& outputs,
+                               const FitOptions& options, bool damped) {
+  const size_t n = outputs.size();
+  const size_t p = model.num_parameters();
+
+  Vector beta = options.initial_parameters;
+  if (beta.empty()) {
+    // Prefer a closed-form transformed-space estimate as warm start.
+    Vector warm;
+    if (model.LogLinearEstimate(inputs, outputs, &warm)) {
+      beta = std::move(warm);
+    } else {
+      beta = model.InitialParameters();
+    }
+  }
+  if (beta.size() != p) {
+    return Status::InvalidArgument("initial parameter count mismatch");
+  }
+
+  Vector pred = PredictAll(model, inputs, beta);
+  double rss = ResidualSumOfSquares(outputs, pred);
+  if (!std::isfinite(rss)) {
+    return Status::NumericError("non-finite residuals at starting point");
+  }
+
+  double lambda = options.initial_lambda;
+  FitOutput out;
+  out.algorithm_used = damped ? FitAlgorithm::kLevenbergMarquardt
+                              : FitAlgorithm::kGaussNewton;
+  bool converged = false;
+  size_t iter = 0;
+  for (; iter < options.max_iterations && !converged; ++iter) {
+    const Matrix jacobian = ComputeJacobian(model, inputs, beta);
+    // Residuals r = y - f; normal direction solves (J^T J) step = J^T r.
+    Vector residuals(n);
+    for (size_t i = 0; i < n; ++i) residuals[i] = outputs[i] - pred[i];
+    const Vector jtr = jacobian.TransposeMultiplyVec(residuals);
+    Matrix jtj = jacobian.Gram();
+
+    bool accepted = false;
+    // LM retries with increasing damping inside one outer iteration; plain
+    // Gauss-Newton takes the raw step once.
+    for (int attempt = 0; attempt < (damped ? 25 : 1); ++attempt) {
+      Matrix system = jtj;
+      if (damped) {
+        for (size_t k = 0; k < p; ++k) {
+          // Marquardt scaling: damp proportionally to the curvature, with a
+          // floor so zero-curvature directions stay solvable.
+          const double d = std::max(jtj(k, k), 1e-12);
+          system(k, k) = jtj(k, k) + lambda * d;
+        }
+      }
+      auto step = CholeskySolve(system, jtr);
+      if (!step.ok()) {
+        if (!damped) return step.status();
+        lambda *= 10.0;
+        continue;
+      }
+      const Vector candidate = Add(beta, *step);
+      if (!AllFinite(candidate)) {
+        if (!damped) {
+          return Status::NumericError("Gauss-Newton produced non-finite step");
+        }
+        lambda *= 10.0;
+        continue;
+      }
+      const Vector cand_pred = PredictAll(model, inputs, candidate);
+      const double cand_rss = ResidualSumOfSquares(outputs, cand_pred);
+      if (damped && (!std::isfinite(cand_rss) || cand_rss > rss)) {
+        lambda *= 10.0;
+        continue;
+      }
+      if (!damped && !std::isfinite(cand_rss)) {
+        return Status::NumericError("Gauss-Newton diverged (non-finite RSS)");
+      }
+      // Accept.
+      const double step_norm = Norm2(*step);
+      const double beta_norm = Norm2(beta);
+      const double rss_drop = rss - cand_rss;
+      beta = candidate;
+      pred = cand_pred;
+      const double prev_rss = rss;
+      rss = cand_rss;
+      if (damped) lambda = std::max(lambda / 10.0, 1e-12);
+      accepted = true;
+      if (step_norm <= options.parameter_tolerance * (1.0 + beta_norm) ||
+          (prev_rss > 0.0 &&
+           std::fabs(rss_drop) <= options.residual_tolerance * prev_rss)) {
+        converged = true;
+      }
+      break;
+    }
+    if (!accepted) {
+      // LM could not find a descent direction: treat the current point as
+      // the (local) optimum.
+      converged = true;
+    }
+  }
+
+  out.parameters = beta;
+  out.iterations = iter;
+  out.converged = converged;
+  LAWS_ASSIGN_OR_RETURN(out.quality, ComputeFitQuality(outputs, pred, p));
+  if (options.compute_standard_errors) {
+    const Matrix jacobian = ComputeJacobian(model, inputs, beta);
+    out.standard_errors = StandardErrors(
+        jacobian, out.quality.residual_sum_of_squares, n, p);
+  }
+  return out;
+}
+
+Result<FitOutput> FitLogLinearOnly(const Model& model, const Matrix& inputs,
+                                   const Vector& outputs,
+                                   const FitOptions& options) {
+  Vector params;
+  if (!model.LogLinearEstimate(inputs, outputs, &params)) {
+    return Status::InvalidArgument(
+        "model '" + model.name() +
+        "' has no log-linear transformation (or data violates its domain)");
+  }
+  FitOutput out;
+  out.parameters = std::move(params);
+  out.converged = true;
+  out.iterations = 1;
+  out.algorithm_used = FitAlgorithm::kLogLinear;
+  const Vector pred = PredictAll(model, inputs, out.parameters);
+  LAWS_ASSIGN_OR_RETURN(
+      out.quality,
+      ComputeFitQuality(outputs, pred, model.num_parameters()));
+  if (options.compute_standard_errors) {
+    const Matrix jacobian = ComputeJacobian(model, inputs, out.parameters);
+    out.standard_errors =
+        StandardErrors(jacobian, out.quality.residual_sum_of_squares,
+                       outputs.size(), model.num_parameters());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view FitAlgorithmToString(FitAlgorithm a) {
+  switch (a) {
+    case FitAlgorithm::kAuto:
+      return "auto";
+    case FitAlgorithm::kOls:
+      return "ols_qr";
+    case FitAlgorithm::kOlsNormalEquations:
+      return "ols_normal";
+    case FitAlgorithm::kGaussNewton:
+      return "gauss_newton";
+    case FitAlgorithm::kLevenbergMarquardt:
+      return "levenberg_marquardt";
+    case FitAlgorithm::kLogLinear:
+      return "log_linear";
+  }
+  return "?";
+}
+
+Vector PredictAll(const Model& model, const Matrix& inputs,
+                  const Vector& params) {
+  const size_t n = inputs.rows();
+  Vector pred(n);
+  Vector x(inputs.cols());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < inputs.cols(); ++j) x[j] = inputs(i, j);
+    pred[i] = model.Evaluate(x, params);
+  }
+  return pred;
+}
+
+Result<Matrix> BuildDesignMatrix(const Model& model, const Matrix& inputs) {
+  if (!model.IsLinearInParameters()) {
+    return Status::InvalidArgument("model '" + model.name() +
+                                   "' is not linear in its parameters");
+  }
+  const size_t n = inputs.rows();
+  const size_t p = model.num_parameters();
+  Matrix design(n, p);
+  Vector phi;
+  Vector x(inputs.cols());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < inputs.cols(); ++j) x[j] = inputs(i, j);
+    LAWS_RETURN_IF_ERROR(model.BasisFunctions(x, &phi));
+    for (size_t k = 0; k < p; ++k) design(i, k) = phi[k];
+  }
+  return design;
+}
+
+Result<FitOutput> FitModel(const Model& model, const Matrix& inputs,
+                           const Vector& outputs, const FitOptions& options) {
+  if (inputs.rows() != outputs.size()) {
+    return Status::InvalidArgument("inputs/outputs row count mismatch");
+  }
+  if (inputs.cols() != model.num_inputs()) {
+    return Status::InvalidArgument("input arity does not match model");
+  }
+  if (outputs.size() <= model.num_parameters()) {
+    return Status::InvalidArgument(
+        "need more observations than parameters (n > p)");
+  }
+
+  switch (options.algorithm) {
+    case FitAlgorithm::kAuto:
+      if (model.IsLinearInParameters()) {
+        return FitLinear(model, inputs, outputs, options, /*use_qr=*/true);
+      }
+      return FitIterative(model, inputs, outputs, options, /*damped=*/true);
+    case FitAlgorithm::kOls:
+      return FitLinear(model, inputs, outputs, options, /*use_qr=*/true);
+    case FitAlgorithm::kOlsNormalEquations:
+      return FitLinear(model, inputs, outputs, options, /*use_qr=*/false);
+    case FitAlgorithm::kGaussNewton:
+      return FitIterative(model, inputs, outputs, options, /*damped=*/false);
+    case FitAlgorithm::kLevenbergMarquardt:
+      return FitIterative(model, inputs, outputs, options, /*damped=*/true);
+    case FitAlgorithm::kLogLinear:
+      return FitLogLinearOnly(model, inputs, outputs, options);
+  }
+  return Status::Internal("unknown fit algorithm");
+}
+
+}  // namespace laws

@@ -1,0 +1,83 @@
+#ifndef LAWSDB_MODEL_FIT_H_
+#define LAWSDB_MODEL_FIT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "model/model.h"
+#include "stats/goodness_of_fit.h"
+
+namespace laws {
+
+/// Fitting algorithms (paper §3): OLS with an analytic solution for models
+/// linear in their parameters, iterative optimization (Gauss-Newton /
+/// Levenberg-Marquardt) otherwise.
+enum class FitAlgorithm {
+  /// OLS for linear models; log-linear warm start + Levenberg-Marquardt
+  /// otherwise.
+  kAuto,
+  /// OLS via Householder QR (requires IsLinearInParameters()).
+  kOls,
+  /// OLS via normal equations + Cholesky; ablation baseline, squares the
+  /// condition number.
+  kOlsNormalEquations,
+  /// Plain Gauss-Newton iteration.
+  kGaussNewton,
+  /// Levenberg-Marquardt damped Gauss-Newton.
+  kLevenbergMarquardt,
+  /// Closed-form estimate in transformed space only (e.g. log-log OLS for
+  /// power laws); error if the model has no such transformation.
+  kLogLinear,
+};
+
+std::string_view FitAlgorithmToString(FitAlgorithm a);
+
+/// Controls for FitModel.
+struct FitOptions {
+  FitAlgorithm algorithm = FitAlgorithm::kAuto;
+  size_t max_iterations = 100;
+  /// Converged when the relative step norm falls below this.
+  double parameter_tolerance = 1e-10;
+  /// ... or when the relative RSS improvement falls below this.
+  double residual_tolerance = 1e-12;
+  /// Starting point for iterative algorithms; empty = model default /
+  /// log-linear estimate.
+  Vector initial_parameters;
+  /// Initial Levenberg-Marquardt damping.
+  double initial_lambda = 1e-3;
+  /// Compute per-parameter standard errors from sigma^2 (J^T J)^{-1}.
+  bool compute_standard_errors = true;
+};
+
+/// The outcome of a fit: estimated parameters plus the quality metadata the
+/// capture layer stores alongside the model.
+struct FitOutput {
+  Vector parameters;
+  FitQuality quality;
+  /// Per-parameter standard errors (empty when not computed or when the
+  /// information matrix is singular).
+  Vector standard_errors;
+  size_t iterations = 0;
+  bool converged = false;
+  FitAlgorithm algorithm_used = FitAlgorithm::kAuto;
+};
+
+/// Fits `model` to observations: `inputs` is n x num_inputs, `outputs` has
+/// n entries. Returns NumericError when the fit diverges or the design is
+/// singular; InvalidArgument for dimension problems (including n <= p — the
+/// paper's "more observed input/output pairs than model parameters").
+Result<FitOutput> FitModel(const Model& model, const Matrix& inputs,
+                           const Vector& outputs,
+                           const FitOptions& options = {});
+
+/// Evaluates the model at every row of `inputs` with fixed parameters.
+Vector PredictAll(const Model& model, const Matrix& inputs,
+                  const Vector& params);
+
+/// Builds the n x p design matrix of basis functions for a linear model.
+Result<Matrix> BuildDesignMatrix(const Model& model, const Matrix& inputs);
+
+}  // namespace laws
+
+#endif  // LAWSDB_MODEL_FIT_H_

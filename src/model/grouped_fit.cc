@@ -1,0 +1,114 @@
+#include "model/grouped_fit.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace laws {
+
+Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
+                                    const GroupedFitSpec& spec) {
+  LAWS_ASSIGN_OR_RETURN(const Column* group_col,
+                        table.ColumnByName(spec.group_column));
+  if (group_col->type() != DataType::kInt64) {
+    return Status::TypeMismatch("group column must be INT64");
+  }
+  if (spec.input_columns.size() != model.num_inputs()) {
+    return Status::InvalidArgument(
+        "input column count does not match model arity");
+  }
+  std::vector<const Column*> input_cols;
+  input_cols.reserve(spec.input_columns.size());
+  for (const std::string& name : spec.input_columns) {
+    LAWS_ASSIGN_OR_RETURN(const Column* c, table.ColumnByName(name));
+    if (c->type() == DataType::kString) {
+      return Status::TypeMismatch("input column '" + name +
+                                  "' is not numeric");
+    }
+    input_cols.push_back(c);
+  }
+  LAWS_ASSIGN_OR_RETURN(const Column* output_col,
+                        table.ColumnByName(spec.output_column));
+  if (output_col->type() == DataType::kString) {
+    return Status::TypeMismatch("output column is not numeric");
+  }
+
+  // Bucket row indices by group key, preserving first-seen order within
+  // groups.
+  std::unordered_map<int64_t, std::vector<uint32_t>> buckets;
+  const size_t n = table.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    if (group_col->IsNull(i) || output_col->IsNull(i)) continue;
+    bool usable = true;
+    for (const Column* c : input_cols) {
+      if (c->IsNull(i)) {
+        usable = false;
+        break;
+      }
+    }
+    if (!usable) continue;
+    buckets[group_col->Int64At(i)].push_back(static_cast<uint32_t>(i));
+  }
+
+  const size_t floor_obs =
+      std::max(model.num_parameters() + 1, spec.min_observations);
+
+  GroupedFitOutput out;
+  out.rows_processed = n;
+  out.groups.reserve(buckets.size());
+  for (auto& [key, rows] : buckets) {
+    if (rows.size() < floor_obs) {
+      ++out.skipped_too_few;
+      continue;
+    }
+    Matrix inputs(rows.size(), input_cols.size());
+    Vector outputs(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const uint32_t row = rows[r];
+      for (size_t c = 0; c < input_cols.size(); ++c) {
+        LAWS_ASSIGN_OR_RETURN(double v, input_cols[c]->NumericAt(row));
+        inputs(r, c) = v;
+      }
+      LAWS_ASSIGN_OR_RETURN(outputs[r], output_col->NumericAt(row));
+    }
+    auto fit = FitModel(model, inputs, outputs, spec.fit_options);
+    if (!fit.ok()) {
+      ++out.failed;
+      continue;
+    }
+    out.groups.push_back(GroupFitResult{key, std::move(*fit)});
+  }
+  std::sort(out.groups.begin(), out.groups.end(),
+            [](const GroupFitResult& a, const GroupFitResult& b) {
+              return a.group_key < b.group_key;
+            });
+  return out;
+}
+
+Result<Table> GroupedFitToTable(const Model& model,
+                                const GroupedFitOutput& fits,
+                                const std::string& group_name) {
+  std::vector<Field> fields;
+  fields.push_back(Field{group_name, DataType::kInt64, false});
+  for (const std::string& pname : model.parameter_names()) {
+    fields.push_back(Field{pname, DataType::kDouble, false});
+  }
+  fields.push_back(Field{"residual_se", DataType::kDouble, false});
+  fields.push_back(Field{"r_squared", DataType::kDouble, false});
+  fields.push_back(Field{"n_obs", DataType::kInt64, false});
+
+  Table table{Schema(std::move(fields))};
+  std::vector<Value> row;
+  for (const GroupFitResult& g : fits.groups) {
+    row.clear();
+    row.push_back(Value::Int64(g.group_key));
+    for (double p : g.fit.parameters) row.push_back(Value::Double(p));
+    row.push_back(Value::Double(g.fit.quality.residual_standard_error));
+    row.push_back(Value::Double(g.fit.quality.r_squared));
+    row.push_back(
+        Value::Int64(static_cast<int64_t>(g.fit.quality.n_observations)));
+    LAWS_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace laws

@@ -1,0 +1,58 @@
+#ifndef LAWSDB_MODEL_GROUPED_FIT_H_
+#define LAWSDB_MODEL_GROUPED_FIT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/fit.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// Describes a per-group fit over a table, the paper's §2 workload: fit
+/// I = p * nu^alpha for every LOFAR source. The group column must be INT64
+/// (source ids, SKUs, sensor ids, ...).
+struct GroupedFitSpec {
+  std::string group_column;
+  std::vector<std::string> input_columns;
+  std::string output_column;
+  FitOptions fit_options;
+  /// Groups with fewer usable observations than max(num_parameters + 1,
+  /// min_observations) are skipped (counted in skipped_too_few).
+  size_t min_observations = 0;
+};
+
+/// Fit result for one group.
+struct GroupFitResult {
+  int64_t group_key = 0;
+  FitOutput fit;
+};
+
+/// All per-group fits plus bookkeeping about groups that could not be
+/// fitted.
+struct GroupedFitOutput {
+  std::vector<GroupFitResult> groups;
+  /// Groups skipped for having too few observations.
+  size_t skipped_too_few = 0;
+  /// Groups whose fit returned an error (singular/diverged).
+  size_t failed = 0;
+  /// Total rows consumed from the source table.
+  size_t rows_processed = 0;
+};
+
+/// Runs the grouped fit. Rows with NULL in any referenced column are
+/// ignored. Groups are returned sorted by key.
+Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
+                                    const GroupedFitSpec& spec);
+
+/// Materializes the grouped-fit output as a parameter table — the paper's
+/// Table 1 right-hand side. Schema: [<group_name> INT64, <one DOUBLE column
+/// per model parameter>, residual_se DOUBLE, r_squared DOUBLE, n_obs INT64].
+Result<Table> GroupedFitToTable(const Model& model,
+                                const GroupedFitOutput& fits,
+                                const std::string& group_name);
+
+}  // namespace laws
+
+#endif  // LAWSDB_MODEL_GROUPED_FIT_H_

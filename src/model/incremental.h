@@ -1,0 +1,62 @@
+#ifndef LAWSDB_MODEL_INCREMENTAL_H_
+#define LAWSDB_MODEL_INCREMENTAL_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "model/fit.h"
+#include "model/model.h"
+
+namespace laws {
+
+/// Incremental OLS for models linear in their parameters. Maintains the
+/// sufficient statistics (Phi^T Phi, Phi^T y, sum y, sum y^2, n) so
+/// appended observations update the fit in O(p^2) per row without ever
+/// revisiting old data — the paper's observation that "if ten times more
+/// observations per source are collected, the model will only get more
+/// precise, not larger in terms of storage or processing requirements"
+/// made operational. Accumulators are mergeable, so partial fits combine
+/// across partitions or refresh epochs.
+///
+/// The trade-off vs FitModel(kOls): this is the normal-equations path, so
+/// it inherits the squared condition number (see the solver ablation).
+class IncrementalOls {
+ public:
+  /// `model` must be linear in its parameters; it is cloned.
+  /// Check ok() (via Create) before use.
+  static Result<IncrementalOls> Create(const Model& model);
+
+  IncrementalOls(IncrementalOls&&) = default;
+  IncrementalOls& operator=(IncrementalOls&&) = default;
+  IncrementalOls(const IncrementalOls&) = delete;
+  IncrementalOls& operator=(const IncrementalOls&) = delete;
+
+  /// Folds in one observation.
+  Status Add(const Vector& inputs, double y);
+
+  /// Folds in a batch (rows of `inputs` paired with `y`).
+  Status AddBatch(const Matrix& inputs, const Vector& y);
+
+  /// Combines another accumulator over the same model class.
+  Status Merge(const IncrementalOls& other);
+
+  size_t count() const { return n_; }
+
+  /// Solves the accumulated normal equations. Needs n > p; NumericError
+  /// for singular Gram matrices. Can be called repeatedly as data
+  /// accumulates.
+  Result<FitOutput> Solve() const;
+
+ private:
+  explicit IncrementalOls(ModelPtr model);
+
+  ModelPtr model_;
+  Matrix xtx_;   // Phi^T Phi
+  Vector xty_;   // Phi^T y
+  double sum_y_ = 0.0;
+  double sum_y2_ = 0.0;
+  size_t n_ = 0;
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_MODEL_INCREMENTAL_H_

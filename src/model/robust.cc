@@ -1,0 +1,99 @@
+#include "model/robust.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/solve.h"
+
+namespace laws {
+
+double MadScale(const Vector& residuals) {
+  if (residuals.size() < 2) return 0.0;
+  Vector abs_dev(residuals.size());
+  Vector sorted = residuals;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  const double median = n % 2 == 1
+                            ? sorted[n / 2]
+                            : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  for (size_t i = 0; i < n; ++i) {
+    abs_dev[i] = std::fabs(residuals[i] - median);
+  }
+  std::sort(abs_dev.begin(), abs_dev.end());
+  const double mad = n % 2 == 1
+                         ? abs_dev[n / 2]
+                         : 0.5 * (abs_dev[n / 2 - 1] + abs_dev[n / 2]);
+  return 1.4826 * mad;
+}
+
+Result<FitOutput> FitRobustLinear(const Model& model, const Matrix& inputs,
+                                  const Vector& outputs,
+                                  const RobustFitOptions& options) {
+  if (!model.IsLinearInParameters()) {
+    return Status::InvalidArgument(
+        "robust fitting implemented for models linear in their parameters");
+  }
+  if (inputs.rows() != outputs.size()) {
+    return Status::InvalidArgument("inputs/outputs row count mismatch");
+  }
+  if (outputs.size() <= model.num_parameters()) {
+    return Status::InvalidArgument(
+        "need more observations than parameters (n > p)");
+  }
+  LAWS_ASSIGN_OR_RETURN(Matrix design, BuildDesignMatrix(model, inputs));
+  const size_t n = design.rows();
+  const size_t p = design.cols();
+
+  // Start from plain OLS.
+  LAWS_ASSIGN_OR_RETURN(Vector beta, LeastSquaresQr(design, outputs));
+
+  Vector weights(n, 1.0);
+  size_t iter = 0;
+  bool converged = false;
+  for (; iter < options.max_iterations && !converged; ++iter) {
+    // Residuals and robust scale.
+    Vector residuals(n);
+    for (size_t i = 0; i < n; ++i) {
+      double pred = 0.0;
+      for (size_t j = 0; j < p; ++j) pred += design(i, j) * beta[j];
+      residuals[i] = outputs[i] - pred;
+    }
+    const double scale = std::max(MadScale(residuals), 1e-12);
+    // Huber weights: 1 inside delta*scale, delta*scale/|r| outside.
+    const double cutoff = options.delta * scale;
+    for (size_t i = 0; i < n; ++i) {
+      const double ar = std::fabs(residuals[i]);
+      weights[i] = ar <= cutoff ? 1.0 : cutoff / ar;
+    }
+    // Weighted least squares: scale rows by sqrt(w).
+    Matrix wx(n, p);
+    Vector wy(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double sw = std::sqrt(weights[i]);
+      for (size_t j = 0; j < p; ++j) wx(i, j) = sw * design(i, j);
+      wy[i] = sw * outputs[i];
+    }
+    auto next = LeastSquaresQr(wx, wy);
+    if (!next.ok()) return next.status();
+    double step = 0.0, norm = 0.0;
+    for (size_t j = 0; j < p; ++j) {
+      step += ((*next)[j] - beta[j]) * ((*next)[j] - beta[j]);
+      norm += beta[j] * beta[j];
+    }
+    beta = std::move(*next);
+    if (std::sqrt(step) <= options.tolerance * (1.0 + std::sqrt(norm))) {
+      converged = true;
+    }
+  }
+
+  FitOutput out;
+  out.parameters = beta;
+  out.iterations = iter;
+  out.converged = converged;
+  out.algorithm_used = FitAlgorithm::kOls;  // IRLS over OLS sub-steps
+  const Vector pred = design.MultiplyVec(beta);
+  LAWS_ASSIGN_OR_RETURN(out.quality, ComputeFitQuality(outputs, pred, p));
+  return out;
+}
+
+}  // namespace laws

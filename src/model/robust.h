@@ -1,0 +1,39 @@
+#ifndef LAWSDB_MODEL_ROBUST_H_
+#define LAWSDB_MODEL_ROBUST_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "model/fit.h"
+#include "model/model.h"
+
+namespace laws {
+
+/// Options for robust (Huber) fitting.
+struct RobustFitOptions {
+  /// Huber threshold in units of the robust residual scale (MAD-based):
+  /// residuals beyond `delta` scales get linear rather than quadratic
+  /// loss, i.e. bounded influence. 1.345 gives 95% Gaussian efficiency.
+  double delta = 1.345;
+  size_t max_iterations = 50;
+  /// Stop when parameters move less than this (relative).
+  double tolerance = 1e-8;
+};
+
+/// Robust regression for models linear in their parameters, via
+/// iteratively reweighted least squares with Huber weights. The LOFAR
+/// use case: a handful of corrupted observations inside an otherwise
+/// well-behaved source would drag an OLS fit (and inflate its residual
+/// SE, masking the *real* anomalies); the Huber fit bounds their
+/// influence. Reports the same FitOutput as FitModel; `quality` is
+/// computed on the unweighted residuals so it stays comparable with OLS.
+Result<FitOutput> FitRobustLinear(const Model& model, const Matrix& inputs,
+                                  const Vector& outputs,
+                                  const RobustFitOptions& options = {});
+
+/// Median absolute deviation scaled to estimate sigma under normality
+/// (x 1.4826). 0 for fewer than two values.
+double MadScale(const Vector& residuals);
+
+}  // namespace laws
+
+#endif  // LAWSDB_MODEL_ROBUST_H_

@@ -1,0 +1,615 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "query/expr_eval.h"
+#include "query/parser.h"
+
+namespace laws {
+namespace {
+
+/// Accumulator for one aggregate over one group. SQL semantics: NULLs are
+/// ignored; COUNT(*) counts rows; empty groups cannot occur (hash groups
+/// exist only for seen keys).
+struct AggState {
+  size_t count = 0;       // non-null inputs (or rows for COUNT(*))
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  // Welford accumulators for VARIANCE/STDDEV.
+  double mean = 0.0;
+  double m2 = 0.0;
+  bool any = false;
+  // For MIN/MAX over strings.
+  std::string smin, smax;
+  bool is_string = false;
+};
+
+/// A unique aggregate call discovered in the statement.
+struct AggSlot {
+  const Expr* node;       // canonical instance
+  std::string key;        // ToString identity
+  std::string hidden_name;
+  bool is_star = false;
+};
+
+void CollectAggregates(const Expr& expr, std::vector<AggSlot>* slots) {
+  if (expr.kind == ExprKind::kAggregate) {
+    const std::string key = expr.ToString();
+    for (const AggSlot& s : *slots) {
+      if (s.key == key) return;
+    }
+    AggSlot slot;
+    slot.node = &expr;
+    slot.key = key;
+    slot.hidden_name = "__agg" + std::to_string(slots->size());
+    slot.is_star = expr.children[0]->kind == ExprKind::kStar;
+    slots->push_back(std::move(slot));
+    return;  // aggregates cannot nest
+  }
+  for (const auto& c : expr.children) CollectAggregates(*c, slots);
+}
+
+/// Replaces aggregate nodes and group-key expressions with column refs into
+/// the intermediate aggregated table.
+std::unique_ptr<Expr> RewriteForAggregated(
+    const Expr& expr, const std::vector<AggSlot>& slots,
+    const std::vector<std::string>& key_exprs,
+    const std::vector<std::string>& key_names) {
+  const std::string repr = expr.ToString();
+  for (size_t i = 0; i < key_exprs.size(); ++i) {
+    if (repr == key_exprs[i]) return Expr::MakeColumnRef(key_names[i]);
+  }
+  if (expr.kind == ExprKind::kAggregate) {
+    for (const AggSlot& s : slots) {
+      if (s.key == repr) return Expr::MakeColumnRef(s.hidden_name);
+    }
+  }
+  auto out = expr.Clone();
+  for (auto& c : out->children) {
+    c = RewriteForAggregated(*c, slots, key_exprs, key_names);
+  }
+  return out;
+}
+
+/// Serializes a row's group-key values into a hashable string.
+std::string MakeGroupKey(const std::vector<Column>& key_cols, size_t row) {
+  std::string key;
+  for (const Column& c : key_cols) {
+    if (c.IsNull(row)) {
+      key += "\x01N|";
+      continue;
+    }
+    key += c.GetValue(row).ToString();
+    key += '|';
+  }
+  return key;
+}
+
+Value AggFinalValue(const Expr& agg, const AggState& s) {
+  switch (agg.aggregate_func) {
+    case AggregateFunc::kCount:
+      return Value::Int64(static_cast<int64_t>(s.count));
+    case AggregateFunc::kSum:
+      return s.any ? Value::Double(s.sum) : Value::Null();
+    case AggregateFunc::kAvg:
+      return s.count > 0 ? Value::Double(s.sum / static_cast<double>(s.count))
+                         : Value::Null();
+    case AggregateFunc::kMin:
+      if (!s.any) return Value::Null();
+      return s.is_string ? Value::String(s.smin) : Value::Double(s.min);
+    case AggregateFunc::kMax:
+      if (!s.any) return Value::Null();
+      return s.is_string ? Value::String(s.smax) : Value::Double(s.max);
+    case AggregateFunc::kVariance:
+      return s.count > 1 && !s.is_string
+                 ? Value::Double(s.m2 / static_cast<double>(s.count - 1))
+                 : Value::Null();
+    case AggregateFunc::kStddev:
+      return s.count > 1 && !s.is_string
+                 ? Value::Double(
+                       std::sqrt(s.m2 / static_cast<double>(s.count - 1)))
+                 : Value::Null();
+  }
+  return Value::Null();
+}
+
+Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
+                        const std::vector<AggSlot>& slots,
+                        std::vector<std::string>* key_names) {
+  // Evaluate group-key expressions.
+  std::vector<Column> key_cols;
+  key_cols.reserve(stmt.group_by.size());
+  for (const auto& g : stmt.group_by) {
+    LAWS_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*g, input));
+    key_cols.push_back(std::move(c));
+  }
+  // Evaluate aggregate argument columns (once each).
+  std::vector<Column> arg_cols;
+  arg_cols.reserve(slots.size());
+  for (const AggSlot& s : slots) {
+    if (s.is_star) {
+      arg_cols.emplace_back(DataType::kInt64);  // unused placeholder
+      continue;
+    }
+    LAWS_ASSIGN_OR_RETURN(Column c,
+                          EvaluateExpr(*s.node->children[0], input));
+    arg_cols.push_back(std::move(c));
+  }
+
+  // Hash rows into groups.
+  std::unordered_map<std::string, size_t> group_index;
+  std::vector<size_t> representative_row;  // first row of each group
+  std::vector<std::vector<AggState>> states;
+  const size_t n = input.num_rows();
+  for (size_t row = 0; row < n; ++row) {
+    const std::string key = MakeGroupKey(key_cols, row);
+    auto [it, inserted] = group_index.emplace(key, states.size());
+    if (inserted) {
+      representative_row.push_back(row);
+      states.emplace_back(slots.size());
+    }
+    std::vector<AggState>& gs = states[it->second];
+    for (size_t a = 0; a < slots.size(); ++a) {
+      AggState& s = gs[a];
+      if (slots[a].is_star) {
+        ++s.count;
+        s.any = true;
+        continue;
+      }
+      const Column& arg = arg_cols[a];
+      if (arg.IsNull(row)) continue;
+      ++s.count;
+      s.any = true;
+      if (arg.type() == DataType::kString) {
+        s.is_string = true;
+        const std::string v(arg.StringAt(row));
+        if (s.count == 1 || v < s.smin) s.smin = v;
+        if (s.count == 1 || v > s.smax) s.smax = v;
+        continue;
+      }
+      LAWS_ASSIGN_OR_RETURN(double v, arg.NumericAt(row));
+      s.sum += v;
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+      const double delta = v - s.mean;
+      s.mean += delta / static_cast<double>(s.count);
+      s.m2 += delta * (v - s.mean);
+    }
+  }
+
+  // Global aggregation with no GROUP BY and zero rows still yields one row
+  // (COUNT(*) = 0, SUM = NULL, ...).
+  if (stmt.group_by.empty() && states.empty()) {
+    representative_row.push_back(0);
+    states.emplace_back(slots.size());
+  }
+
+  // Build the intermediate table: key columns then aggregate columns.
+  std::vector<Field> fields;
+  key_names->clear();
+  for (size_t k = 0; k < key_cols.size(); ++k) {
+    const std::string name = "__key" + std::to_string(k);
+    key_names->push_back(name);
+    fields.push_back(Field{name, key_cols[k].type(), true});
+  }
+  for (size_t a = 0; a < slots.size(); ++a) {
+    const DataType t =
+        slots[a].node->aggregate_func == AggregateFunc::kCount
+            ? DataType::kInt64
+            : (!slots[a].is_star && a < arg_cols.size() &&
+                       arg_cols[a].type() == DataType::kString
+                   ? DataType::kString
+                   : DataType::kDouble);
+    fields.push_back(Field{slots[a].hidden_name, t, true});
+  }
+  Table out{Schema(std::move(fields))};
+  std::vector<Value> row_values;
+  for (size_t g = 0; g < states.size(); ++g) {
+    row_values.clear();
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      // For the synthetic empty-input global group there are no keys.
+      row_values.push_back(key_cols.empty() || input.num_rows() == 0
+                               ? Value::Null()
+                               : key_cols[k].GetValue(representative_row[g]));
+    }
+    for (size_t a = 0; a < slots.size(); ++a) {
+      row_values.push_back(AggFinalValue(*slots[a].node, states[g][a]));
+    }
+    LAWS_RETURN_IF_ERROR(out.AppendRow(row_values));
+  }
+  return out;
+}
+
+int CompareValues(const Value& a, const Value& b) {
+  const bool an = a.is_null();
+  const bool bn = b.is_null();
+  if (an && bn) return 0;
+  if (an) return 1;  // NULLs last ascending
+  if (bn) return -1;
+  if (a.is_string() && b.is_string()) {
+    return a.str() < b.str() ? -1 : (a.str() == b.str() ? 0 : 1);
+  }
+  const auto av = a.AsDouble();
+  const auto bv = b.AsDouble();
+  if (!av.ok() || !bv.ok()) return 0;
+  return *av < *bv ? -1 : (*av == *bv ? 0 : 1);
+}
+
+Result<Table> SortRows(Table table, const SelectStatement& stmt,
+                       const std::vector<std::unique_ptr<Expr>>& keys) {
+  if (keys.empty()) return table;
+  std::vector<Column> key_cols;
+  for (const auto& k : keys) {
+    LAWS_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*k, table));
+    key_cols.push_back(std::move(c));
+  }
+  std::vector<uint32_t> perm(table.num_rows());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<uint32_t>(i);
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      int c = CompareValues(key_cols[k].GetValue(x),
+                            key_cols[k].GetValue(y));
+      if (!stmt.order_by[k].ascending) c = -c;
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  return table.GatherRows(perm);
+}
+
+/// INNER equi-join: hash-builds on the right side, probes with the left.
+/// Right-side columns whose names collide with left ones are exposed as
+/// "<right_table>_<name>". NULL keys never match (SQL semantics).
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::vector<JoinKey>& keys,
+                       const std::string& right_name) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("JOIN requires at least one ON key");
+  }
+  std::vector<const Column*> left_keys, right_keys;
+  for (const JoinKey& k : keys) {
+    LAWS_ASSIGN_OR_RETURN(const Column* lc,
+                          left.ColumnByName(k.left_column));
+    LAWS_ASSIGN_OR_RETURN(const Column* rc,
+                          right.ColumnByName(k.right_column));
+    if (lc->type() != rc->type()) {
+      return Status::TypeMismatch("join key type mismatch on " +
+                                  k.left_column + " = " + k.right_column);
+    }
+    left_keys.push_back(lc);
+    right_keys.push_back(rc);
+  }
+
+  auto row_key = [](const std::vector<const Column*>& cols, size_t row,
+                    std::string* out) {
+    out->clear();
+    for (const Column* c : cols) {
+      if (c->IsNull(row)) return false;
+      *out += c->GetValue(row).ToString();
+      *out += '|';
+    }
+    return true;
+  };
+
+  // Build on the right side.
+  std::unordered_map<std::string, std::vector<uint32_t>> build;
+  build.reserve(right.num_rows());
+  std::string key;
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    if (!row_key(right_keys, r, &key)) continue;
+    build[key].push_back(static_cast<uint32_t>(r));
+  }
+
+  // Probe with the left side, collecting matching row-index pairs.
+  std::vector<uint32_t> left_rows, right_rows;
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    if (!row_key(left_keys, l, &key)) continue;
+    auto it = build.find(key);
+    if (it == build.end()) continue;
+    for (uint32_t r : it->second) {
+      left_rows.push_back(static_cast<uint32_t>(l));
+      right_rows.push_back(r);
+    }
+  }
+
+  // Assemble the output schema: left fields, then right fields with
+  // collision-avoiding names.
+  std::vector<Field> fields = left.schema().fields();
+  std::vector<std::string> right_out_names;
+  for (const Field& f : right.schema().fields()) {
+    Field out = f;
+    if (left.schema().HasField(f.name)) {
+      out.name = right_name + "_" + f.name;
+      if (left.schema().HasField(out.name)) {
+        return Status::InvalidArgument("cannot disambiguate join column " +
+                                       f.name);
+      }
+    }
+    right_out_names.push_back(out.name);
+    fields.push_back(std::move(out));
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(fields.size());
+  for (size_t c = 0; c < left.num_columns(); ++c) {
+    columns.push_back(left.column(c).Gather(left_rows));
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    columns.push_back(right.column(c).Gather(right_rows));
+  }
+  return Table::FromColumns(Schema(std::move(fields)), std::move(columns));
+}
+
+/// Keeps the first occurrence of each distinct row (order-preserving).
+Table DistinctRows(const Table& table) {
+  std::unordered_set<std::string> seen;
+  seen.reserve(table.num_rows());
+  std::vector<uint32_t> keep;
+  std::string key;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    key.clear();
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      key += table.GetValue(r, c).ToString();
+      key += '|';
+    }
+    if (seen.insert(key).second) keep.push_back(static_cast<uint32_t>(r));
+  }
+  if (keep.size() == table.num_rows()) return table;
+  return table.GatherRows(keep);
+}
+
+Table LimitRows(Table table, int64_t limit) {
+  if (limit < 0 || static_cast<size_t>(limit) >= table.num_rows()) {
+    return table;
+  }
+  std::vector<uint32_t> head(static_cast<size_t>(limit));
+  for (size_t i = 0; i < head.size(); ++i) head[i] = static_cast<uint32_t>(i);
+  return table.GatherRows(head);
+}
+
+/// Substitutes references to select-list aliases in ORDER BY / HAVING with
+/// the aliased expressions.
+std::unique_ptr<Expr> SubstituteAliases(const Expr& expr,
+                                        const SelectStatement& stmt) {
+  if (expr.kind == ExprKind::kColumnRef) {
+    for (const SelectItem& item : stmt.select_list) {
+      if (!item.is_star && !item.alias.empty() &&
+          item.alias == expr.column_name) {
+        return item.expr->Clone();
+      }
+    }
+  }
+  auto out = expr.Clone();
+  for (auto& c : out->children) c = SubstituteAliases(*c, stmt);
+  return out;
+}
+
+}  // namespace
+
+// Note: `source` must already incorporate the statement's JOIN when one is
+// present — ExecuteSelect materializes it; callers passing explicit tables
+// (the AQP layer) use joinless statements.
+Result<Table> ExecuteSelectOnTable(const Table& source,
+                                   const SelectStatement& stmt) {
+  // 1. WHERE.
+  Table filtered{Schema{}};
+  const Table* current = &source;
+  if (stmt.where != nullptr) {
+    LAWS_ASSIGN_OR_RETURN(std::vector<uint32_t> selection,
+                          FilterRows(*stmt.where, source));
+    filtered = source.GatherRows(selection);
+    current = &filtered;
+  }
+
+  // 2. Aggregation if needed.
+  bool has_aggregate = !stmt.group_by.empty();
+  for (const SelectItem& item : stmt.select_list) {
+    if (!item.is_star && item.expr->ContainsAggregate()) has_aggregate = true;
+  }
+  if (stmt.having != nullptr) has_aggregate = true;
+
+  std::vector<SelectItem> projected_items;
+  std::unique_ptr<Expr> having;
+  std::vector<std::unique_ptr<Expr>> order_exprs;
+  Table aggregated{Schema{}};
+
+  if (has_aggregate) {
+    // Collect aggregates across all clauses (aliases resolved first).
+    std::vector<AggSlot> slots;
+    std::vector<std::unique_ptr<Expr>> resolved_order;
+    std::unique_ptr<Expr> resolved_having;
+    for (const SelectItem& item : stmt.select_list) {
+      if (item.is_star) {
+        return Status::InvalidArgument("SELECT * is invalid with GROUP BY");
+      }
+      CollectAggregates(*item.expr, &slots);
+    }
+    if (stmt.having != nullptr) {
+      resolved_having = SubstituteAliases(*stmt.having, stmt);
+      CollectAggregates(*resolved_having, &slots);
+    }
+    for (const OrderKey& k : stmt.order_by) {
+      resolved_order.push_back(SubstituteAliases(*k.expr, stmt));
+      CollectAggregates(*resolved_order.back(), &slots);
+    }
+
+    std::vector<std::string> key_names;
+    LAWS_ASSIGN_OR_RETURN(aggregated,
+                          Aggregate(*current, stmt, slots, &key_names));
+    current = &aggregated;
+
+    std::vector<std::string> key_reprs;
+    for (const auto& g : stmt.group_by) key_reprs.push_back(g->ToString());
+
+    for (const SelectItem& item : stmt.select_list) {
+      SelectItem out;
+      out.alias = item.alias.empty() ? item.expr->ToString() : item.alias;
+      out.expr =
+          RewriteForAggregated(*item.expr, slots, key_reprs, key_names);
+      // Validate: after rewriting, plain column refs must resolve to key or
+      // aggregate columns.
+      projected_items.push_back(std::move(out));
+    }
+    if (resolved_having != nullptr) {
+      having =
+          RewriteForAggregated(*resolved_having, slots, key_reprs, key_names);
+    }
+    for (auto& k : resolved_order) {
+      order_exprs.push_back(
+          RewriteForAggregated(*k, slots, key_reprs, key_names));
+    }
+  } else {
+    for (const SelectItem& item : stmt.select_list) {
+      if (item.is_star) {
+        for (const Field& f : source.schema().fields()) {
+          SelectItem out;
+          out.alias = f.name;
+          out.expr = Expr::MakeColumnRef(f.name);
+          projected_items.push_back(std::move(out));
+        }
+        continue;
+      }
+      SelectItem out;
+      out.alias = item.alias.empty() ? item.expr->ToString() : item.alias;
+      out.expr = item.expr->Clone();
+      projected_items.push_back(std::move(out));
+    }
+    for (const OrderKey& k : stmt.order_by) {
+      order_exprs.push_back(SubstituteAliases(*k.expr, stmt));
+    }
+  }
+
+  // 3. HAVING.
+  Table post_having{Schema{}};
+  if (having != nullptr) {
+    LAWS_ASSIGN_OR_RETURN(std::vector<uint32_t> selection,
+                          FilterRows(*having, *current));
+    post_having = current->GatherRows(selection);
+    current = &post_having;
+  }
+
+  // 4. ORDER BY is applied before projection (it may reference
+  // non-projected columns); LIMIT waits until after DISTINCT.
+  Table sorted{Schema{}};
+  if (!order_exprs.empty()) {
+    LAWS_ASSIGN_OR_RETURN(sorted, SortRows(*current, stmt, order_exprs));
+    current = &sorted;
+  }
+
+  // 5. Projection.
+  std::vector<Field> out_fields;
+  std::vector<Column> out_cols;
+  for (const SelectItem& item : projected_items) {
+    LAWS_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*item.expr, *current));
+    out_fields.push_back(Field{item.alias, c.type(), true});
+    out_cols.push_back(std::move(c));
+  }
+  LAWS_ASSIGN_OR_RETURN(
+      Table projected,
+      Table::FromColumns(Schema(std::move(out_fields)), std::move(out_cols)));
+
+  // 6. DISTINCT, then LIMIT.
+  if (stmt.distinct) projected = DistinctRows(projected);
+  return LimitRows(std::move(projected), stmt.limit);
+}
+
+Result<Table> ExecuteSelect(const Catalog& catalog,
+                            const SelectStatement& stmt) {
+  LAWS_ASSIGN_OR_RETURN(TablePtr table, catalog.Get(stmt.from_table));
+  if (stmt.join_table.empty()) {
+    return ExecuteSelectOnTable(*table, stmt);
+  }
+  LAWS_ASSIGN_OR_RETURN(TablePtr right, catalog.Get(stmt.join_table));
+  LAWS_ASSIGN_OR_RETURN(
+      Table joined,
+      HashJoin(*table, *right, stmt.join_keys, stmt.join_table));
+  return ExecuteSelectOnTable(joined, stmt);
+}
+
+Result<Table> ExecuteQuery(const Catalog& catalog, const std::string& sql) {
+  LAWS_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  return ExecuteSelect(catalog, stmt);
+}
+
+Result<std::string> ExplainSelect(const Catalog& catalog,
+                                  const SelectStatement& stmt) {
+  LAWS_ASSIGN_OR_RETURN(TablePtr table, catalog.Get(stmt.from_table));
+  // Assemble the pipeline outside-in, then print outermost first.
+  std::vector<std::string> ops;
+  if (stmt.limit >= 0) ops.push_back("Limit(" + std::to_string(stmt.limit) + ")");
+  if (stmt.distinct) ops.push_back("Distinct");
+  {
+    std::string proj = "Project(";
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      if (i > 0) proj += ", ";
+      proj += stmt.select_list[i].is_star
+                  ? "*"
+                  : stmt.select_list[i].expr->ToString();
+    }
+    ops.push_back(proj + ")");
+  }
+  if (!stmt.order_by.empty()) {
+    std::string sort = "Sort(";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) sort += ", ";
+      sort += stmt.order_by[i].expr->ToString();
+      sort += stmt.order_by[i].ascending ? " ASC" : " DESC";
+    }
+    ops.push_back(sort + ")");
+  }
+  if (stmt.having != nullptr) {
+    ops.push_back("Filter[having](" + stmt.having->ToString() + ")");
+  }
+  bool has_aggregate = !stmt.group_by.empty() || stmt.having != nullptr;
+  for (const SelectItem& item : stmt.select_list) {
+    if (!item.is_star && item.expr->ContainsAggregate()) has_aggregate = true;
+  }
+  if (has_aggregate) {
+    std::string agg = "HashAggregate(keys: ";
+    if (stmt.group_by.empty()) {
+      agg += "<global>";
+    } else {
+      for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+        if (i > 0) agg += ", ";
+        agg += stmt.group_by[i]->ToString();
+      }
+    }
+    ops.push_back(agg + ")");
+  }
+  if (stmt.where != nullptr) {
+    ops.push_back("Filter(" + stmt.where->ToString() + ")");
+  }
+  if (!stmt.join_table.empty()) {
+    std::string join = "HashJoin(" + stmt.from_table + " ⋈ " +
+                       stmt.join_table + " on ";
+    for (size_t i = 0; i < stmt.join_keys.size(); ++i) {
+      if (i > 0) join += " AND ";
+      join += stmt.join_keys[i].left_column + " = " +
+              stmt.join_keys[i].right_column;
+    }
+    ops.push_back(join + ")");
+  }
+  ops.push_back("Scan(" + stmt.from_table + ", " +
+                std::to_string(table->num_rows()) + " rows)");
+
+  std::string out;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    out.append(i * 2, ' ');
+    out += ops[i];
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::string> ExplainQuery(const Catalog& catalog,
+                                 const std::string& sql) {
+  LAWS_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  return ExplainSelect(catalog, stmt);
+}
+
+}  // namespace laws

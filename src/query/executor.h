@@ -1,0 +1,36 @@
+#ifndef LAWSDB_QUERY_EXECUTOR_H_
+#define LAWSDB_QUERY_EXECUTOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/ast.h"
+#include "storage/catalog.h"
+
+namespace laws {
+
+/// Executes a parsed SELECT against the catalog. This is the *exact* query
+/// path: full scans, filters, hash aggregation. The approximate path
+/// (laws::aqp) answers the same statements from captured models instead.
+Result<Table> ExecuteSelect(const Catalog& catalog,
+                            const SelectStatement& stmt);
+
+/// Parses and executes SQL text.
+Result<Table> ExecuteQuery(const Catalog& catalog, const std::string& sql);
+
+/// Executes a SELECT against an explicit table (ignores the FROM name).
+/// Used by the AQP layer to run rewritten plans over reconstructed data.
+Result<Table> ExecuteSelectOnTable(const Table& table,
+                                   const SelectStatement& stmt);
+
+/// Renders the execution plan for a statement as indented text, one
+/// operator per line, innermost (scan) last — a minimal EXPLAIN for
+/// diagnostics and tests.
+Result<std::string> ExplainSelect(const Catalog& catalog,
+                                  const SelectStatement& stmt);
+Result<std::string> ExplainQuery(const Catalog& catalog,
+                                 const std::string& sql);
+
+}  // namespace laws
+
+#endif  // LAWSDB_QUERY_EXECUTOR_H_

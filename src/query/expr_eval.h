@@ -1,0 +1,26 @@
+#ifndef LAWSDB_QUERY_EXPR_EVAL_H_
+#define LAWSDB_QUERY_EXPR_EVAL_H_
+
+#include "common/result.h"
+#include "query/ast.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// Evaluates a scalar expression (no aggregates) over every row of `table`,
+/// producing a column of table.num_rows() values. SQL NULL semantics:
+/// NULL propagates through arithmetic/comparisons; AND/OR use three-valued
+/// logic.
+Result<Column> EvaluateExpr(const Expr& expr, const Table& table);
+
+/// Evaluates an expression with no column references to a single Value.
+Result<Value> EvaluateConstant(const Expr& expr);
+
+/// Evaluates a boolean predicate over the table and returns the indices of
+/// rows where it is TRUE (NULL and FALSE rows are excluded).
+Result<std::vector<uint32_t>> FilterRows(const Expr& predicate,
+                                         const Table& table);
+
+}  // namespace laws
+
+#endif  // LAWSDB_QUERY_EXPR_EVAL_H_

@@ -1,0 +1,34 @@
+#ifndef LAWSDB_QUERY_LEXER_H_
+#define LAWSDB_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace laws {
+
+enum class TokenType {
+  kIdentifier,   // column/table names; keywords are identifiers the parser
+                 // matches case-insensitively
+  kIntegerLit,
+  kDoubleLit,
+  kStringLit,
+  kOperator,     // + - * / % = <> != < <= > >= ( ) , . ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // raw text (unquoted for strings)
+  size_t position = 0;  // byte offset, for error messages
+
+  bool Is(TokenType t) const { return type == t; }
+};
+
+/// Tokenizes a SQL string. Errors carry byte offsets.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace laws
+
+#endif  // LAWSDB_QUERY_LEXER_H_

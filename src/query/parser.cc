@@ -1,0 +1,425 @@
+#include "query/parser.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "query/lexer.h"
+
+namespace laws {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseSelectStatement() {
+    LAWS_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStatement stmt;
+    if (MatchKeyword("DISTINCT")) stmt.distinct = true;
+    LAWS_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    LAWS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    LAWS_ASSIGN_OR_RETURN(stmt.from_table, ExpectIdentifier("table name"));
+    if (MatchKeyword("JOIN")) {
+      LAWS_ASSIGN_OR_RETURN(stmt.join_table,
+                            ExpectIdentifier("join table name"));
+      LAWS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      do {
+        JoinKey key;
+        LAWS_ASSIGN_OR_RETURN(key.left_column,
+                              ExpectIdentifier("join key column"));
+        LAWS_RETURN_IF_ERROR(ExpectOperator("="));
+        LAWS_ASSIGN_OR_RETURN(key.right_column,
+                              ExpectIdentifier("join key column"));
+        stmt.join_keys.push_back(std::move(key));
+      } while (MatchKeyword("AND"));
+    }
+    if (MatchKeyword("WHERE")) {
+      LAWS_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (MatchKeyword("GROUP")) {
+      LAWS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        LAWS_ASSIGN_OR_RETURN(auto e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+      } while (MatchOperator(","));
+    }
+    if (MatchKeyword("HAVING")) {
+      LAWS_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (MatchKeyword("ORDER")) {
+      LAWS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderKey key;
+        LAWS_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+        if (MatchKeyword("DESC")) {
+          key.ascending = false;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(key));
+      } while (MatchOperator(","));
+    }
+    if (MatchKeyword("LIMIT")) {
+      const Token& t = Peek();
+      if (!t.Is(TokenType::kIntegerLit)) {
+        return ErrorHere("expected integer after LIMIT");
+      }
+      stmt.limit = std::strtoll(t.text.c_str(), nullptr, 10);
+      Advance();
+    }
+    MatchOperator(";");
+    if (!Peek().Is(TokenType::kEnd)) {
+      return ErrorHere("trailing input after statement");
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseStandaloneExpr() {
+    LAWS_ASSIGN_OR_RETURN(auto e, ParseExpr());
+    if (!Peek().Is(TokenType::kEnd)) {
+      return ErrorHere("trailing input after expression");
+    }
+    return e;
+  }
+
+ private:
+  // --- token helpers -----------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool MatchKeyword(std::string_view kw) {
+    const Token& t = Peek();
+    if (t.Is(TokenType::kIdentifier) && EqualsIgnoreCase(t.text, kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool PeekKeyword(std::string_view kw) const {
+    const Token& t = Peek();
+    return t.Is(TokenType::kIdentifier) && EqualsIgnoreCase(t.text, kw);
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::ParseError("expected " + std::string(kw) + " near '" +
+                                Peek().text + "' (offset " +
+                                std::to_string(Peek().position) + ")");
+    }
+    return Status::OK();
+  }
+  bool MatchOperator(std::string_view op) {
+    const Token& t = Peek();
+    if (t.Is(TokenType::kOperator) && t.text == op) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectOperator(std::string_view op) {
+    if (!MatchOperator(op)) {
+      return Status::ParseError("expected '" + std::string(op) + "' near '" +
+                                Peek().text + "' (offset " +
+                                std::to_string(Peek().position) + ")");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    const Token& t = Peek();
+    if (!t.Is(TokenType::kIdentifier)) {
+      return Status::ParseError("expected " + std::string(what) + " near '" +
+                                t.text + "'");
+    }
+    std::string name = t.text;
+    Advance();
+    return name;
+  }
+  Status ErrorHere(std::string_view msg) const {
+    return Status::ParseError(std::string(msg) + " near '" + Peek().text +
+                              "' (offset " +
+                              std::to_string(Peek().position) + ")");
+  }
+
+  // --- grammar ------------------------------------------------------------
+  Status ParseSelectList(SelectStatement* stmt) {
+    do {
+      SelectItem item;
+      if (MatchOperator("*")) {
+        item.is_star = true;
+      } else {
+        LAWS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("AS")) {
+          LAWS_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+        } else if (Peek().Is(TokenType::kIdentifier) && !IsClauseKeyword()) {
+          item.alias = Peek().text;
+          Advance();
+        }
+      }
+      stmt->select_list.push_back(std::move(item));
+    } while (MatchOperator(","));
+    return Status::OK();
+  }
+
+  bool IsClauseKeyword() const {
+    static const char* kClauses[] = {"FROM",  "WHERE", "GROUP", "HAVING",
+                                     "ORDER", "LIMIT", "ASC",   "DESC",
+                                     "AND",   "OR",    "AS",    "BY",
+                                     "JOIN",  "ON",    "DISTINCT"};
+    for (const char* kw : kClauses) {
+      if (PeekKeyword(kw)) return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    LAWS_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+    while (MatchKeyword("OR")) {
+      LAWS_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+      lhs = Expr::MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    LAWS_ASSIGN_OR_RETURN(auto lhs, ParseNot());
+    while (MatchKeyword("AND")) {
+      LAWS_ASSIGN_OR_RETURN(auto rhs, ParseNot());
+      lhs = Expr::MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      LAWS_ASSIGN_OR_RETURN(auto operand, ParseNot());
+      return Expr::MakeUnary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    LAWS_ASSIGN_OR_RETURN(auto lhs, ParseAdditive());
+    // BETWEEN lo AND hi  =>  lhs >= lo AND lhs <= hi
+    if (MatchKeyword("BETWEEN")) {
+      LAWS_ASSIGN_OR_RETURN(auto lo, ParseAdditive());
+      LAWS_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      LAWS_ASSIGN_OR_RETURN(auto hi, ParseAdditive());
+      auto ge = Expr::MakeBinary(BinaryOp::kGreaterEqual, lhs->Clone(),
+                                 std::move(lo));
+      auto le =
+          Expr::MakeBinary(BinaryOp::kLessEqual, std::move(lhs), std::move(hi));
+      return Expr::MakeBinary(BinaryOp::kAnd, std::move(ge), std::move(le));
+    }
+    // IN (v1, v2, ...)  =>  lhs = v1 OR lhs = v2 ...
+    if (MatchKeyword("IN")) {
+      LAWS_RETURN_IF_ERROR(ExpectOperator("("));
+      std::unique_ptr<Expr> disjunction;
+      do {
+        LAWS_ASSIGN_OR_RETURN(auto v, ParseAdditive());
+        auto eq =
+            Expr::MakeBinary(BinaryOp::kEqual, lhs->Clone(), std::move(v));
+        disjunction = disjunction == nullptr
+                          ? std::move(eq)
+                          : Expr::MakeBinary(BinaryOp::kOr,
+                                             std::move(disjunction),
+                                             std::move(eq));
+      } while (MatchOperator(","));
+      LAWS_RETURN_IF_ERROR(ExpectOperator(")"));
+      return disjunction;
+    }
+    struct OpMap {
+      const char* text;
+      BinaryOp op;
+    };
+    static const OpMap kOps[] = {
+        {"=", BinaryOp::kEqual},      {"<>", BinaryOp::kNotEqual},
+        {"!=", BinaryOp::kNotEqual},  {"<=", BinaryOp::kLessEqual},
+        {">=", BinaryOp::kGreaterEqual}, {"<", BinaryOp::kLess},
+        {">", BinaryOp::kGreater},
+    };
+    for (const OpMap& m : kOps) {
+      if (MatchOperator(m.text)) {
+        LAWS_ASSIGN_OR_RETURN(auto rhs, ParseAdditive());
+        return Expr::MakeBinary(m.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    LAWS_ASSIGN_OR_RETURN(auto lhs, ParseMultiplicative());
+    while (true) {
+      if (MatchOperator("+")) {
+        LAWS_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+        lhs = Expr::MakeBinary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (MatchOperator("-")) {
+        LAWS_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+        lhs = Expr::MakeBinary(BinaryOp::kSubtract, std::move(lhs),
+                               std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    LAWS_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+    while (true) {
+      if (MatchOperator("*")) {
+        LAWS_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+        lhs = Expr::MakeBinary(BinaryOp::kMultiply, std::move(lhs),
+                               std::move(rhs));
+      } else if (MatchOperator("/")) {
+        LAWS_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+        lhs = Expr::MakeBinary(BinaryOp::kDivide, std::move(lhs),
+                               std::move(rhs));
+      } else if (MatchOperator("%")) {
+        LAWS_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+        lhs = Expr::MakeBinary(BinaryOp::kModulo, std::move(lhs),
+                               std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (MatchOperator("-")) {
+      LAWS_ASSIGN_OR_RETURN(auto operand, ParseUnary());
+      return Expr::MakeUnary(UnaryOp::kNegate, std::move(operand));
+    }
+    if (MatchOperator("+")) {
+      return ParseUnary();
+    }
+    return ParsePrimary();
+  }
+
+  static Result<AggregateFunc> AggregateByName(std::string_view name) {
+    if (EqualsIgnoreCase(name, "COUNT")) return AggregateFunc::kCount;
+    if (EqualsIgnoreCase(name, "SUM")) return AggregateFunc::kSum;
+    if (EqualsIgnoreCase(name, "AVG")) return AggregateFunc::kAvg;
+    if (EqualsIgnoreCase(name, "MIN")) return AggregateFunc::kMin;
+    if (EqualsIgnoreCase(name, "MAX")) return AggregateFunc::kMax;
+    if (EqualsIgnoreCase(name, "VARIANCE") ||
+        EqualsIgnoreCase(name, "VAR_SAMP")) {
+      return AggregateFunc::kVariance;
+    }
+    if (EqualsIgnoreCase(name, "STDDEV") ||
+        EqualsIgnoreCase(name, "STDDEV_SAMP")) {
+      return AggregateFunc::kStddev;
+    }
+    return Status::NotFound("not an aggregate");
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIntegerLit: {
+        const int64_t v = std::strtoll(t.text.c_str(), nullptr, 10);
+        Advance();
+        return Expr::MakeLiteral(Value::Int64(v));
+      }
+      case TokenType::kDoubleLit: {
+        const double v = std::strtod(t.text.c_str(), nullptr);
+        Advance();
+        return Expr::MakeLiteral(Value::Double(v));
+      }
+      case TokenType::kStringLit: {
+        std::string s = t.text;
+        Advance();
+        return Expr::MakeLiteral(Value::String(std::move(s)));
+      }
+      case TokenType::kIdentifier: {
+        if (MatchKeyword("TRUE")) return Expr::MakeLiteral(Value::Bool(true));
+        if (MatchKeyword("FALSE")) {
+          return Expr::MakeLiteral(Value::Bool(false));
+        }
+        if (MatchKeyword("NULL")) return Expr::MakeLiteral(Value::Null());
+        if (MatchKeyword("CASE")) {
+          // Searched CASE: WHEN <cond> THEN <value> ... [ELSE <value>] END.
+          std::vector<std::unique_ptr<Expr>> branches;
+          while (MatchKeyword("WHEN")) {
+            LAWS_ASSIGN_OR_RETURN(auto when, ParseExpr());
+            LAWS_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+            LAWS_ASSIGN_OR_RETURN(auto then, ParseExpr());
+            branches.push_back(std::move(when));
+            branches.push_back(std::move(then));
+          }
+          if (branches.empty()) {
+            return ErrorHere("CASE needs at least one WHEN branch");
+          }
+          std::unique_ptr<Expr> else_expr;
+          if (MatchKeyword("ELSE")) {
+            LAWS_ASSIGN_OR_RETURN(else_expr, ParseExpr());
+          }
+          LAWS_RETURN_IF_ERROR(ExpectKeyword("END"));
+          return Expr::MakeCase(std::move(branches), std::move(else_expr));
+        }
+        std::string name = t.text;
+        Advance();
+        if (MatchOperator("(")) {
+          // Aggregate or scalar function call.
+          auto agg = AggregateByName(name);
+          if (agg.ok()) {
+            std::unique_ptr<Expr> arg;
+            if (MatchOperator("*")) {
+              if (*agg != AggregateFunc::kCount) {
+                return ErrorHere("only COUNT accepts *");
+              }
+              arg = Expr::MakeStar();
+            } else {
+              LAWS_ASSIGN_OR_RETURN(arg, ParseExpr());
+            }
+            LAWS_RETURN_IF_ERROR(ExpectOperator(")"));
+            return Expr::MakeAggregate(*agg, std::move(arg));
+          }
+          std::vector<std::unique_ptr<Expr>> args;
+          if (!MatchOperator(")")) {
+            do {
+              LAWS_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+              args.push_back(std::move(arg));
+            } while (MatchOperator(","));
+            LAWS_RETURN_IF_ERROR(ExpectOperator(")"));
+          }
+          return Expr::MakeFunctionCall(ToLower(name), std::move(args));
+        }
+        return Expr::MakeColumnRef(std::move(name));
+      }
+      case TokenType::kOperator:
+        if (MatchOperator("(")) {
+          LAWS_ASSIGN_OR_RETURN(auto e, ParseExpr());
+          LAWS_RETURN_IF_ERROR(ExpectOperator(")"));
+          return e;
+        }
+        break;
+      case TokenType::kEnd:
+        break;
+    }
+    return ErrorHere("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  LAWS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelectStatement();
+}
+
+Result<std::unique_ptr<Expr>> ParseExpression(const std::string& text) {
+  LAWS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpr();
+}
+
+}  // namespace laws

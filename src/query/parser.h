@@ -1,0 +1,29 @@
+#ifndef LAWSDB_QUERY_PARSER_H_
+#define LAWSDB_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace laws {
+
+/// Parses one SELECT statement. Supported grammar (case-insensitive
+/// keywords):
+///
+///   SELECT <item, ...> FROM <table>
+///     [WHERE <expr>] [GROUP BY <expr, ...>] [HAVING <expr>]
+///     [ORDER BY <expr [ASC|DESC], ...>] [LIMIT <n>]
+///
+/// with arithmetic, comparisons, AND/OR/NOT, BETWEEN, IN (value list),
+/// scalar functions (ABS, LOG, LN, LOG10, EXP, SQRT, POW, SIN, COS, FLOOR,
+/// CEIL, ROUND) and aggregates (COUNT(*), COUNT, SUM, AVG, MIN, MAX).
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+/// Parses a standalone scalar/boolean expression (used for filters in API
+/// contexts, e.g. partial-model coverage predicates).
+Result<std::unique_ptr<Expr>> ParseExpression(const std::string& text);
+
+}  // namespace laws
+
+#endif  // LAWSDB_QUERY_PARSER_H_

@@ -1,0 +1,95 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace laws {
+
+void Moments::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Moments::Merge(const Moments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  mean_ += delta * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Moments::stddev_sample() const { return std::sqrt(variance_sample()); }
+
+double Mean(const std::vector<double>& v) {
+  Moments m;
+  for (double x : v) m.Add(x);
+  return m.mean();
+}
+
+double VarianceSample(const std::vector<double>& v) {
+  Moments m;
+  for (double x : v) m.Add(x);
+  return m.variance_sample();
+}
+
+double Covariance(const std::vector<double>& x, const std::vector<double>& y) {
+  const size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += (x[i] - mx) * (y[i] - my);
+  return acc / static_cast<double>(n - 1);
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  const double sx = std::sqrt(VarianceSample(x));
+  const double sy = std::sqrt(VarianceSample(y));
+  if (sx == 0.0 || sy == 0.0) return 0.0;
+  return Covariance(x, y) / (sx * sy);
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double h = (static_cast<double>(sorted.size()) - 1.0) * q;
+  const auto lo = static_cast<size_t>(std::floor(h));
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - std::floor(h);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::vector<double> Quantiles(std::vector<double> values,
+                              const std::vector<double>& qs) {
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(QuantileSorted(values, q));
+  return out;
+}
+
+}  // namespace laws

@@ -1,0 +1,62 @@
+#ifndef LAWSDB_STATS_DESCRIPTIVE_H_
+#define LAWSDB_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace laws {
+
+/// Single-pass, numerically stable accumulator for count/mean/variance/
+/// min/max (Welford's algorithm). Mergeable, so it composes with grouped
+/// aggregation.
+class Moments {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel/grouped combine).
+  void Merge(const Moments& other);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divide by n).
+  double variance_population() const { return n_ > 0 ? m2_ / n_ : 0.0; }
+  /// Sample variance (divide by n-1); 0 for n < 2.
+  double variance_sample() const { return n_ > 1 ? m2_ / (n_ - 1) : 0.0; }
+  double stddev_sample() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of `v`; 0 for empty input.
+double Mean(const std::vector<double>& v);
+
+/// Sample variance of `v`; 0 for fewer than two values.
+double VarianceSample(const std::vector<double>& v);
+
+/// Sample covariance of paired observations; 0 for fewer than two pairs.
+double Covariance(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Quantile with linear interpolation (type-7, as in R). `q` in [0,1];
+/// `sorted` must be ascending and non-empty.
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Convenience: copies, sorts, and evaluates several quantiles at once.
+std::vector<double> Quantiles(std::vector<double> values,
+                              const std::vector<double>& qs);
+
+}  // namespace laws
+
+#endif  // LAWSDB_STATS_DESCRIPTIVE_H_

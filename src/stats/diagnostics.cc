@@ -1,0 +1,74 @@
+#include "stats/diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+
+namespace laws {
+namespace {
+
+/// Asymptotic Kolmogorov distribution survival function:
+/// Q(x) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2).
+double KolmogorovQ(double x) {
+  if (x <= 0.0) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * x * x);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace
+
+Result<KsTestResult> KolmogorovSmirnovNormalTest(std::vector<double> values) {
+  if (values.size() < 8) {
+    return Status::InvalidArgument("KS test needs at least 8 values");
+  }
+  Moments m;
+  for (double v : values) m.Add(v);
+  const double mean = m.mean();
+  const double sd = m.stddev_sample();
+  if (sd <= 0.0) {
+    return Status::InvalidArgument("constant sample has no distribution");
+  }
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<double>(values.size());
+  double d = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double cdf = NormalCdf((values[i] - mean) / sd);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::fabs(cdf - lo), std::fabs(hi - cdf)));
+  }
+  KsTestResult out;
+  out.statistic = d;
+  // Asymptotic p-value with the small-sample correction of Stephens.
+  const double en = std::sqrt(n);
+  out.p_value = KolmogorovQ((en + 0.12 + 0.11 / en) * d);
+  out.normal_at_05 = out.p_value >= 0.05;
+  return out;
+}
+
+Result<double> DurbinWatson(const std::vector<double>& residuals) {
+  if (residuals.size() < 2) {
+    return Status::InvalidArgument("Durbin-Watson needs >= 2 residuals");
+  }
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < residuals.size(); ++i) {
+    den += residuals[i] * residuals[i];
+    if (i > 0) {
+      const double d = residuals[i] - residuals[i - 1];
+      num += d * d;
+    }
+  }
+  if (den <= 0.0) {
+    return Status::InvalidArgument("all-zero residuals");
+  }
+  return num / den;
+}
+
+}  // namespace laws

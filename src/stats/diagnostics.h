@@ -1,0 +1,34 @@
+#ifndef LAWSDB_STATS_DIAGNOSTICS_H_
+#define LAWSDB_STATS_DIAGNOSTICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace laws {
+
+/// Residual diagnostics beyond R²/RSE — the deeper "judge the quality of
+/// the model" toolkit (paper §3). A model can have a high R² and still be
+/// wrong in ways that matter for reuse: non-normal residuals break the
+/// error bounds attached to approximate answers, and autocorrelated
+/// residuals signal structure the model missed.
+
+/// One-sample Kolmogorov-Smirnov test of `values` against a Normal(mean,
+/// sd) fitted to the sample. Returns the KS statistic D and an asymptotic
+/// p-value (Kolmogorov distribution). Small p => residuals are not
+/// normal, so Gaussian prediction intervals understate risk.
+struct KsTestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+  bool normal_at_05 = true;
+};
+Result<KsTestResult> KolmogorovSmirnovNormalTest(std::vector<double> values);
+
+/// Durbin-Watson statistic for residuals ordered by their input: values
+/// near 2 mean no lag-1 autocorrelation; toward 0 (positive correlation)
+/// the model is missing smooth structure; toward 4, negative correlation.
+Result<double> DurbinWatson(const std::vector<double>& residuals);
+
+}  // namespace laws
+
+#endif  // LAWSDB_STATS_DIAGNOSTICS_H_

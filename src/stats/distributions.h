@@ -1,0 +1,40 @@
+#ifndef LAWSDB_STATS_DISTRIBUTIONS_H_
+#define LAWSDB_STATS_DISTRIBUTIONS_H_
+
+namespace laws {
+
+/// Standard normal density.
+double NormalPdf(double x);
+
+/// Standard normal CDF via erfc.
+double NormalCdf(double x);
+
+/// Standard normal quantile (inverse CDF), Acklam's rational approximation
+/// refined with one Halley step; |error| < 1e-12 over (0,1).
+double NormalQuantile(double p);
+
+/// Regularized lower incomplete gamma P(a, x); a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Regularized incomplete beta I_x(a, b) via continued fraction (Lentz).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Student-t CDF with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// Student-t two-sided critical value: smallest c with
+/// P(|T| <= c) >= 1 - alpha. Used for confidence/prediction intervals.
+double StudentTQuantile(double p, double df);
+
+/// F-distribution CDF with (d1, d2) degrees of freedom.
+double FCdf(double f, double d1, double d2);
+
+/// Chi-squared CDF with `df` degrees of freedom.
+double ChiSquaredCdf(double x, double df);
+
+}  // namespace laws
+
+#endif  // LAWSDB_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,67 @@
+#ifndef LAWSDB_STATS_GOODNESS_OF_FIT_H_
+#define LAWSDB_STATS_GOODNESS_OF_FIT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace laws {
+
+/// Goodness-of-fit summary for a fitted model, as proposed in the paper
+/// (§3): R², residual standard error, plus information criteria used by the
+/// model-lifecycle arbitration in laws::core.
+struct FitQuality {
+  size_t n_observations = 0;
+  size_t n_parameters = 0;
+  double r_squared = 0.0;
+  double adjusted_r_squared = 0.0;
+  /// sqrt(RSS / (n - p)) — "Residual SE" in the paper's Table 1.
+  double residual_standard_error = 0.0;
+  double residual_sum_of_squares = 0.0;
+  double total_sum_of_squares = 0.0;
+  /// Akaike information criterion under a Gaussian error model.
+  double aic = 0.0;
+  /// Bayesian information criterion under a Gaussian error model.
+  double bic = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes the full quality summary from observed and predicted outputs.
+/// Returns InvalidArgument on size mismatch or n <= p.
+Result<FitQuality> ComputeFitQuality(const std::vector<double>& observed,
+                                     const std::vector<double>& predicted,
+                                     size_t n_parameters);
+
+/// Result of an F-test comparing a full model against a nested reduced model
+/// (paper §3: "the results of an F-test against a model with fewer
+/// parameters").
+struct FTestResult {
+  double f_statistic = 0.0;
+  double p_value = 1.0;
+  double df_numerator = 0.0;
+  double df_denominator = 0.0;
+  /// True when the full model is a significant improvement at `alpha`.
+  bool significant = false;
+};
+
+/// Nested-model F-test. `rss_reduced` / `rss_full` are residual sums of
+/// squares; `p_reduced` < `p_full` are parameter counts; n is the number of
+/// observations.
+Result<FTestResult> NestedFTest(double rss_reduced, size_t p_reduced,
+                                double rss_full, size_t p_full, size_t n,
+                                double alpha = 0.05);
+
+/// Half-width of a `confidence`-level prediction interval for a new
+/// observation under the fitted model's Gaussian error assumption:
+/// t_{(1+c)/2, n-p} * RSE. (Ignores the small parameter-uncertainty
+/// inflation term, which vanishes for n >> p — the AQP regime.) Returns
+/// InvalidArgument for confidence outside (0, 1) or n <= p.
+Result<double> PredictionHalfWidth(const FitQuality& quality,
+                                   double confidence = 0.95);
+
+}  // namespace laws
+
+#endif  // LAWSDB_STATS_GOODNESS_OF_FIT_H_

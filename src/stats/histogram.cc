@@ -1,0 +1,134 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace laws {
+
+Result<Histogram> Histogram::BuildEquiWidth(const std::vector<double>& values,
+                                            size_t buckets) {
+  if (values.empty()) return Status::InvalidArgument("empty input");
+  if (buckets == 0) return Status::InvalidArgument("zero buckets");
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo == hi) hi = lo + 1.0;  // degenerate constant column
+  std::vector<double> bounds(buckets + 1);
+  for (size_t i = 0; i <= buckets; ++i) {
+    bounds[i] = lo + (hi - lo) * static_cast<double>(i) /
+                         static_cast<double>(buckets);
+  }
+  std::vector<size_t> counts(buckets, 0);
+  std::vector<double> sums(buckets, 0.0);
+  const double width = (hi - lo) / static_cast<double>(buckets);
+  for (double v : values) {
+    auto b = static_cast<size_t>((v - lo) / width);
+    if (b >= buckets) b = buckets - 1;
+    ++counts[b];
+    sums[b] += v;
+  }
+  std::vector<double> means(buckets, 0.0);
+  for (size_t i = 0; i < buckets; ++i) {
+    if (counts[i] > 0) means[i] = sums[i] / static_cast<double>(counts[i]);
+  }
+  return Histogram(Kind::kEquiWidth, std::move(bounds), std::move(counts),
+                   std::move(means), values.size());
+}
+
+Result<Histogram> Histogram::BuildEquiDepth(std::vector<double> values,
+                                            size_t buckets) {
+  if (values.empty()) return Status::InvalidArgument("empty input");
+  if (buckets == 0) return Status::InvalidArgument("zero buckets");
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  buckets = std::min(buckets, n);
+  std::vector<double> bounds;
+  std::vector<size_t> counts;
+  std::vector<double> means;
+  bounds.push_back(values.front());
+  size_t start = 0;
+  for (size_t b = 0; b < buckets; ++b) {
+    size_t end = (b + 1) * n / buckets;
+    if (end <= start) continue;
+    double sum = 0.0;
+    for (size_t i = start; i < end; ++i) sum += values[i];
+    counts.push_back(end - start);
+    means.push_back(sum / static_cast<double>(end - start));
+    // Upper boundary: midpoint to next value to keep buckets disjoint.
+    const double upper = end < n ? 0.5 * (values[end - 1] + values[end])
+                                 : values.back();
+    bounds.push_back(std::max(upper, bounds.back()));
+    start = end;
+  }
+  // Avoid zero-width final bucket for constant tails.
+  if (bounds.back() == bounds.front()) bounds.back() += 1.0;
+  return Histogram(Kind::kEquiDepth, std::move(bounds), std::move(counts),
+                   std::move(means), n);
+}
+
+double Histogram::EstimateRangeCount(double lo, double hi) const {
+  if (hi < lo) return 0.0;
+  double est = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const double blo = boundaries_[b];
+    const double bhi = boundaries_[b + 1];
+    if (bhi <= lo || blo >= hi) continue;
+    const double width = bhi - blo;
+    const double overlap =
+        width > 0.0
+            ? (std::min(hi, bhi) - std::max(lo, blo)) / width
+            : 1.0;
+    est += static_cast<double>(counts_[b]) * std::clamp(overlap, 0.0, 1.0);
+  }
+  return est;
+}
+
+double Histogram::EstimateRangeSum(double lo, double hi) const {
+  if (hi < lo) return 0.0;
+  double est = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const double blo = boundaries_[b];
+    const double bhi = boundaries_[b + 1];
+    if (bhi <= lo || blo >= hi) continue;
+    const double width = bhi - blo;
+    const double overlap =
+        width > 0.0 ? (std::min(hi, bhi) - std::max(lo, blo)) / width : 1.0;
+    const double frac = std::clamp(overlap, 0.0, 1.0);
+    // Assume values uniform within the covered part: use the midpoint of the
+    // overlapped interval as their mean when partially covered, the bucket
+    // mean when fully covered.
+    const double value_mean =
+        frac >= 1.0 ? means_[b]
+                    : 0.5 * (std::min(hi, bhi) + std::max(lo, blo));
+    est += static_cast<double>(counts_[b]) * frac * value_mean;
+  }
+  return est;
+}
+
+double Histogram::EstimateRangeAvg(double lo, double hi) const {
+  const double c = EstimateRangeCount(lo, hi);
+  if (c <= 0.0) return 0.0;
+  return EstimateRangeSum(lo, hi) / c;
+}
+
+size_t Histogram::SizeBytes() const {
+  return boundaries_.size() * sizeof(double) +
+         counts_.size() * sizeof(size_t) + means_.size() * sizeof(double);
+}
+
+std::string Histogram::ToString() const {
+  std::string out = kind_ == Kind::kEquiWidth ? "equi-width{" : "equi-depth{";
+  char buf[96];
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    std::snprintf(buf, sizeof(buf), "[%.4g,%.4g):%zu ", boundaries_[b],
+                  boundaries_[b + 1], counts_[b]);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace laws

@@ -1,0 +1,73 @@
+#ifndef LAWSDB_STATS_HISTOGRAM_H_
+#define LAWSDB_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace laws {
+
+/// A bucketed synopsis of a numeric column. Both classic flavours are
+/// supported; histograms are the "synopsis" baseline the paper contrasts
+/// user models against (§1, refs [8, 9]).
+class Histogram {
+ public:
+  enum class Kind { kEquiWidth, kEquiDepth };
+
+  /// Builds an equi-width histogram with `buckets` buckets over the data
+  /// range. Returns InvalidArgument for empty data or zero buckets.
+  static Result<Histogram> BuildEquiWidth(const std::vector<double>& values,
+                                          size_t buckets);
+
+  /// Builds an equi-depth (equal frequency) histogram with `buckets`
+  /// buckets.
+  static Result<Histogram> BuildEquiDepth(std::vector<double> values,
+                                          size_t buckets);
+
+  Kind kind() const { return kind_; }
+  size_t bucket_count() const { return counts_.size(); }
+  size_t total_count() const { return total_; }
+
+  /// Bucket boundaries; boundaries_[i], boundaries_[i+1] delimit bucket i.
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  const std::vector<size_t>& counts() const { return counts_; }
+  /// Per-bucket mean of contained values (used for AVG/SUM estimation).
+  const std::vector<double>& bucket_means() const { return means_; }
+
+  /// Estimated number of rows with value in [lo, hi], assuming uniform
+  /// spread within buckets (the standard histogram estimator).
+  double EstimateRangeCount(double lo, double hi) const;
+
+  /// Estimated sum of values in [lo, hi].
+  double EstimateRangeSum(double lo, double hi) const;
+
+  /// Estimated mean of values in [lo, hi]; 0 when the estimated count is 0.
+  double EstimateRangeAvg(double lo, double hi) const;
+
+  /// Approximate storage footprint in bytes (for synopsis-size accounting).
+  size_t SizeBytes() const;
+
+  std::string ToString() const;
+
+ private:
+  Histogram(Kind kind, std::vector<double> boundaries,
+            std::vector<size_t> counts, std::vector<double> means,
+            size_t total)
+      : kind_(kind),
+        boundaries_(std::move(boundaries)),
+        counts_(std::move(counts)),
+        means_(std::move(means)),
+        total_(total) {}
+
+  Kind kind_;
+  std::vector<double> boundaries_;
+  std::vector<size_t> counts_;
+  std::vector<double> means_;
+  size_t total_;
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_STATS_HISTOGRAM_H_

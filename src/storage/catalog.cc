@@ -1,0 +1,59 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace laws {
+
+std::string Catalog::Key(const std::string& name) { return ToLower(name); }
+
+Status Catalog::Register(const std::string& name, TablePtr table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot register a null table");
+  }
+  const std::string key = Key(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_[key] = std::move(table);
+  display_names_[key] = name;
+  return Status::OK();
+}
+
+void Catalog::RegisterOrReplace(const std::string& name, TablePtr table) {
+  const std::string key = Key(name);
+  tables_[key] = std::move(table);
+  display_names_[key] = name;
+}
+
+Result<TablePtr> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not found");
+  }
+  return it->second;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  const std::string key = Key(name);
+  if (tables_.erase(key) == 0) {
+    return Status::NotFound("table '" + name + "' not found");
+  }
+  display_names_.erase(key);
+  return Status::OK();
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return tables_.count(Key(name)) > 0;
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(display_names_.size());
+  for (const auto& [key, display] : display_names_) names.push_back(display);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace laws

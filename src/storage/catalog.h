@@ -1,0 +1,53 @@
+#ifndef LAWSDB_STORAGE_CATALOG_H_
+#define LAWSDB_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// Named table registry — the database's catalog. Table names are
+/// case-insensitive. Tables are held by shared_ptr so that query results,
+/// fitted-model metadata and the catalog can share ownership safely.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers `table` under `name`; AlreadyExists if taken.
+  Status Register(const std::string& name, TablePtr table);
+
+  /// Replaces or creates the binding for `name`.
+  void RegisterOrReplace(const std::string& name, TablePtr table);
+
+  /// Looks up a table; NotFound if absent.
+  Result<TablePtr> Get(const std::string& name) const;
+
+  /// Removes a table; NotFound if absent.
+  Status Drop(const std::string& name);
+
+  bool Contains(const std::string& name) const;
+
+  /// All table names in sorted order.
+  std::vector<std::string> ListTables() const;
+
+  size_t size() const { return tables_.size(); }
+
+ private:
+  static std::string Key(const std::string& name);
+  std::map<std::string, TablePtr> tables_;  // keyed by lower-cased name
+  std::map<std::string, std::string> display_names_;
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_STORAGE_CATALOG_H_

@@ -1,0 +1,221 @@
+#include "storage/column.h"
+
+#include <cassert>
+
+namespace laws {
+
+Column::Column(DataType type, bool nullable)
+    : type_(type), nullable_(nullable) {}
+
+void Column::PushValidity(bool valid) {
+  if (!nullable_) {
+    assert(valid);
+    return;
+  }
+  const size_t i = size_;
+  if ((i >> 3) >= validity_.size()) validity_.push_back(0xFF);
+  if (valid) {
+    validity_[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+  } else {
+    validity_[i >> 3] &= static_cast<uint8_t>(~(1u << (i & 7)));
+    ++null_count_;
+  }
+}
+
+uint32_t Column::InternString(std::string_view s) {
+  auto it = dictionary_index_.find(std::string(s));
+  if (it != dictionary_index_.end()) return it->second;
+  const auto code = static_cast<uint32_t>(dictionary_.size());
+  dictionary_.emplace_back(s);
+  dictionary_index_.emplace(dictionary_.back(), code);
+  return code;
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (v.is_null()) return AppendNull();
+  switch (type_) {
+    case DataType::kInt64:
+      if (!v.is_int64()) return Status::TypeMismatch("expected INT64 value");
+      AppendInt64(v.int64());
+      return Status::OK();
+    case DataType::kDouble:
+      if (v.is_double()) {
+        AppendDouble(v.dbl());
+      } else if (v.is_int64()) {
+        AppendDouble(static_cast<double>(v.int64()));
+      } else {
+        return Status::TypeMismatch("expected DOUBLE value");
+      }
+      return Status::OK();
+    case DataType::kString:
+      if (!v.is_string()) return Status::TypeMismatch("expected STRING value");
+      AppendString(v.str());
+      return Status::OK();
+    case DataType::kBool:
+      if (!v.is_bool()) return Status::TypeMismatch("expected BOOL value");
+      AppendBool(v.boolean());
+      return Status::OK();
+  }
+  return Status::Internal("corrupt column type");
+}
+
+void Column::AppendInt64(int64_t v) {
+  assert(type_ == DataType::kInt64);
+  PushValidity(true);
+  int64_data_.push_back(v);
+  ++size_;
+}
+
+void Column::AppendDouble(double v) {
+  assert(type_ == DataType::kDouble);
+  PushValidity(true);
+  double_data_.push_back(v);
+  ++size_;
+}
+
+void Column::AppendString(std::string_view v) {
+  assert(type_ == DataType::kString);
+  PushValidity(true);
+  string_codes_.push_back(InternString(v));
+  ++size_;
+}
+
+void Column::AppendBool(bool v) {
+  assert(type_ == DataType::kBool);
+  PushValidity(true);
+  bool_data_.push_back(v ? 1 : 0);
+  ++size_;
+}
+
+Status Column::AppendNull() {
+  if (!nullable_) {
+    return Status::InvalidArgument("NULL appended to non-nullable column");
+  }
+  PushValidity(false);
+  switch (type_) {
+    case DataType::kInt64:
+      int64_data_.push_back(0);
+      break;
+    case DataType::kDouble:
+      double_data_.push_back(0.0);
+      break;
+    case DataType::kString:
+      string_codes_.push_back(InternString(""));
+      break;
+    case DataType::kBool:
+      bool_data_.push_back(0);
+      break;
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Value Column::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int64(Int64At(i));
+    case DataType::kDouble:
+      return Value::Double(DoubleAt(i));
+    case DataType::kString:
+      return Value::String(std::string(StringAt(i)));
+    case DataType::kBool:
+      return Value::Bool(BoolAt(i));
+  }
+  return Value::Null();
+}
+
+Result<double> Column::NumericAt(size_t i) const {
+  if (IsNull(i)) return Status::TypeMismatch("NULL has no numeric value");
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<double>(Int64At(i));
+    case DataType::kDouble:
+      return DoubleAt(i);
+    case DataType::kBool:
+      return BoolAt(i) ? 1.0 : 0.0;
+    case DataType::kString:
+      return Status::TypeMismatch("string column is not numeric");
+  }
+  return Status::Internal("corrupt column type");
+}
+
+Result<std::vector<double>> Column::ToDoubleVector() const {
+  if (type_ == DataType::kString) {
+    return Status::TypeMismatch("string column is not numeric");
+  }
+  std::vector<double> out;
+  out.reserve(size_ - null_count_);
+  for (size_t i = 0; i < size_; ++i) {
+    if (IsNull(i)) continue;
+    switch (type_) {
+      case DataType::kInt64:
+        out.push_back(static_cast<double>(int64_data_[i]));
+        break;
+      case DataType::kDouble:
+        out.push_back(double_data_[i]);
+        break;
+      case DataType::kBool:
+        out.push_back(bool_data_[i] ? 1.0 : 0.0);
+        break;
+      case DataType::kString:
+        break;  // unreachable
+    }
+  }
+  return out;
+}
+
+Column Column::Gather(const std::vector<uint32_t>& indices) const {
+  Column out(type_, nullable_);
+  for (uint32_t i : indices) {
+    if (IsNull(i)) {
+      (void)out.AppendNull();
+      continue;
+    }
+    switch (type_) {
+      case DataType::kInt64:
+        out.AppendInt64(int64_data_[i]);
+        break;
+      case DataType::kDouble:
+        out.AppendDouble(double_data_[i]);
+        break;
+      case DataType::kString:
+        out.AppendString(StringAt(i));
+        break;
+      case DataType::kBool:
+        out.AppendBool(bool_data_[i] != 0);
+        break;
+    }
+  }
+  return out;
+}
+
+size_t Column::MemoryBytes() const {
+  size_t bytes = validity_.size();
+  switch (type_) {
+    case DataType::kInt64:
+      bytes += int64_data_.size() * sizeof(int64_t);
+      break;
+    case DataType::kDouble:
+      bytes += double_data_.size() * sizeof(double);
+      break;
+    case DataType::kString:
+      bytes += string_codes_.size() * sizeof(uint32_t);
+      for (const auto& s : dictionary_) bytes += s.size();
+      break;
+    case DataType::kBool:
+      bytes += bool_data_.size();
+      break;
+  }
+  return bytes;
+}
+
+Result<uint32_t> Column::DictionaryCode(std::string_view s) const {
+  auto it = dictionary_index_.find(std::string(s));
+  if (it == dictionary_index_.end()) {
+    return Status::NotFound("string not in dictionary: " + std::string(s));
+  }
+  return it->second;
+}
+
+}  // namespace laws

@@ -1,0 +1,111 @@
+#ifndef LAWSDB_STORAGE_COLUMN_H_
+#define LAWSDB_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/types.h"
+
+namespace laws {
+
+/// A single in-memory column. Storage is columnar and fully typed:
+///   - INT64  -> std::vector<int64_t>
+///   - DOUBLE -> std::vector<double>
+///   - STRING -> dictionary encoding (unique strings + uint32 codes)
+///   - BOOL   -> std::vector<uint8_t>
+/// Nulls are tracked in a packed validity bitmap (1 = valid). Hot paths use
+/// the typed accessors / raw data views; Value-based access exists for
+/// convenience at the edges (parsing, printing, row assembly).
+class Column {
+ public:
+  explicit Column(DataType type, bool nullable = true);
+
+  DataType type() const { return type_; }
+  bool nullable() const { return nullable_; }
+  size_t size() const { return size_; }
+  size_t null_count() const { return null_count_; }
+
+  // --- Appends -----------------------------------------------------------
+
+  /// Appends a Value; checks type compatibility (int64 accepted into double
+  /// columns) and nullability.
+  Status AppendValue(const Value& v);
+
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string_view v);
+  void AppendBool(bool v);
+
+  /// Appends NULL; returns InvalidArgument for non-nullable columns.
+  Status AppendNull();
+
+  // --- Element access ----------------------------------------------------
+
+  bool IsNull(size_t i) const { return !ValidAt(i); }
+
+  int64_t Int64At(size_t i) const { return int64_data_[i]; }
+  double DoubleAt(size_t i) const { return double_data_[i]; }
+  std::string_view StringAt(size_t i) const {
+    return dictionary_[string_codes_[i]];
+  }
+  bool BoolAt(size_t i) const { return bool_data_[i] != 0; }
+
+  /// Boxed access (NULL-aware); slow path.
+  Value GetValue(size_t i) const;
+
+  /// Numeric coercion of element i (int64/double/bool -> double). Error on
+  /// NULL or string.
+  Result<double> NumericAt(size_t i) const;
+
+  // --- Bulk views --------------------------------------------------------
+
+  const std::vector<int64_t>& int64_data() const { return int64_data_; }
+  const std::vector<double>& double_data() const { return double_data_; }
+  const std::vector<uint32_t>& string_codes() const { return string_codes_; }
+  const std::vector<std::string>& dictionary() const { return dictionary_; }
+  const std::vector<uint8_t>& bool_data() const { return bool_data_; }
+  const std::vector<uint8_t>& validity() const { return validity_; }
+
+  /// All non-null values coerced to double (order preserved); error for
+  /// string columns. The workhorse extraction for model fitting.
+  Result<std::vector<double>> ToDoubleVector() const;
+
+  /// New column containing rows at `indices` (in that order).
+  Column Gather(const std::vector<uint32_t>& indices) const;
+
+  /// Approximate heap footprint in bytes, the basis of all storage-size
+  /// accounting in the experiments.
+  size_t MemoryBytes() const;
+
+  /// Dictionary code for `s` if it appears in this column's dictionary.
+  Result<uint32_t> DictionaryCode(std::string_view s) const;
+
+ private:
+  bool ValidAt(size_t i) const {
+    if (!nullable_ || validity_.empty()) return true;
+    return (validity_[i >> 3] >> (i & 7)) & 1;
+  }
+  void PushValidity(bool valid);
+  uint32_t InternString(std::string_view s);
+
+  DataType type_;
+  bool nullable_;
+  size_t size_ = 0;
+  size_t null_count_ = 0;
+
+  std::vector<int64_t> int64_data_;
+  std::vector<double> double_data_;
+  std::vector<uint32_t> string_codes_;
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, uint32_t> dictionary_index_;
+  std::vector<uint8_t> bool_data_;
+  std::vector<uint8_t> validity_;  // packed, 1 = valid; empty = all valid
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_STORAGE_COLUMN_H_

@@ -1,0 +1,225 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace laws {
+namespace {
+
+/// Splits one CSV record, honouring quotes and doubled-quote escapes.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              char delim, size_t line_no) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quote on line " +
+                              std::to_string(line_no));
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<Value> ParseField(const std::string& raw, const Field& field,
+                         const CsvOptions& options, size_t line_no) {
+  if (raw == options.null_token) {
+    if (!field.nullable) {
+      return Status::ParseError("NULL in non-nullable field '" + field.name +
+                                "' on line " + std::to_string(line_no));
+    }
+    return Value::Null();
+  }
+  const char* begin = raw.c_str();
+  char* end = nullptr;
+  switch (field.type) {
+    case DataType::kInt64: {
+      const long long v = std::strtoll(begin, &end, 10);
+      if (end == begin || *end != '\0') {
+        return Status::ParseError("bad INT64 '" + raw + "' on line " +
+                                  std::to_string(line_no));
+      }
+      return Value::Int64(v);
+    }
+    case DataType::kDouble: {
+      const double v = std::strtod(begin, &end);
+      if (end == begin || *end != '\0') {
+        return Status::ParseError("bad DOUBLE '" + raw + "' on line " +
+                                  std::to_string(line_no));
+      }
+      return Value::Double(v);
+    }
+    case DataType::kString:
+      return Value::String(raw);
+    case DataType::kBool: {
+      if (EqualsIgnoreCase(raw, "true") || raw == "1") return Value::Bool(true);
+      if (EqualsIgnoreCase(raw, "false") || raw == "0") {
+        return Value::Bool(false);
+      }
+      return Status::ParseError("bad BOOL '" + raw + "' on line " +
+                                std::to_string(line_no));
+    }
+  }
+  return Status::Internal("corrupt field type");
+}
+
+bool NeedsQuoting(const std::string& s, char delim) {
+  return s.find(delim) != std::string::npos ||
+         s.find('"') != std::string::npos ||
+         s.find('\n') != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(std::istream& in, const Schema& schema,
+                      const CsvOptions& options) {
+  Table table(schema);
+  std::string line;
+  size_t line_no = 0;
+  if (options.header) {
+    if (!std::getline(in, line)) {
+      return Status::ParseError("missing header line");
+    }
+    ++line_no;
+    LAWS_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                          SplitCsvLine(line, options.delimiter, line_no));
+    if (names.size() != schema.num_fields()) {
+      return Status::ParseError("header arity does not match schema");
+    }
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (!EqualsIgnoreCase(Trim(names[i]), schema.field(i).name)) {
+        return Status::ParseError("header field '" + names[i] +
+                                  "' does not match schema field '" +
+                                  schema.field(i).name + "'");
+      }
+    }
+  }
+  std::vector<Value> row(schema.num_fields());
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    LAWS_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          SplitCsvLine(line, options.delimiter, line_no));
+    if (fields.size() != schema.num_fields()) {
+      return Status::ParseError("row arity mismatch on line " +
+                                std::to_string(line_no));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      LAWS_ASSIGN_OR_RETURN(
+          row[i], ParseField(fields[i], schema.field(i), options, line_no));
+    }
+    LAWS_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
+                            const CsvOptions& options) {
+  std::istringstream in(text);
+  return ReadCsv(in, schema, options);
+}
+
+Status WriteCsv(const Table& table, std::ostream& out,
+                const CsvOptions& options) {
+  const Schema& schema = table.schema();
+  if (options.header) {
+    for (size_t i = 0; i < schema.num_fields(); ++i) {
+      if (i > 0) out << options.delimiter;
+      out << schema.field(i).name;
+    }
+    out << "\n";
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      const Value v = table.GetValue(r, c);
+      if (v.is_null()) {
+        out << options.null_token;
+      } else {
+        const std::string s = v.ToString();
+        out << (NeedsQuoting(s, options.delimiter) ? QuoteField(s) : s);
+      }
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadCsv(in, schema, options);
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  return WriteCsv(table, out, options);
+}
+
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Field> fields;
+  for (const std::string& part : Split(spec, ',')) {
+    const auto pieces = Split(std::string(Trim(part)), ':');
+    if (pieces.size() != 2) {
+      return Status::ParseError("schema spec entry '" + part +
+                                "' is not name:type");
+    }
+    Field f;
+    std::string name(Trim(pieces[0]));
+    if (!name.empty() && name.back() == '?') {
+      f.nullable = true;
+      name.pop_back();
+    } else {
+      f.nullable = false;
+    }
+    if (name.empty()) return Status::ParseError("empty column name");
+    f.name = std::move(name);
+    LAWS_ASSIGN_OR_RETURN(f.type, DataTypeFromString(Trim(pieces[1])));
+    fields.push_back(std::move(f));
+  }
+  if (fields.empty()) return Status::ParseError("empty schema spec");
+  return Schema(std::move(fields));
+}
+
+}  // namespace laws

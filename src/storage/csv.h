@@ -1,0 +1,49 @@
+#ifndef LAWSDB_STORAGE_CSV_H_
+#define LAWSDB_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// Options for CSV input/output.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Whether the first line is a header. On read, header names are checked
+  /// against the schema; on write, a header is emitted.
+  bool header = true;
+  /// Token treated as NULL on read and emitted for NULLs on write.
+  std::string null_token = "";
+};
+
+/// Parses CSV text into a table with the given schema. Handles quoted
+/// fields with doubled-quote escapes. Rows with the wrong arity or
+/// unparseable values yield ParseError with a line number.
+Result<Table> ReadCsv(std::istream& in, const Schema& schema,
+                      const CsvOptions& options = {});
+
+/// Convenience overload over a string buffer.
+Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
+                            const CsvOptions& options = {});
+
+/// Writes a table as CSV.
+Status WriteCsv(const Table& table, std::ostream& out,
+                const CsvOptions& options = {});
+
+/// File-path conveniences.
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          const CsvOptions& options = {});
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+/// Parses a compact schema spec "name:type,name:type,..." (types as in
+/// DataTypeFromString; append '?' to a name for nullable). Used by CLI
+/// import paths.
+Result<Schema> ParseSchemaSpec(const std::string& spec);
+
+}  // namespace laws
+
+#endif  // LAWSDB_STORAGE_CSV_H_

@@ -1,0 +1,30 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace laws {
+
+Result<size_t> Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return i;
+  }
+  return Status::NotFound("no field named '" + std::string(name) + "'");
+}
+
+bool Schema::HasField(std::string_view name) const {
+  return FieldIndex(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += DataTypeToString(fields_[i].type);
+    if (!fields_[i].nullable) out += " NOT NULL";
+  }
+  return out;
+}
+
+}  // namespace laws

@@ -1,0 +1,54 @@
+#ifndef LAWSDB_STORAGE_SCHEMA_H_
+#define LAWSDB_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/types.h"
+
+namespace laws {
+
+/// One column definition.
+struct Field {
+  std::string name;
+  DataType type = DataType::kDouble;
+  bool nullable = true;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type &&
+           nullable == other.nullable;
+  }
+};
+
+/// An ordered list of fields with name lookup. Field names are compared
+/// case-insensitively, as in SQL.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name` (case-insensitive), or NotFound.
+  Result<size_t> FieldIndex(std::string_view name) const;
+
+  /// True if a field with this name exists.
+  bool HasField(std::string_view name) const;
+
+  /// "name TYPE, name TYPE, ..." rendering.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_STORAGE_SCHEMA_H_

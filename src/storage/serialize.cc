@@ -1,0 +1,175 @@
+#include "storage/serialize.h"
+
+namespace laws {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'W', 'S', '1'};
+
+void SerializeColumn(const Column& col, size_t num_rows, ByteWriter* out) {
+  // Validity bitmap: flag byte 1 + raw bytes when the column has nulls.
+  const bool has_nulls = col.null_count() > 0;
+  out->PutU8(has_nulls ? 1 : 0);
+  if (has_nulls) {
+    const auto& validity = col.validity();
+    out->PutVarint(validity.size());
+    out->PutRaw(validity.data(), validity.size());
+  }
+  switch (col.type()) {
+    case DataType::kInt64:
+      out->PutRaw(col.int64_data().data(), num_rows * sizeof(int64_t));
+      break;
+    case DataType::kDouble:
+      out->PutRaw(col.double_data().data(), num_rows * sizeof(double));
+      break;
+    case DataType::kString: {
+      out->PutVarint(col.dictionary().size());
+      for (const auto& s : col.dictionary()) out->PutString(s);
+      out->PutRaw(col.string_codes().data(), num_rows * sizeof(uint32_t));
+      break;
+    }
+    case DataType::kBool:
+      out->PutRaw(col.bool_data().data(), num_rows);
+      break;
+  }
+}
+
+Result<Column> DeserializeColumn(const Field& field, size_t num_rows,
+                                 ByteReader* in) {
+  LAWS_ASSIGN_OR_RETURN(uint8_t has_nulls, in->GetU8());
+  std::vector<uint8_t> validity;
+  if (has_nulls) {
+    LAWS_ASSIGN_OR_RETURN(uint64_t vbytes, in->GetVarint());
+    validity.resize(vbytes);
+    LAWS_RETURN_IF_ERROR(in->GetRaw(validity.data(), vbytes));
+  }
+  auto valid_at = [&](size_t i) {
+    if (validity.empty()) return true;
+    return ((validity[i >> 3] >> (i & 7)) & 1) != 0;
+  };
+
+  Column col(field.type, field.nullable || has_nulls);
+  switch (field.type) {
+    case DataType::kInt64: {
+      std::vector<int64_t> data(num_rows);
+      LAWS_RETURN_IF_ERROR(
+          in->GetRaw(data.data(), num_rows * sizeof(int64_t)));
+      for (size_t i = 0; i < num_rows; ++i) {
+        if (valid_at(i)) {
+          col.AppendInt64(data[i]);
+        } else {
+          LAWS_RETURN_IF_ERROR(col.AppendNull());
+        }
+      }
+      break;
+    }
+    case DataType::kDouble: {
+      std::vector<double> data(num_rows);
+      LAWS_RETURN_IF_ERROR(in->GetRaw(data.data(), num_rows * sizeof(double)));
+      for (size_t i = 0; i < num_rows; ++i) {
+        if (valid_at(i)) {
+          col.AppendDouble(data[i]);
+        } else {
+          LAWS_RETURN_IF_ERROR(col.AppendNull());
+        }
+      }
+      break;
+    }
+    case DataType::kString: {
+      LAWS_ASSIGN_OR_RETURN(uint64_t dict_size, in->GetVarint());
+      std::vector<std::string> dict(dict_size);
+      for (auto& s : dict) {
+        LAWS_ASSIGN_OR_RETURN(s, in->GetString());
+      }
+      std::vector<uint32_t> codes(num_rows);
+      LAWS_RETURN_IF_ERROR(
+          in->GetRaw(codes.data(), num_rows * sizeof(uint32_t)));
+      for (size_t i = 0; i < num_rows; ++i) {
+        if (!valid_at(i)) {
+          LAWS_RETURN_IF_ERROR(col.AppendNull());
+          continue;
+        }
+        if (codes[i] >= dict.size()) {
+          return Status::ParseError("dictionary code out of range");
+        }
+        col.AppendString(dict[codes[i]]);
+      }
+      break;
+    }
+    case DataType::kBool: {
+      std::vector<uint8_t> data(num_rows);
+      LAWS_RETURN_IF_ERROR(in->GetRaw(data.data(), num_rows));
+      for (size_t i = 0; i < num_rows; ++i) {
+        if (valid_at(i)) {
+          col.AppendBool(data[i] != 0);
+        } else {
+          LAWS_RETURN_IF_ERROR(col.AppendNull());
+        }
+      }
+      break;
+    }
+  }
+  return col;
+}
+
+}  // namespace
+
+void SerializeTable(const Table& table, ByteWriter* out) {
+  out->PutRaw(kMagic, sizeof(kMagic));
+  const Schema& schema = table.schema();
+  out->PutVarint(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    out->PutString(f.name);
+    out->PutU8(static_cast<uint8_t>(f.type));
+    out->PutU8(f.nullable ? 1 : 0);
+  }
+  out->PutVarint(table.num_rows());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    SerializeColumn(table.column(c), table.num_rows(), out);
+  }
+}
+
+std::vector<uint8_t> SerializeTableToBytes(const Table& table) {
+  ByteWriter w;
+  SerializeTable(table, &w);
+  return w.TakeData();
+}
+
+Result<Table> DeserializeTable(ByteReader* in) {
+  char magic[4];
+  LAWS_RETURN_IF_ERROR(in->GetRaw(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    return Status::ParseError("bad magic; not a LAWS table");
+  }
+  LAWS_ASSIGN_OR_RETURN(uint64_t nfields, in->GetVarint());
+  std::vector<Field> fields;
+  fields.reserve(nfields);
+  for (uint64_t i = 0; i < nfields; ++i) {
+    Field f;
+    LAWS_ASSIGN_OR_RETURN(f.name, in->GetString());
+    LAWS_ASSIGN_OR_RETURN(uint8_t t, in->GetU8());
+    if (t > static_cast<uint8_t>(DataType::kBool)) {
+      return Status::ParseError("bad column type tag");
+    }
+    f.type = static_cast<DataType>(t);
+    LAWS_ASSIGN_OR_RETURN(uint8_t nullable, in->GetU8());
+    f.nullable = nullable != 0;
+    fields.push_back(std::move(f));
+  }
+  Schema schema(std::move(fields));
+  LAWS_ASSIGN_OR_RETURN(uint64_t num_rows, in->GetVarint());
+  std::vector<Column> columns;
+  columns.reserve(schema.num_fields());
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    LAWS_ASSIGN_OR_RETURN(Column col,
+                          DeserializeColumn(schema.field(c), num_rows, in));
+    columns.push_back(std::move(col));
+  }
+  return Table::FromColumns(std::move(schema), std::move(columns));
+}
+
+Result<Table> DeserializeTableFromBytes(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  return DeserializeTable(&r);
+}
+
+}  // namespace laws

@@ -1,0 +1,31 @@
+#ifndef LAWSDB_STORAGE_SERIALIZE_H_
+#define LAWSDB_STORAGE_SERIALIZE_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// Serializes a table into the LAWS binary format (uncompressed, plain
+/// columnar layout). This is the reference encoding the semantic
+/// compressor (laws::compress) is measured against.
+///
+/// Layout: magic "LWS1", schema, row count, per-column [validity bitmap?,
+/// typed payload]. All integers little-endian; lengths as LEB128 varints.
+void SerializeTable(const Table& table, ByteWriter* out);
+
+/// Convenience: serialize to a fresh byte vector.
+std::vector<uint8_t> SerializeTableToBytes(const Table& table);
+
+/// Parses a table from the LAWS binary format.
+Result<Table> DeserializeTable(ByteReader* in);
+
+/// Convenience over a byte vector.
+Result<Table> DeserializeTableFromBytes(const std::vector<uint8_t>& bytes);
+
+}  // namespace laws
+
+#endif  // LAWSDB_STORAGE_SERIALIZE_H_

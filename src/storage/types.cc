@@ -1,0 +1,58 @@
+#include "storage/types.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace laws {
+
+std::string_view DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kBool:
+      return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+Result<DataType> DataTypeFromString(std::string_view s) {
+  const std::string up = ToLower(s);
+  if (up == "int64" || up == "bigint" || up == "int" || up == "integer") {
+    return DataType::kInt64;
+  }
+  if (up == "double" || up == "float" || up == "real" || up == "float8") {
+    return DataType::kDouble;
+  }
+  if (up == "string" || up == "varchar" || up == "text" || up == "char") {
+    return DataType::kString;
+  }
+  if (up == "bool" || up == "boolean") {
+    return DataType::kBool;
+  }
+  return Status::ParseError("unknown data type: " + std::string(s));
+}
+
+Result<double> Value::AsDouble() const {
+  if (is_double()) return dbl();
+  if (is_int64()) return static_cast<double>(int64());
+  if (is_bool()) return boolean() ? 1.0 : 0.0;
+  if (is_null()) return Status::TypeMismatch("NULL has no numeric value");
+  return Status::TypeMismatch("string is not numeric");
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(int64());
+  if (is_bool()) return boolean() ? "true" : "false";
+  if (is_string()) return str();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", dbl());
+  return buf;
+}
+
+}  // namespace laws

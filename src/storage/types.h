@@ -1,0 +1,78 @@
+#ifndef LAWSDB_STORAGE_TYPES_H_
+#define LAWSDB_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/result.h"
+
+namespace laws {
+
+/// Physical column types supported by the storage engine. Deliberately
+/// small: the paper's workloads are scientific tables of ids, categorical
+/// codes and measurements.
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kBool = 3,
+};
+
+/// Stable name for a data type ("INT64", "DOUBLE", ...).
+std::string_view DataTypeToString(DataType t);
+
+/// Parses a type name (case-insensitive); accepts SQL-ish aliases
+/// (BIGINT/INT, FLOAT/REAL, VARCHAR/TEXT, BOOLEAN).
+Result<DataType> DataTypeFromString(std::string_view s);
+
+/// A dynamically typed scalar: a typed value or NULL. Used for literals,
+/// row construction and scalar query results. Hot loops never touch Value —
+/// they operate on the typed column arrays directly.
+class Value {
+ public:
+  /// NULL value.
+  Value() : payload_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Payload(v)); }
+  static Value Double(double v) { return Value(Payload(v)); }
+  static Value String(std::string v) { return Value(Payload(std::move(v))); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+
+  bool is_null() const {
+    return std::holds_alternative<std::monostate>(payload_);
+  }
+  bool is_int64() const { return std::holds_alternative<int64_t>(payload_); }
+  bool is_double() const { return std::holds_alternative<double>(payload_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(payload_);
+  }
+  bool is_bool() const { return std::holds_alternative<bool>(payload_); }
+
+  int64_t int64() const { return std::get<int64_t>(payload_); }
+  double dbl() const { return std::get<double>(payload_); }
+  const std::string& str() const { return std::get<std::string>(payload_); }
+  bool boolean() const { return std::get<bool>(payload_); }
+
+  /// Numeric view: int64/double/bool coerced to double. Error on NULL or
+  /// string.
+  Result<double> AsDouble() const;
+
+  /// Renders the value for display; NULL prints as "NULL".
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return payload_ == other.payload_; }
+
+ private:
+  using Payload =
+      std::variant<std::monostate, int64_t, double, std::string, bool>;
+  explicit Value(Payload p) : payload_(std::move(p)) {}
+
+  Payload payload_;
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_STORAGE_TYPES_H_

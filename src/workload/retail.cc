@@ -1,0 +1,51 @@
+#include "workload/retail.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace laws {
+
+Result<RetailDataset> GenerateRetail(const RetailConfig& config) {
+  if (config.num_skus == 0 || config.num_days == 0) {
+    return Status::InvalidArgument("need SKUs and days");
+  }
+  Rng rng(config.seed);
+  RetailDataset dataset;
+  dataset.config = config;
+  dataset.truth.reserve(config.num_skus);
+  for (size_t s = 0; s < config.num_skus; ++s) {
+    RetailSkuTruth t;
+    t.sku = static_cast<int64_t>(s + 1);
+    t.level = std::max(5.0, rng.Normal(config.level_mu, config.level_sd));
+    t.sin_coef = rng.Normal(config.season_amp_mu, config.season_amp_sd);
+    t.cos_coef = rng.Normal(0.0, config.season_amp_sd);
+    t.trend = rng.Normal(0.0, config.trend_sd);
+    dataset.truth.push_back(t);
+  }
+
+  Schema schema({Field{"sku", DataType::kInt64, false},
+                 Field{"day", DataType::kInt64, false},
+                 Field{"units", DataType::kDouble, false}});
+  Table table(schema);
+  Column* sku_col = table.mutable_column(0);
+  Column* day_col = table.mutable_column(1);
+  Column* units_col = table.mutable_column(2);
+  for (const RetailSkuTruth& t : dataset.truth) {
+    for (size_t d = 0; d < config.num_days; ++d) {
+      const double day = static_cast<double>(d);
+      const double w = 2.0 * M_PI * day / config.period;
+      const double units = t.level + t.sin_coef * std::sin(w) +
+                           t.cos_coef * std::cos(w) + t.trend * day +
+                           rng.Normal(0.0, config.noise_sd);
+      sku_col->AppendInt64(t.sku);
+      day_col->AppendInt64(static_cast<int64_t>(d));
+      units_col->AppendDouble(units);
+    }
+  }
+  LAWS_RETURN_IF_ERROR(table.SyncRowCount());
+  dataset.sales = std::move(table);
+  return dataset;
+}
+
+}  // namespace laws

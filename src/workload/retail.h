@@ -1,0 +1,52 @@
+#ifndef LAWSDB_WORKLOAD_RETAIL_H_
+#define LAWSDB_WORKLOAD_RETAIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// Synthetic retail demand workload standing in for the paper's proposed
+/// TPC-DS evaluation (§6): benchmark generators plant strong regularities,
+/// and ours makes the regularity explicit — per-SKU daily unit sales follow
+/// level + weekly seasonality + linear trend, with Gaussian noise:
+///
+///   units(sku, day) = level_s + a_s sin(2 pi day/7) + b_s cos(2 pi day/7)
+///                     + trend_s * day + eps
+struct RetailConfig {
+  size_t num_skus = 200;
+  size_t num_days = 365;
+  double level_mu = 120.0;
+  double level_sd = 40.0;
+  double season_amp_mu = 25.0;
+  double season_amp_sd = 8.0;
+  double trend_sd = 0.05;
+  double noise_sd = 6.0;
+  double period = 7.0;
+  uint64_t seed = 7;
+};
+
+/// Ground truth for one SKU.
+struct RetailSkuTruth {
+  int64_t sku = 0;
+  double level = 0.0;
+  double sin_coef = 0.0;
+  double cos_coef = 0.0;
+  double trend = 0.0;
+};
+
+/// The generated workload: sales(sku INT64, day INT64, units DOUBLE).
+struct RetailDataset {
+  Table sales{Schema{}};
+  std::vector<RetailSkuTruth> truth;
+  RetailConfig config;
+};
+
+Result<RetailDataset> GenerateRetail(const RetailConfig& config = {});
+
+}  // namespace laws
+
+#endif  // LAWSDB_WORKLOAD_RETAIL_H_

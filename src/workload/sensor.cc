@@ -1,0 +1,78 @@
+#include "workload/sensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace laws {
+
+Result<SensorDataset> GenerateSensor(const SensorConfig& config) {
+  if (config.num_sensors == 0 || config.num_ticks < 4) {
+    return Status::InvalidArgument("need sensors and ticks");
+  }
+  for (double b : config.breakpoints) {
+    if (b <= 0.0 || b >= 1.0) {
+      return Status::InvalidArgument("breakpoints must be in (0, 1)");
+    }
+  }
+  Rng rng(config.seed);
+  SensorDataset dataset;
+  dataset.config = config;
+  for (double b : config.breakpoints) {
+    dataset.tick_breakpoints.push_back(
+        b * static_cast<double>(config.num_ticks));
+  }
+  std::sort(dataset.tick_breakpoints.begin(), dataset.tick_breakpoints.end());
+
+  const size_t num_segments = config.breakpoints.size() + 1;
+  dataset.truth.reserve(config.num_sensors);
+  for (size_t s = 0; s < config.num_sensors; ++s) {
+    SensorTruth t;
+    t.sensor = static_cast<int64_t>(s + 1);
+    // Continuous piecewise-linear drift: each segment starts where the
+    // previous ended, with a fresh slope.
+    double level = rng.Normal(config.base_mu, config.base_sd);
+    double seg_start = 0.0;
+    for (size_t seg = 0; seg < num_segments; ++seg) {
+      const double slope = rng.Normal(0.0, config.slope_sd);
+      // intercept such that value(seg_start) == level
+      t.segments.emplace_back(level - slope * seg_start, slope);
+      const double seg_end =
+          seg < dataset.tick_breakpoints.size()
+              ? dataset.tick_breakpoints[seg]
+              : static_cast<double>(config.num_ticks);
+      level += slope * (seg_end - seg_start);
+      seg_start = seg_end;
+    }
+    dataset.truth.push_back(std::move(t));
+  }
+
+  Schema schema({Field{"sensor", DataType::kInt64, false},
+                 Field{"tick", DataType::kInt64, false},
+                 Field{"temperature", DataType::kDouble, false}});
+  Table table(schema);
+  Column* sensor_col = table.mutable_column(0);
+  Column* tick_col = table.mutable_column(1);
+  Column* temp_col = table.mutable_column(2);
+  for (const SensorTruth& t : dataset.truth) {
+    for (size_t tick = 0; tick < config.num_ticks; ++tick) {
+      const double x = static_cast<double>(tick);
+      const size_t seg = static_cast<size_t>(
+          std::upper_bound(dataset.tick_breakpoints.begin(),
+                           dataset.tick_breakpoints.end(), x) -
+          dataset.tick_breakpoints.begin());
+      const auto& [intercept, slope] = t.segments[seg];
+      const double temp =
+          intercept + slope * x + rng.Normal(0.0, config.noise_sd);
+      sensor_col->AppendInt64(t.sensor);
+      tick_col->AppendInt64(static_cast<int64_t>(tick));
+      temp_col->AppendDouble(temp);
+    }
+  }
+  LAWS_RETURN_IF_ERROR(table.SyncRowCount());
+  dataset.readings = std::move(table);
+  return dataset;
+}
+
+}  // namespace laws

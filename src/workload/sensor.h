@@ -1,0 +1,48 @@
+#ifndef LAWSDB_WORKLOAD_SENSOR_H_
+#define LAWSDB_WORKLOAD_SENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// Synthetic sensor-network workload in the spirit of MauveDB's motivating
+/// deployments (paper §5): each sensor reports a temperature that drifts
+/// piecewise-linearly over time (regime changes at fixed breakpoints) with
+/// Gaussian measurement noise. Good substrate for piecewise-polynomial
+/// (FunctionDB-style) models and grid materialization experiments.
+struct SensorConfig {
+  size_t num_sensors = 50;
+  size_t num_ticks = 2000;
+  /// Interior regime-change breakpoints as fractions of the time axis.
+  std::vector<double> breakpoints = {0.35, 0.7};
+  double base_mu = 20.0;
+  double base_sd = 3.0;
+  double slope_sd = 0.004;
+  double noise_sd = 0.25;
+  uint64_t seed = 99;
+};
+
+struct SensorTruth {
+  int64_t sensor = 0;
+  /// Per-segment (intercept, slope); segments.size() = breakpoints+1.
+  std::vector<std::pair<double, double>> segments;
+};
+
+/// readings(sensor INT64, tick INT64, temperature DOUBLE).
+struct SensorDataset {
+  Table readings{Schema{}};
+  std::vector<SensorTruth> truth;
+  SensorConfig config;
+  /// Breakpoints in tick units (for building matching piecewise models).
+  std::vector<double> tick_breakpoints;
+};
+
+Result<SensorDataset> GenerateSensor(const SensorConfig& config = {});
+
+}  // namespace laws
+
+#endif  // LAWSDB_WORKLOAD_SENSOR_H_

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "anomaly/anomaly.h"
+#include "anomaly/exploration.h"
+#include "common/random.h"
+#include "core/session.h"
+#include "storage/catalog.h"
+
+namespace laws {
+namespace {
+
+/// Grouped power-law data where a known subset of groups is anomalous
+/// (output unrelated to input).
+struct AnomalyFixture {
+  Catalog data;
+  ModelCatalog models;
+  std::unique_ptr<Session> session;
+  uint64_t model_id = 0;
+  std::set<int64_t> planted;  // anomalous group keys
+  TablePtr table;
+
+  explicit AnomalyFixture(uint64_t seed = 3) {
+    Rng rng(seed);
+    table = std::make_shared<Table>(
+        Schema({Field{"g", DataType::kInt64, false},
+                Field{"x", DataType::kDouble, false},
+                Field{"y", DataType::kDouble, false}}));
+    for (int g = 1; g <= 40; ++g) {
+      const bool anomalous = g % 10 == 0;  // groups 10, 20, 30, 40
+      if (anomalous) planted.insert(g);
+      const double p = rng.Uniform(0.8, 1.5);
+      const double a = rng.Uniform(-0.9, -0.5);
+      for (int i = 0; i < 40; ++i) {
+        const double x = rng.Uniform(0.1, 0.2);
+        const double y =
+            anomalous ? rng.Uniform(1.0, 20.0)
+                      : p * std::pow(x, a) * std::exp(rng.Normal(0, 0.02));
+        EXPECT_TRUE(table
+                        ->AppendRow({Value::Int64(g), Value::Double(x),
+                                     Value::Double(y)})
+                        .ok());
+      }
+    }
+    data.RegisterOrReplace("obs", table);
+    session = std::make_unique<Session>(&data, &models);
+    FitRequest r;
+    r.table = "obs";
+    r.model_source = "power_law";
+    r.input_columns = {"x"};
+    r.output_column = "y";
+    r.group_column = "g";
+    auto report = session->Fit(r);
+    EXPECT_TRUE(report.ok());
+    model_id = report->model_id;
+  }
+};
+
+TEST(AnomalyTest, PlantedGroupsRankFirst) {
+  AnomalyFixture f;
+  auto model = f.models.Get(f.model_id);
+  ASSERT_TRUE(model.ok());
+  auto report = ScoreGroups(**model);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->ranked.size(), 40u);
+  // The four planted anomalies occupy the top four scores.
+  std::set<int64_t> top;
+  for (size_t i = 0; i < f.planted.size(); ++i) {
+    top.insert(report->ranked[i].group_key);
+  }
+  EXPECT_EQ(top, f.planted);
+}
+
+TEST(AnomalyTest, FlaggingPrecisionAndRecall) {
+  AnomalyFixture f;
+  auto model = f.models.Get(f.model_id);
+  ASSERT_TRUE(model.ok());
+  auto report = ScoreGroups(**model);
+  ASSERT_TRUE(report.ok());
+  size_t true_pos = 0, false_pos = 0;
+  for (const auto& s : report->ranked) {
+    if (!s.flagged) continue;
+    if (f.planted.count(s.group_key) > 0) {
+      ++true_pos;
+    } else {
+      ++false_pos;
+    }
+  }
+  EXPECT_EQ(true_pos, f.planted.size());  // full recall
+  EXPECT_LE(false_pos, 2u);               // high precision
+}
+
+TEST(AnomalyTest, CleanDataFlagsNothing) {
+  Rng rng(7);
+  Catalog data;
+  ModelCatalog models;
+  auto t = std::make_shared<Table>(
+      Schema({Field{"g", DataType::kInt64, false},
+              Field{"x", DataType::kDouble, false},
+              Field{"y", DataType::kDouble, false}}));
+  for (int g = 1; g <= 20; ++g) {
+    for (int i = 0; i < 30; ++i) {
+      const double x = rng.Uniform(0.1, 0.2);
+      EXPECT_TRUE(t->AppendRow({Value::Int64(g), Value::Double(x),
+                                Value::Double(std::pow(x, -0.7) *
+                                              std::exp(rng.Normal(0, 0.02)))})
+                      .ok());
+    }
+  }
+  data.RegisterOrReplace("clean", t);
+  Session session(&data, &models);
+  FitRequest r;
+  r.table = "clean";
+  r.model_source = "power_law";
+  r.input_columns = {"x"};
+  r.output_column = "y";
+  r.group_column = "g";
+  auto report = session.Fit(r);
+  ASSERT_TRUE(report.ok());
+  auto model = models.Get(report->model_id);
+  ASSERT_TRUE(model.ok());
+  auto anomalies = ScoreGroups(**model);
+  ASSERT_TRUE(anomalies.ok());
+  EXPECT_LE(anomalies->flagged, 1u);
+}
+
+TEST(AnomalyTest, RequiresGroupedModel) {
+  CapturedModel ungrouped;
+  ungrouped.grouped = false;
+  EXPECT_FALSE(ScoreGroups(ungrouped).ok());
+}
+
+TEST(OutlierTest, InjectedTupleOutlierFound) {
+  AnomalyFixture f(11);
+  // Corrupt one row of a healthy group with an absurd value. (A single
+  // outlier inflates that group's residual SE to ~|outlier|/sqrt(n), so its
+  // own z-score lands near sqrt(n) — comfortably above the threshold.)
+  auto table = *f.data.Get("obs");
+  ASSERT_TRUE(table
+                  ->AppendRow({Value::Int64(1), Value::Double(0.15),
+                               Value::Double(1000.0)})
+                  .ok());
+  // Refit so the model matches current data.
+  auto refit = f.session->Refit(f.model_id);
+  ASSERT_TRUE(refit.ok());
+  auto model = f.models.Get(refit->model_id);
+  ASSERT_TRUE(model.ok());
+  auto outliers = DetectOutlierTuples(*table, **model, 5.0);
+  ASSERT_TRUE(outliers.ok());
+  size_t found = 0;
+  for (const auto& o : *outliers) {
+    if (o.group_key == 1 && o.observed >= 1000.0) ++found;
+  }
+  EXPECT_EQ(found, 1u);
+  // Results are ranked by |z|.
+  for (size_t i = 1; i < outliers->size(); ++i) {
+    EXPECT_GE(std::fabs((*outliers)[i - 1].z_score),
+              std::fabs((*outliers)[i].z_score));
+  }
+}
+
+TEST(ExplorationTest, PowerLawGradientPeaksAtSmallX) {
+  // Single captured power law: |d/dx p*x^a| with a < 0 decays in x, so the
+  // sweep must surface the smallest domain values first.
+  CapturedModel m;
+  m.model_source = "power_law";
+  m.grouped = false;
+  m.parameters = {1.0, -0.7};
+  const auto domain =
+      ColumnDomain::Explicit({0.1, 0.12, 0.14, 0.16, 0.18, 0.2});
+  auto points = FindHighGradientRegions(m, domain, 3);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 3u);
+  EXPECT_DOUBLE_EQ((*points)[0].input, 0.1);
+  EXPECT_DOUBLE_EQ((*points)[1].input, 0.12);
+  EXPECT_DOUBLE_EQ((*points)[2].input, 0.14);
+  // Sorted by |gradient| descending.
+  for (size_t i = 1; i < points->size(); ++i) {
+    EXPECT_GE(std::fabs((*points)[i - 1].gradient),
+              std::fabs((*points)[i].gradient));
+  }
+}
+
+TEST(ExplorationTest, GroupedSweepCoversAllGroups) {
+  AnomalyFixture f(13);
+  auto model = f.models.Get(f.model_id);
+  ASSERT_TRUE(model.ok());
+  const auto domain = ColumnDomain::Explicit({0.1, 0.15, 0.2});
+  // Ask for everything: 40 groups x 3 points.
+  auto points = FindHighGradientRegions(**model, domain, 1000);
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->size(), 120u);
+}
+
+TEST(AnomalyTest, RankingIsMonotoneInScore) {
+  AnomalyFixture f(17);
+  auto model = f.models.Get(f.model_id);
+  ASSERT_TRUE(model.ok());
+  auto report = ScoreGroups(**model);
+  ASSERT_TRUE(report.ok());
+  for (size_t i = 1; i < report->ranked.size(); ++i) {
+    EXPECT_GE(report->ranked[i - 1].score, report->ranked[i].score);
+  }
+  EXPECT_GT(report->median_residual_se, 0.0);
+  EXPECT_GT(report->median_r_squared, 0.0);
+}
+
+TEST(AnomalyTest, ThresholdsControlFlagging) {
+  AnomalyFixture f(19);
+  auto model = f.models.Get(f.model_id);
+  ASSERT_TRUE(model.ok());
+  AnomalyOptions lax;
+  lax.r_squared_threshold = -1.0;  // nothing fails the R2 screen
+  lax.rse_factor = 1e18;           // nothing fails the RSE screen
+  auto none = ScoreGroups(**model, lax);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->flagged, 0u);
+  AnomalyOptions strict;
+  strict.r_squared_threshold = 1.1;  // everything fails
+  auto all = ScoreGroups(**model, strict);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->flagged, all->ranked.size());
+}
+
+TEST(OutlierTest, ThresholdMonotonicity) {
+  AnomalyFixture f(23);
+  auto table = *f.data.Get("obs");
+  auto model = f.models.Get(f.model_id);
+  ASSERT_TRUE(model.ok());
+  auto loose = DetectOutlierTuples(*table, **model, 2.0);
+  auto tight = DetectOutlierTuples(*table, **model, 6.0);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GE(loose->size(), tight->size());
+  for (const auto& o : *tight) EXPECT_GE(std::fabs(o.z_score), 6.0);
+}
+
+TEST(OutlierTest, RequiresGroupedModelAndKnownColumns) {
+  AnomalyFixture f(29);
+  auto table = *f.data.Get("obs");
+  CapturedModel ungrouped;
+  ungrouped.grouped = false;
+  EXPECT_FALSE(DetectOutlierTuples(*table, ungrouped, 4.0).ok());
+  auto model = f.models.Get(f.model_id);
+  CapturedModel wrong = **model;
+  wrong.output_column = "missing";
+  EXPECT_FALSE(DetectOutlierTuples(*table, wrong, 4.0).ok());
+}
+
+TEST(ExplorationTest, MultiInputModelRejected) {
+  CapturedModel m;
+  m.model_source = "linear(2)";
+  m.grouped = false;
+  m.parameters = {0.0, 1.0, 1.0};
+  const auto domain = ColumnDomain::IntegerRange(0, 10, 1);
+  EXPECT_FALSE(FindHighGradientRegions(m, domain, 5).ok());
+}
+
+TEST(ExplorationTest, UngroupedModelSweep) {
+  CapturedModel m;
+  m.model_source = "poly(2)";
+  m.grouped = false;
+  m.parameters = {0.0, 0.0, 1.0};  // y = x^2, dy/dx = 2x
+  auto domain = ColumnDomain::IntegerRange(-5, 5, 1);
+  auto points = FindHighGradientRegions(m, domain, 3);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 3u);
+  EXPECT_NEAR(std::fabs((*points)[0].gradient), 10.0, 1e-6);
+  EXPECT_NEAR(std::fabs((*points)[0].input), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace laws

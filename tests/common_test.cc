@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace laws {
+namespace {
+
+// --- Status / Result ---------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table t");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table t");
+  EXPECT_EQ(s.ToString(), "NotFound: table t");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::AlreadyExists("").code(),   Status::OutOfRange("").code(),
+      Status::Unimplemented("").code(),   Status::Internal("").code(),
+      Status::IOError("").code(),         Status::ParseError("").code(),
+      Status::TypeMismatch("").code(),    Status::NumericError("").code(),
+      Status::Aborted("").code()};
+  EXPECT_EQ(codes.size(), 11u);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNumericError), "NumericError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  LAWS_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*DoublePositive(21), 42);
+  EXPECT_FALSE(DoublePositive(-1).ok());
+  EXPECT_EQ(DoublePositive(-1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// --- Rng ----------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ZipfBounded) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Zipf(100, 1.2);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardSmallValues) {
+  Rng rng(23);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += rng.Zipf(1000, 1.5) == 1 ? 1 : 0;
+  // Rank 1 should dominate under s=1.5.
+  EXPECT_GT(ones, n / 4);
+}
+
+TEST(RngTest, PermutationIsBijective) {
+  Rng rng(29);
+  const auto perm = rng.Permutation(257);
+  std::set<uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+// --- string_util ----------------------------------------------------------
+
+TEST(StringUtilTest, SplitBasic) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split(",a,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "|"), "x|y|z");
+  EXPECT_EQ(Join({}, "|"), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_TRUE(EqualsIgnoreCase("WHERE", "where"));
+  EXPECT_FALSE(EqualsIgnoreCase("WHERE", "wher"));
+  EXPECT_TRUE(StartsWith("power_law", "power"));
+  EXPECT_FALSE(StartsWith("pow", "power"));
+  EXPECT_TRUE(EndsWith("model.cc", ".cc"));
+  EXPECT_FALSE(EndsWith(".cc", "model.cc"));
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(HumanBytes(11ull * 1024 * 1024), "11.0 MiB");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.6931471805599453, 4), "0.6931");
+  EXPECT_EQ(FormatDouble(1e6, 3), "1e+06");
+}
+
+// --- bytes ------------------------------------------------------------
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(7);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutDouble(3.5);
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetU8(), 7);
+  EXPECT_EQ(*r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_EQ(*r.GetDouble(), 3.5);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  ByteWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  w.PutString(std::string(1000, 'x'));
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(*r.GetString(), "");
+  EXPECT_EQ(r.GetString()->size(), 1000u);
+}
+
+TEST(BytesTest, TruncatedReadsFail) {
+  ByteWriter w;
+  w.PutU8(1);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetU8().ok());
+  EXPECT_FALSE(r.GetU64().ok());
+  EXPECT_EQ(r.GetU64().status().code(), StatusCode::kParseError);
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  ByteWriter w;
+  w.PutVarint(100);  // claims 100 bytes follow
+  w.PutU8('a');
+  ByteReader r(w.data());
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(VarintRoundTrip, Signed) {
+  ByteWriter w;
+  w.PutSignedVarint(GetParam());
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetSignedVarint(), GetParam());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST_P(VarintRoundTrip, UnsignedOfAbs) {
+  const uint64_t v = static_cast<uint64_t>(GetParam());
+  ByteWriter w;
+  w.PutVarint(v);
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetVarint(), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Extremes, VarintRoundTrip,
+    ::testing::Values(0, 1, -1, 127, 128, -128, 300, -300, 1'000'000,
+                      -1'000'000, INT64_MAX, INT64_MIN, INT64_MAX - 1,
+                      INT64_MIN + 1));
+
+TEST(BytesTest, RandomVarintProperty) {
+  Rng rng(31);
+  ByteWriter w;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextU64());
+    values.push_back(v);
+    w.PutSignedVarint(v);
+  }
+  ByteReader r(w.data());
+  for (int64_t expected : values) EXPECT_EQ(*r.GetSignedVarint(), expected);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, MalformedVarintTooLong) {
+  // 11 continuation bytes exceed the 64-bit budget.
+  std::vector<uint8_t> bad(11, 0xFF);
+  ByteReader r(bad.data(), bad.size());
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(static_cast<double>(i));
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMicros(), t.ElapsedMillis());
+  t.Restart();
+  EXPECT_LT(t.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace laws

@@ -1,0 +1,459 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "compress/column_compressor.h"
+#include "compress/encoding.h"
+#include "compress/semantic.h"
+#include "model/grouped_fit.h"
+#include "model/model.h"
+
+namespace laws {
+namespace {
+
+// --- Block encoders ------------------------------------------------------
+
+TEST(RleTest, RoundTripRuns) {
+  const std::vector<int64_t> v = {5, 5, 5, 5, -1, -1, 7, 7, 7, 7, 7, 7};
+  ByteWriter w;
+  RleEncodeInt64(v, &w);
+  ByteReader r(w.data());
+  EXPECT_EQ(*RleDecodeInt64(&r), v);
+}
+
+TEST(RleTest, CompressesConstantRuns) {
+  const std::vector<int64_t> v(10000, 42);
+  ByteWriter w;
+  RleEncodeInt64(v, &w);
+  EXPECT_LT(w.size(), 32u);
+}
+
+TEST(RleTest, EmptyInput) {
+  ByteWriter w;
+  RleEncodeInt64({}, &w);
+  ByteReader r(w.data());
+  EXPECT_TRUE(RleDecodeInt64(&r)->empty());
+}
+
+TEST(DeltaVarintTest, RoundTripSortedAndRandom) {
+  Rng rng(1);
+  std::vector<int64_t> sorted;
+  int64_t acc = 0;
+  for (int i = 0; i < 5000; ++i) {
+    acc += rng.UniformInt(0, 10);
+    sorted.push_back(acc);
+  }
+  ByteWriter w;
+  DeltaVarintEncodeInt64(sorted, &w);
+  // Sorted small-delta data: ~1 byte per value.
+  EXPECT_LT(w.size(), sorted.size() * 2);
+  ByteReader r(w.data());
+  EXPECT_EQ(*DeltaVarintDecodeInt64(&r), sorted);
+}
+
+TEST(DeltaVarintTest, ExtremesSafe) {
+  const std::vector<int64_t> v = {INT64_MIN, INT64_MAX, 0, -1, INT64_MIN,
+                                  INT64_MAX};
+  ByteWriter w;
+  DeltaVarintEncodeInt64(v, &w);
+  ByteReader r(w.data());
+  EXPECT_EQ(*DeltaVarintDecodeInt64(&r), v);
+}
+
+TEST(BitPackTest, RoundTripSmallRange) {
+  Rng rng(2);
+  std::vector<int64_t> v;
+  for (int i = 0; i < 3000; ++i) v.push_back(rng.UniformInt(100, 115));
+  ByteWriter w;
+  BitPackEncodeInt64(v, &w);
+  // Range 16 -> 4 bits/value.
+  EXPECT_LT(w.size(), v.size());
+  ByteReader r(w.data());
+  EXPECT_EQ(*BitPackDecodeInt64(&r), v);
+}
+
+TEST(BitPackTest, ConstantColumnIsTiny) {
+  const std::vector<int64_t> v(100000, -7);
+  ByteWriter w;
+  BitPackEncodeInt64(v, &w);
+  EXPECT_LT(w.size(), 16u);
+  ByteReader r(w.data());
+  EXPECT_EQ(*BitPackDecodeInt64(&r), v);
+}
+
+TEST(BitPackTest, WideRangeFallsBackToRaw) {
+  const std::vector<int64_t> v = {INT64_MIN, 0, INT64_MAX};
+  ByteWriter w;
+  BitPackEncodeInt64(v, &w);
+  ByteReader r(w.data());
+  EXPECT_EQ(*BitPackDecodeInt64(&r), v);
+}
+
+class BitPackWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitPackWidths, EveryWidthRoundTrips) {
+  const int width = GetParam();
+  Rng rng(100 + width);
+  const int64_t hi = width >= 63 ? INT64_MAX
+                                 : (int64_t{1} << width) - 1;
+  std::vector<int64_t> v;
+  for (int i = 0; i < 257; ++i) v.push_back(rng.UniformInt(0, hi));
+  v.push_back(0);
+  v.push_back(hi);
+  ByteWriter w;
+  BitPackEncodeInt64(v, &w);
+  ByteReader r(w.data());
+  EXPECT_EQ(*BitPackDecodeInt64(&r), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitPackWidths,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 15, 16, 31, 33,
+                                           47, 55, 56, 57, 63));
+
+TEST(ByteShuffleTest, RoundTrip) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(rng.Normal(100.0, 1.0));
+  ByteWriter w;
+  ByteShuffleEncodeDouble(v, &w);
+  ByteReader r(w.data());
+  EXPECT_EQ(*ByteShuffleDecodeDouble(&r), v);
+}
+
+TEST(ZlibTest, RoundTripAndCompressesRedundancy) {
+  std::string text;
+  for (int i = 0; i < 1000; ++i) text += "the quick brown fox ";
+  auto z = ZlibCompress(reinterpret_cast<const uint8_t*>(text.data()),
+                        text.size());
+  ASSERT_TRUE(z.ok());
+  EXPECT_LT(z->size(), text.size() / 10);
+  auto back = ZlibDecompress(*z);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::string(back->begin(), back->end()), text);
+}
+
+TEST(ZlibTest, RejectsCorruptBlob) {
+  std::vector<uint8_t> junk = {1, 2, 3};
+  EXPECT_FALSE(ZlibDecompress(junk).ok());
+  std::vector<uint8_t> bad(32, 0xAB);
+  EXPECT_FALSE(ZlibDecompress(bad).ok());
+}
+
+// --- Column compressor -------------------------------------------------
+
+Column SequentialInt64(size_t n) {
+  Column c(DataType::kInt64);
+  for (size_t i = 0; i < n; ++i) c.AppendInt64(static_cast<int64_t>(i));
+  return c;
+}
+
+TEST(ColumnCompressorTest, AutoPicksCompactEncodingForSequentialInts) {
+  Column c = SequentialInt64(10000);
+  auto cc = CompressColumn(c, ColumnEncoding::kAuto);
+  ASSERT_TRUE(cc.ok());
+  EXPECT_LT(cc->compressed_bytes(), c.MemoryBytes() / 3);
+  auto back = DecompressColumn(*cc, Field{"x", DataType::kInt64, false});
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(back->Int64At(i), c.Int64At(i));
+  }
+}
+
+class EncodingRoundTrip : public ::testing::TestWithParam<ColumnEncoding> {};
+
+TEST_P(EncodingRoundTrip, Int64WithNulls) {
+  Rng rng(7);
+  Column c(DataType::kInt64);
+  for (int i = 0; i < 500; ++i) {
+    if (rng.Bernoulli(0.1)) {
+      ASSERT_TRUE(c.AppendNull().ok());
+    } else {
+      c.AppendInt64(rng.UniformInt(-50, 50));
+    }
+  }
+  auto cc = CompressColumn(c, GetParam());
+  ASSERT_TRUE(cc.ok()) << cc.status().ToString();
+  auto back = DecompressColumn(*cc, Field{"x", DataType::kInt64, true});
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), c.size());
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(back->GetValue(i), c.GetValue(i)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Int64Encodings, EncodingRoundTrip,
+                         ::testing::Values(ColumnEncoding::kPlain,
+                                           ColumnEncoding::kRle,
+                                           ColumnEncoding::kDeltaVarint,
+                                           ColumnEncoding::kBitPack,
+                                           ColumnEncoding::kZlib,
+                                           ColumnEncoding::kAuto));
+
+TEST(ColumnCompressorTest, DoubleShuffleZlibRoundTrip) {
+  Rng rng(8);
+  Column c(DataType::kDouble);
+  for (int i = 0; i < 2000; ++i) c.AppendDouble(rng.Normal(5.0, 0.001));
+  for (ColumnEncoding e : {ColumnEncoding::kPlain,
+                           ColumnEncoding::kShuffleZlib,
+                           ColumnEncoding::kZlib, ColumnEncoding::kAuto}) {
+    auto cc = CompressColumn(c, e);
+    ASSERT_TRUE(cc.ok());
+    auto back = DecompressColumn(*cc, Field{"x", DataType::kDouble, false});
+    ASSERT_TRUE(back.ok());
+    for (size_t i = 0; i < c.size(); ++i) {
+      EXPECT_EQ(back->DoubleAt(i), c.DoubleAt(i));
+    }
+  }
+}
+
+TEST(ColumnCompressorTest, StringColumnRoundTrip) {
+  Column c(DataType::kString);
+  const char* tags[] = {"red", "green", "blue"};
+  for (int i = 0; i < 1000; ++i) c.AppendString(tags[i % 3]);
+  auto cc = CompressColumn(c, ColumnEncoding::kAuto);
+  ASSERT_TRUE(cc.ok());
+  EXPECT_LT(cc->compressed_bytes(), c.MemoryBytes());
+  auto back = DecompressColumn(*cc, Field{"x", DataType::kString, false});
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(back->StringAt(i), c.StringAt(i));
+  }
+}
+
+TEST(ColumnCompressorTest, BoolColumnRoundTrip) {
+  Rng rng(9);
+  Column c(DataType::kBool);
+  for (int i = 0; i < 300; ++i) c.AppendBool(rng.Bernoulli(0.5));
+  auto cc = CompressColumn(c, ColumnEncoding::kAuto);
+  ASSERT_TRUE(cc.ok());
+  auto back = DecompressColumn(*cc, Field{"x", DataType::kBool, false});
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(back->BoolAt(i), c.BoolAt(i));
+  }
+}
+
+TEST(ColumnCompressorTest, InapplicableEncodingErrors) {
+  Column dbl(DataType::kDouble);
+  dbl.AppendDouble(1.0);
+  EXPECT_FALSE(CompressColumn(dbl, ColumnEncoding::kRle).ok());
+  EXPECT_FALSE(CompressColumn(dbl, ColumnEncoding::kDeltaVarint).ok());
+  Column b(DataType::kBool);
+  b.AppendBool(true);
+  EXPECT_FALSE(CompressColumn(b, ColumnEncoding::kBitPack).ok());
+}
+
+TEST(ColumnCompressorTest, Int64ShuffleZlibRoundTrip) {
+  // XOR-delta-like payloads: low bytes random, high bytes zero.
+  Rng rng(21);
+  Column c(DataType::kInt64);
+  for (int i = 0; i < 4000; ++i) {
+    c.AppendInt64(static_cast<int64_t>(rng.NextU64() & 0xFFFFFF));
+  }
+  auto cc = CompressColumn(c, ColumnEncoding::kShuffleZlib);
+  ASSERT_TRUE(cc.ok());
+  EXPECT_LT(cc->compressed_bytes(), c.MemoryBytes() / 2);
+  auto back = DecompressColumn(*cc, Field{"x", DataType::kInt64, false});
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(back->Int64At(i), c.Int64At(i));
+  }
+}
+
+TEST(CompressedTableTest, FullTableRoundTripAndRatio) {
+  Rng rng(10);
+  Table t(Schema({Field{"k", DataType::kInt64, false},
+                  Field{"x", DataType::kDouble, false},
+                  Field{"tag", DataType::kString, false}}));
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int64(i / 100),
+                             Value::Double(rng.Normal()),
+                             Value::String(i % 2 == 0 ? "even" : "odd")})
+                    .ok());
+  }
+  auto ct = CompressTable(t);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(ct->num_rows, 5000u);
+  EXPECT_LT(ct->CompressionRatio(), 1.0);
+  EXPECT_GT(ct->TotalCompressedBytes(), 0u);
+  auto back = DecompressTable(*ct);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); r += 97) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      EXPECT_EQ(back->GetValue(r, c), t.GetValue(r, c));
+    }
+  }
+}
+
+// --- Semantic compression -----------------------------------------------
+
+/// Builds a power-law grouped table y = p_g * x^a_g with noise, fits it,
+/// and returns everything needed for semantic compression.
+struct SemanticFixture {
+  Table table{Schema{}};
+  PowerLawModel model;
+  GroupedFitSpec spec;
+  GroupedFitOutput fits;
+};
+
+SemanticFixture MakeSemanticFixture(double noise_sd, uint64_t seed = 11) {
+  SemanticFixture f;
+  Rng rng(seed);
+  Table t(Schema({Field{"g", DataType::kInt64, false},
+                  Field{"x", DataType::kDouble, false},
+                  Field{"y", DataType::kDouble, false}}));
+  for (int g = 1; g <= 20; ++g) {
+    const double p = rng.Uniform(0.5, 2.0);
+    const double a = rng.Uniform(-1.2, -0.4);
+    for (int i = 0; i < 50; ++i) {
+      const double x = rng.Uniform(0.1, 0.2);
+      const double y =
+          p * std::pow(x, a) * std::exp(rng.Normal(0.0, noise_sd));
+      EXPECT_TRUE(t.AppendRow({Value::Int64(g), Value::Double(x),
+                               Value::Double(y)})
+                      .ok());
+    }
+  }
+  f.table = std::move(t);
+  f.spec.group_column = "g";
+  f.spec.input_columns = {"x"};
+  f.spec.output_column = "y";
+  auto fits = FitGrouped(f.model, f.table, f.spec);
+  EXPECT_TRUE(fits.ok());
+  f.fits = std::move(*fits);
+  return f;
+}
+
+TEST(SemanticCompressTest, LosslessRoundTripIsBitExact) {
+  SemanticFixture f = MakeSemanticFixture(0.05);
+  auto sc = SemanticCompress(f.table, f.model, f.fits, f.spec);
+  ASSERT_TRUE(sc.ok()) << sc.status().ToString();
+  auto back = SemanticDecompress(*sc);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), f.table.num_rows());
+  const Column& y0 = *f.table.ColumnByName("y").value();
+  const Column& y1 = *back->ColumnByName("y").value();
+  for (size_t i = 0; i < y0.size(); ++i) {
+    EXPECT_EQ(y1.DoubleAt(i), y0.DoubleAt(i)) << i;  // bit-exact
+  }
+  const Column& g0 = *f.table.ColumnByName("g").value();
+  const Column& g1 = *back->ColumnByName("g").value();
+  for (size_t i = 0; i < g0.size(); ++i) {
+    EXPECT_EQ(g1.Int64At(i), g0.Int64At(i));
+  }
+}
+
+TEST(SemanticCompressTest, LossyBoundsAbsoluteError) {
+  SemanticFixture f = MakeSemanticFixture(0.05, 13);
+  SemanticCompressionOptions opts;
+  opts.lossless = false;
+  opts.quantization_step = 1e-3;
+  auto sc = SemanticCompress(f.table, f.model, f.fits, f.spec, opts);
+  ASSERT_TRUE(sc.ok());
+  auto back = SemanticDecompress(*sc);
+  ASSERT_TRUE(back.ok());
+  const Column& y0 = *f.table.ColumnByName("y").value();
+  const Column& y1 = *back->ColumnByName("y").value();
+  double max_err = 0.0;
+  for (size_t i = 0; i < y0.size(); ++i) {
+    max_err = std::max(max_err, std::fabs(y1.DoubleAt(i) - y0.DoubleAt(i)));
+  }
+  EXPECT_LE(max_err, opts.quantization_step / 2 + 1e-12);
+}
+
+TEST(SemanticCompressTest, LossyBeatsLosslessOnSize) {
+  SemanticFixture f = MakeSemanticFixture(0.05, 17);
+  auto lossless = SemanticCompress(f.table, f.model, f.fits, f.spec);
+  SemanticCompressionOptions opts;
+  opts.lossless = false;
+  opts.quantization_step = 1e-2;
+  auto lossy = SemanticCompress(f.table, f.model, f.fits, f.spec, opts);
+  ASSERT_TRUE(lossless.ok());
+  ASSERT_TRUE(lossy.ok());
+  EXPECT_LT(lossy->residual_column.compressed_bytes(),
+            lossless->residual_column.compressed_bytes());
+}
+
+TEST(SemanticCompressTest, GoodModelShrinksResiduals) {
+  // With a near-perfect model, quantized residuals are near zero and the
+  // output column compresses far below its raw size.
+  SemanticFixture f = MakeSemanticFixture(0.001, 19);
+  SemanticCompressionOptions opts;
+  opts.lossless = false;
+  opts.quantization_step = 1e-3;
+  auto sc = SemanticCompress(f.table, f.model, f.fits, f.spec, opts);
+  ASSERT_TRUE(sc.ok());
+  const size_t raw_output_bytes = f.table.num_rows() * sizeof(double);
+  EXPECT_LT(sc->residual_column.compressed_bytes(), raw_output_bytes / 4);
+}
+
+TEST(SemanticCompressTest, LossyRequiresPositiveStep) {
+  SemanticFixture f = MakeSemanticFixture(0.05, 23);
+  SemanticCompressionOptions opts;
+  opts.lossless = false;
+  opts.quantization_step = 0.0;
+  EXPECT_FALSE(SemanticCompress(f.table, f.model, f.fits, f.spec, opts).ok());
+}
+
+TEST(SemanticCompressTest, UnfittedGroupsStillRoundTrip) {
+  SemanticFixture f = MakeSemanticFixture(0.05, 29);
+  // Drop half the fitted groups to simulate skipped/failed fits.
+  f.fits.groups.resize(f.fits.groups.size() / 2);
+  auto sc = SemanticCompress(f.table, f.model, f.fits, f.spec);
+  ASSERT_TRUE(sc.ok());
+  auto back = SemanticDecompress(*sc);
+  ASSERT_TRUE(back.ok());
+  const Column& y0 = *f.table.ColumnByName("y").value();
+  const Column& y1 = *back->ColumnByName("y").value();
+  for (size_t i = 0; i < y0.size(); ++i) {
+    EXPECT_EQ(y1.DoubleAt(i), y0.DoubleAt(i));
+  }
+}
+
+TEST(SemanticCompressTest, RecompressWithBetterModelShrinksBlob) {
+  // Compress power-law data against a (wrong) global-linear fit, then
+  // recompress against the right power-law fit: the residuals collapse.
+  SemanticFixture f = MakeSemanticFixture(0.01, 37);
+  LinearModel wrong(1);
+  auto wrong_fits = FitGrouped(wrong, f.table, f.spec);
+  ASSERT_TRUE(wrong_fits.ok());
+  auto blob_wrong = SemanticCompress(f.table, wrong, *wrong_fits, f.spec);
+  ASSERT_TRUE(blob_wrong.ok());
+
+  auto blob_right =
+      SemanticRecompress(*blob_wrong, f.model, f.fits, f.spec);
+  ASSERT_TRUE(blob_right.ok()) << blob_right.status().ToString();
+  // Still bit-exact after the round trip through the old blob.
+  auto restored = SemanticDecompress(*blob_right);
+  ASSERT_TRUE(restored.ok());
+  const Column& y0 = *f.table.ColumnByName("y").value();
+  const Column& y1 = *restored->ColumnByName("y").value();
+  for (size_t i = 0; i < y0.size(); i += 17) {
+    EXPECT_EQ(y1.DoubleAt(i), y0.DoubleAt(i));
+  }
+  // And the better model compresses the residual column harder.
+  EXPECT_LT(blob_right->residual_column.compressed_bytes(),
+            blob_wrong->residual_column.compressed_bytes());
+}
+
+TEST(SemanticCompressTest, RecompressRefusesLossyInput) {
+  SemanticFixture f = MakeSemanticFixture(0.05, 41);
+  SemanticCompressionOptions lossy;
+  lossy.lossless = false;
+  lossy.quantization_step = 1e-3;
+  auto blob = SemanticCompress(f.table, f.model, f.fits, f.spec, lossy);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_FALSE(SemanticRecompress(*blob, f.model, f.fits, f.spec).ok());
+}
+
+TEST(SemanticCompressTest, RejectsNonDoubleOutput) {
+  SemanticFixture f = MakeSemanticFixture(0.05, 31);
+  GroupedFitSpec bad = f.spec;
+  bad.output_column = "g";  // INT64
+  EXPECT_FALSE(SemanticCompress(f.table, f.model, f.fits, bad).ok());
+}
+
+}  // namespace
+}  // namespace laws

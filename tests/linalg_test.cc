@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+
+namespace laws {
+namespace {
+
+Matrix RandomMatrix(Rng* rng, size_t rows, size_t cols) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m(i, j) = rng->Normal();
+  }
+  return m;
+}
+
+/// A^T A + eps*I is symmetric positive definite for full-rank-ish A.
+Matrix RandomSpd(Rng* rng, size_t n) {
+  Matrix a = RandomMatrix(rng, n + 3, n);
+  Matrix g = a.Gram();
+  for (size_t i = 0; i < n; ++i) g(i, i) += 0.5;
+  return g;
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Rng rng(1);
+  Matrix a = RandomMatrix(&rng, 4, 4);
+  const Matrix i4 = Matrix::Identity(4);
+  EXPECT_EQ(a.Multiply(i4), a);
+  EXPECT_EQ(i4.Multiply(a), a);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(2);
+  Matrix a = RandomMatrix(&rng, 3, 5);
+  EXPECT_EQ(a.Transposed().Transposed(), a);
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {5, 6, 7, 8});
+  Matrix c = a.Multiply(b);
+  EXPECT_EQ(c(0, 0), 19);
+  EXPECT_EQ(c(0, 1), 22);
+  EXPECT_EQ(c(1, 0), 43);
+  EXPECT_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, GramMatchesExplicitProduct) {
+  Rng rng(3);
+  Matrix a = RandomMatrix(&rng, 7, 3);
+  Matrix g = a.Gram();
+  Matrix expected = a.Transposed().Multiply(a);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(g(i, j), expected(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeMultiplyVecMatchesExplicit) {
+  Rng rng(4);
+  Matrix a = RandomMatrix(&rng, 6, 4);
+  Vector b = {1, -2, 3, -4, 5, -6};
+  Vector got = a.TransposeMultiplyVec(b);
+  Vector expected = a.Transposed().MultiplyVec(b);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(got[i], expected[i], 1e-12);
+}
+
+TEST(VectorOpsTest, Basics) {
+  Vector a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  Vector b = Subtract(a, {1.0, 1.0});
+  EXPECT_EQ(b, (Vector{2.0, 3.0}));
+  EXPECT_EQ(Add(b, {1.0, 1.0}), a);
+  EXPECT_EQ(Scale(a, 2.0), (Vector{6.0, 8.0}));
+}
+
+TEST(CholeskyTest, KnownFactorization) {
+  // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]].
+  Matrix a(2, 2, {4, 2, 2, 3});
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR((*l)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR((*l)(0, 1), 0.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonPositiveDefinite) {
+  Matrix a(2, 2, {1, 2, 2, 1});  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+  EXPECT_EQ(CholeskyFactor(a).status().code(), StatusCode::kNumericError);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_EQ(CholeskyFactor(a).status().code(), StatusCode::kInvalidArgument);
+}
+
+class SpdSolveProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SpdSolveProperty, CholeskySolveResidualSmall) {
+  Rng rng(100 + GetParam());
+  const size_t n = GetParam();
+  Matrix a = RandomSpd(&rng, n);
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.Normal();
+  Vector b = a.MultiplyVec(x_true);
+  auto x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-7);
+}
+
+TEST_P(SpdSolveProperty, GaussianEliminationMatchesCholesky) {
+  Rng rng(200 + GetParam());
+  const size_t n = GetParam();
+  Matrix a = RandomSpd(&rng, n);
+  Vector b(n);
+  for (auto& v : b) v = rng.Normal();
+  auto x1 = CholeskySolve(a, b);
+  auto x2 = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x1.ok());
+  ASSERT_TRUE(x2.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*x1)[i], (*x2)[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpdSolveProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(QrTest, ReconstructsUpperTriangularR) {
+  Rng rng(7);
+  Matrix a = RandomMatrix(&rng, 10, 4);
+  auto f = QrFactorize(a);
+  ASSERT_TRUE(f.ok());
+  // R^T R should equal A^T A (Q orthonormal).
+  Matrix r(4, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i; j < 4; ++j) r(i, j) = f->qr(i, j);
+  }
+  Matrix rtr = r.Transposed().Multiply(r);
+  Matrix ata = a.Gram();
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) EXPECT_NEAR(rtr(i, j), ata(i, j), 1e-9);
+  }
+}
+
+TEST(QrTest, RejectsWideMatrix) {
+  Matrix a(2, 5);
+  EXPECT_EQ(QrFactorize(a).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QrTest, RejectsRankDeficient) {
+  Matrix a(4, 2);
+  for (size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);  // dependent column
+  }
+  EXPECT_FALSE(LeastSquaresQr(a, {1, 2, 3, 4}).ok());
+}
+
+class LeastSquaresProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LeastSquaresProperty, RecoversExactSolutionOnConsistentSystem) {
+  Rng rng(300 + GetParam());
+  const size_t p = GetParam();
+  const size_t n = p * 5 + 10;
+  Matrix a = RandomMatrix(&rng, n, p);
+  Vector beta_true(p);
+  for (auto& v : beta_true) v = rng.Uniform(-2.0, 2.0);
+  Vector y = a.MultiplyVec(beta_true);
+  auto qr = LeastSquaresQr(a, y);
+  auto normal = LeastSquaresNormal(a, y);
+  ASSERT_TRUE(qr.ok());
+  ASSERT_TRUE(normal.ok());
+  for (size_t i = 0; i < p; ++i) {
+    EXPECT_NEAR((*qr)[i], beta_true[i], 1e-8);
+    EXPECT_NEAR((*normal)[i], beta_true[i], 1e-6);
+  }
+}
+
+TEST_P(LeastSquaresProperty, ResidualOrthogonalToColumns) {
+  Rng rng(400 + GetParam());
+  const size_t p = GetParam();
+  const size_t n = p * 4 + 8;
+  Matrix a = RandomMatrix(&rng, n, p);
+  Vector y(n);
+  for (auto& v : y) v = rng.Normal();
+  auto beta = LeastSquaresQr(a, y);
+  ASSERT_TRUE(beta.ok());
+  const Vector residual = Subtract(y, a.MultiplyVec(*beta));
+  const Vector atr = a.TransposeMultiplyVec(residual);
+  for (size_t j = 0; j < p; ++j) EXPECT_NEAR(atr[j], 0.0, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LeastSquaresProperty,
+                         ::testing::Values(1, 2, 3, 4, 6, 9));
+
+TEST(InvertTest, InverseTimesSelfIsIdentity) {
+  Rng rng(8);
+  Matrix a = RandomSpd(&rng, 5);
+  auto inv = Invert(a);
+  ASSERT_TRUE(inv.ok());
+  Matrix prod = a.Multiply(*inv);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(InvertTest, SingularRejected) {
+  Matrix a(2, 2, {1, 2, 2, 4});
+  EXPECT_EQ(Invert(a).status().code(), StatusCode::kNumericError);
+}
+
+TEST(ConditionTest, IdentityIsPerfectlyConditioned) {
+  auto c = ConditionEstimate(Matrix::Identity(6));
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(*c, 1.0, 1e-12);
+}
+
+TEST(ConditionTest, IllConditionedDetected) {
+  Matrix a(3, 2);
+  for (size_t i = 0; i < 3; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = 1.0 + 1e-9 * static_cast<double>(i);
+  }
+  auto c = ConditionEstimate(a);
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(*c, 1e6);
+}
+
+TEST(SolveTest, DimensionMismatchErrors) {
+  Matrix a(3, 3);
+  EXPECT_FALSE(CholeskySolve(a, {1, 2}).ok());
+  EXPECT_FALSE(SolveLinearSystem(a, {1, 2}).ok());
+  EXPECT_FALSE(LeastSquaresQr(Matrix(4, 2), {1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace laws

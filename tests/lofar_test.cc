@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/session.h"
+#include "lofar/generator.h"
+#include "lofar/pipeline.h"
+
+namespace laws {
+namespace {
+
+/// Small config for fast tests; the full paper-scale run lives in the
+/// bench harness.
+LofarConfig SmallConfig() {
+  LofarConfig cfg;
+  cfg.num_sources = 200;
+  cfg.num_rows = 8000;
+  cfg.anomalous_fraction = 0.05;
+  return cfg;
+}
+
+TEST(LofarGeneratorTest, ShapeMatchesConfig) {
+  const LofarConfig cfg = SmallConfig();
+  auto data = GenerateLofar(cfg);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->observations.num_rows(), cfg.num_rows);
+  EXPECT_EQ(data->truth.size(), cfg.num_sources);
+  EXPECT_EQ(data->observations.num_columns(), 3u);
+  EXPECT_TRUE(data->observations.schema().HasField("source"));
+  EXPECT_TRUE(data->observations.schema().HasField("wavelength"));
+  EXPECT_TRUE(data->observations.schema().HasField("intensity"));
+}
+
+TEST(LofarGeneratorTest, EverySourceHasMinimumObservations) {
+  auto data = GenerateLofar(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  std::map<int64_t, size_t> counts;
+  const Column& src = *data->observations.ColumnByName("source").value();
+  for (size_t i = 0; i < src.size(); ++i) ++counts[src.Int64At(i)];
+  EXPECT_EQ(counts.size(), 200u);
+  for (const auto& [key, n] : counts) EXPECT_GE(n, 8u);
+}
+
+TEST(LofarGeneratorTest, FrequenciesClusterAroundBands) {
+  const LofarConfig cfg = SmallConfig();
+  auto data = GenerateLofar(cfg);
+  ASSERT_TRUE(data.ok());
+  const Column& nu = *data->observations.ColumnByName("wavelength").value();
+  for (size_t i = 0; i < std::min<size_t>(nu.size(), 2000); ++i) {
+    const double v = nu.DoubleAt(i);
+    bool near_band = false;
+    for (double band : cfg.bands) {
+      if (std::fabs(v - band) <= band * cfg.band_jitter) near_band = true;
+    }
+    EXPECT_TRUE(near_band) << "frequency " << v << " not near any band";
+  }
+}
+
+TEST(LofarGeneratorTest, DeterministicForSeed) {
+  auto a = GenerateLofar(SmallConfig());
+  auto b = GenerateLofar(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a->observations.GetValue(i, 2), b->observations.GetValue(i, 2));
+  }
+  LofarConfig other = SmallConfig();
+  other.seed = 1;
+  auto c = GenerateLofar(other);
+  ASSERT_TRUE(c.ok());
+  bool differs = false;
+  for (size_t i = 0; i < 100 && !differs; ++i) {
+    differs = !(a->observations.GetValue(i, 2) == c->observations.GetValue(i, 2));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LofarGeneratorTest, AnomalousFractionRoughlyRespected) {
+  LofarConfig cfg = SmallConfig();
+  cfg.num_sources = 2000;
+  cfg.num_rows = 40000;
+  cfg.anomalous_fraction = 0.1;
+  auto data = GenerateLofar(cfg);
+  ASSERT_TRUE(data.ok());
+  size_t anomalous = 0;
+  for (const auto& t : data->truth) anomalous += t.anomalous ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(anomalous) / 2000.0, 0.1, 0.03);
+}
+
+TEST(LofarGeneratorTest, RejectsUnderprovisionedConfig) {
+  LofarConfig cfg;
+  cfg.num_sources = 100;
+  cfg.num_rows = 100;  // < 8 per source
+  EXPECT_FALSE(GenerateLofar(cfg).ok());
+  LofarConfig no_bands = SmallConfig();
+  no_bands.bands.clear();
+  EXPECT_FALSE(GenerateLofar(no_bands).ok());
+}
+
+TEST(LofarPipelineTest, RecoversSpectralIndices) {
+  Catalog catalog;
+  ModelCatalog models;
+  Session session(&catalog, &models);
+  LofarConfig cfg = SmallConfig();
+  cfg.anomalous_fraction = 0.0;  // clean recovery check
+  auto result = RunLofarPipeline(cfg, &catalog, &session, "measurements");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->report.num_groups, cfg.num_sources);
+  EXPECT_GT(result->report.median_r_squared, 0.9);
+
+  // Compare fitted alpha against ground truth per source.
+  auto captured = models.Get(result->model_id);
+  ASSERT_TRUE(captured.ok());
+  const Table& pt = (*captured)->parameter_table;
+  ASSERT_TRUE(pt.schema().HasField("alpha"));
+  const size_t alpha_idx = *pt.schema().FieldIndex("alpha");
+  std::map<int64_t, double> fitted;
+  for (size_t r = 0; r < pt.num_rows(); ++r) {
+    fitted[pt.column(0).Int64At(r)] = pt.column(alpha_idx).DoubleAt(r);
+  }
+  size_t close = 0;
+  for (const auto& truth : result->dataset.truth) {
+    auto it = fitted.find(truth.source);
+    if (it == fitted.end()) continue;
+    if (std::fabs(it->second - truth.alpha) < 0.15) ++close;
+  }
+  EXPECT_GT(close, cfg.num_sources * 9 / 10);
+}
+
+TEST(LofarPipelineTest, ParameterRatioIsSmall) {
+  Catalog catalog;
+  ModelCatalog models;
+  Session session(&catalog, &models);
+  auto result =
+      RunLofarPipeline(SmallConfig(), &catalog, &session, "measurements");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->raw_bytes, 0u);
+  EXPECT_GT(result->parameter_bytes, 0u);
+  // The paper's headline: parameters are a small fraction of raw data.
+  // At 40 obs/source the ratio lands near 5%; allow generous slack here.
+  EXPECT_LT(result->parameter_ratio, 0.25);
+  // And the table is registered for querying.
+  EXPECT_TRUE(catalog.Contains("measurements"));
+}
+
+}  // namespace
+}  // namespace laws

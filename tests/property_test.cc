@@ -1,0 +1,239 @@
+// Cross-module property tests: seeded randomized sweeps over the
+// invariants that hold the system together. Each TEST_P instance runs the
+// property at a different seed, so regressions that only bite on unusual
+// data shapes still surface.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aqp/bloom.h"
+#include "common/random.h"
+#include "compress/column_compressor.h"
+#include "compress/semantic.h"
+#include "core/persistence.h"
+#include "core/session.h"
+#include "linalg/solve.h"
+#include "model/fit.h"
+#include "model/grouped_fit.h"
+#include "model/incremental.h"
+#include "model/model.h"
+#include "query/executor.h"
+#include "storage/serialize.h"
+
+namespace laws {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+/// Random table with all four column types and nulls.
+Table RandomTable(Rng* rng, size_t rows) {
+  Table t(Schema({Field{"k", DataType::kInt64, true},
+                  Field{"x", DataType::kDouble, true},
+                  Field{"s", DataType::kString, true},
+                  Field{"b", DataType::kBool, true}}));
+  const char* words[] = {"alpha", "beta", "gamma", "", "delta"};
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<Value> row;
+    row.push_back(rng->Bernoulli(0.05)
+                      ? Value::Null()
+                      : Value::Int64(rng->UniformInt(-1000, 1000)));
+    row.push_back(rng->Bernoulli(0.05)
+                      ? Value::Null()
+                      : Value::Double(rng->Normal(0, 100)));
+    row.push_back(rng->Bernoulli(0.05)
+                      ? Value::Null()
+                      : Value::String(words[rng->UniformInt(0, 4)]));
+    row.push_back(rng->Bernoulli(0.05) ? Value::Null()
+                                       : Value::Bool(rng->Bernoulli(0.5)));
+    EXPECT_TRUE(t.AppendRow(row).ok());
+  }
+  return t;
+}
+
+bool TablesEqual(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      if (!(a.GetValue(r, c) == b.GetValue(r, c))) return false;
+    }
+  }
+  return true;
+}
+
+TEST_P(SeededProperty, SerializationIsIdentity) {
+  Rng rng(GetParam());
+  Table t = RandomTable(&rng, 50 + GetParam() % 500);
+  auto back = DeserializeTableFromBytes(SerializeTableToBytes(t));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(TablesEqual(t, *back));
+}
+
+TEST_P(SeededProperty, GenericCompressionIsIdentity) {
+  Rng rng(GetParam() * 31 + 7);
+  Table t = RandomTable(&rng, 50 + GetParam() % 700);
+  auto ct = CompressTable(t);
+  ASSERT_TRUE(ct.ok());
+  auto back = DecompressTable(*ct);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(TablesEqual(t, *back));
+}
+
+TEST_P(SeededProperty, SemanticLosslessIsIdentity) {
+  Rng rng(GetParam() * 17 + 3);
+  Table t(Schema({Field{"g", DataType::kInt64, false},
+                  Field{"x", DataType::kDouble, false},
+                  Field{"y", DataType::kDouble, true}}));
+  const size_t groups = 3 + GetParam() % 8;
+  for (size_t g = 1; g <= groups; ++g) {
+    const double a = rng.Uniform(-3, 3);
+    const double b = rng.Uniform(-2, 2);
+    for (int i = 0; i < 30; ++i) {
+      const double x = rng.Uniform(-5, 5);
+      std::vector<Value> row = {Value::Int64(static_cast<int64_t>(g)),
+                                Value::Double(x),
+                                rng.Bernoulli(0.03)
+                                    ? Value::Null()
+                                    : Value::Double(a + b * x +
+                                                    rng.Normal(0, 0.5))};
+      ASSERT_TRUE(t.AppendRow(row).ok());
+    }
+  }
+  LinearModel model(1);
+  GroupedFitSpec spec;
+  spec.group_column = "g";
+  spec.input_columns = {"x"};
+  spec.output_column = "y";
+  auto fits = FitGrouped(model, t, spec);
+  ASSERT_TRUE(fits.ok());
+  auto sc = SemanticCompress(t, model, *fits, spec);
+  ASSERT_TRUE(sc.ok()) << sc.status().ToString();
+  auto back = SemanticDecompress(*sc);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(TablesEqual(t, *back));
+}
+
+TEST_P(SeededProperty, OlsResidualsOrthogonalToDesign) {
+  Rng rng(GetParam() * 13 + 1);
+  const size_t p_inputs = 1 + GetParam() % 3;
+  LinearModel model(p_inputs);
+  const size_t n = 40 + GetParam() % 200;
+  Matrix x(n, p_inputs);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < p_inputs; ++j) x(i, j) = rng.Normal();
+    y[i] = rng.Normal(0, 10);
+  }
+  auto fit = FitModel(model, x, y);
+  ASSERT_TRUE(fit.ok());
+  const Vector pred = PredictAll(model, x, fit->parameters);
+  // Residuals orthogonal to every basis function (OLS normal equations).
+  auto design = BuildDesignMatrix(model, x);
+  ASSERT_TRUE(design.ok());
+  const Vector resid = Subtract(y, pred);
+  const Vector atr = design->TransposeMultiplyVec(resid);
+  for (double v : atr) EXPECT_NEAR(v, 0.0, 1e-6 * n);
+}
+
+TEST_P(SeededProperty, IncrementalOlsMatchesBatchOls) {
+  Rng rng(GetParam() * 41 + 11);
+  PolynomialModel model(2);
+  const size_t n = 30 + GetParam() % 300;
+  Matrix x(n, 1);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform(-2, 2);
+    y[i] = rng.Normal(0, 5);
+  }
+  auto inc = IncrementalOls::Create(model);
+  ASSERT_TRUE(inc.ok());
+  ASSERT_TRUE(inc->AddBatch(x, y).ok());
+  auto inc_fit = inc->Solve();
+  auto batch = FitModel(model, x, y);
+  ASSERT_TRUE(inc_fit.ok());
+  ASSERT_TRUE(batch.ok());
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(inc_fit->parameters[j], batch->parameters[j],
+                1e-6 * std::max(1.0, std::fabs(batch->parameters[j])));
+  }
+}
+
+TEST_P(SeededProperty, BloomNeverForgets) {
+  Rng rng(GetParam() * 97);
+  const size_t n = 100 + GetParam() % 5000;
+  BloomFilter bloom(n, 0.02);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) {
+    k = rng.NextU64();
+    bloom.Insert(k);
+  }
+  for (uint64_t k : keys) EXPECT_TRUE(bloom.MayContain(k));
+}
+
+TEST_P(SeededProperty, QueryFilterPartitionsRows) {
+  // WHERE p and WHERE NOT p partition the non-null rows of p.
+  Rng rng(GetParam() * 7 + 5);
+  Catalog cat;
+  auto t = std::make_shared<Table>(RandomTable(&rng, 200));
+  cat.RegisterOrReplace("t", t);
+  auto pos = ExecuteQuery(cat, "SELECT COUNT(*) FROM t WHERE x > 0");
+  auto neg = ExecuteQuery(cat, "SELECT COUNT(*) FROM t WHERE NOT x > 0");
+  auto nonnull = ExecuteQuery(cat, "SELECT COUNT(x) FROM t");
+  ASSERT_TRUE(pos.ok());
+  ASSERT_TRUE(neg.ok());
+  ASSERT_TRUE(nonnull.ok());
+  EXPECT_EQ(pos->GetValue(0, 0).int64() + neg->GetValue(0, 0).int64(),
+            nonnull->GetValue(0, 0).int64());
+}
+
+TEST_P(SeededProperty, AggregatesConsistentAcrossGrouping) {
+  // SUM over groups == global SUM; COUNT likewise.
+  Rng rng(GetParam() * 3 + 2);
+  Catalog cat;
+  auto t = std::make_shared<Table>(RandomTable(&rng, 300));
+  cat.RegisterOrReplace("t", t);
+  auto grouped = ExecuteQuery(
+      cat, "SELECT b, SUM(x) AS s, COUNT(x) AS c FROM t GROUP BY b");
+  auto global = ExecuteQuery(cat, "SELECT SUM(x), COUNT(x) FROM t");
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_TRUE(global.ok());
+  double sum = 0.0;
+  int64_t count = 0;
+  for (size_t r = 0; r < grouped->num_rows(); ++r) {
+    if (!grouped->GetValue(r, 1).is_null()) {
+      sum += grouped->GetValue(r, 1).dbl();
+    }
+    count += grouped->GetValue(r, 2).int64();
+  }
+  if (!global->GetValue(0, 0).is_null()) {
+    EXPECT_NEAR(sum, global->GetValue(0, 0).dbl(),
+                1e-9 * std::max(1.0, std::fabs(sum)));
+  }
+  EXPECT_EQ(count, global->GetValue(0, 1).int64());
+}
+
+TEST_P(SeededProperty, DatabaseImageRoundTripsRandomTables) {
+  Rng rng(GetParam() * 19 + 23);
+  Catalog data;
+  ModelCatalog models;
+  data.RegisterOrReplace("a",
+                         std::make_shared<Table>(RandomTable(&rng, 120)));
+  data.RegisterOrReplace("b",
+                         std::make_shared<Table>(RandomTable(&rng, 60)));
+  auto bytes = SaveDatabaseToBytes(data, models);
+  ASSERT_TRUE(bytes.ok());
+  Catalog data2;
+  ModelCatalog models2;
+  ASSERT_TRUE(LoadDatabaseFromBytes(*bytes, &data2, &models2).ok());
+  EXPECT_TRUE(TablesEqual(**data.Get("a"), **data2.Get("a")));
+  EXPECT_TRUE(TablesEqual(**data.Get("b"), **data2.Get("b")));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace laws

@@ -1,0 +1,713 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "query/executor.h"
+#include "query/expr_eval.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+#include "storage/catalog.h"
+
+namespace laws {
+namespace {
+
+/// A small fixed table:
+///  id | score | tag  | ok
+///   1 |  10.0 | red  | true
+///   2 |  20.0 | blue | false
+///   3 |  NULL | red  | true
+///   4 |  40.0 | blue | true
+///   5 |  50.0 | red  | false
+Catalog MakeCatalog() {
+  Catalog cat;
+  auto t = std::make_shared<Table>(
+      Schema({Field{"id", DataType::kInt64, false},
+              Field{"score", DataType::kDouble, true},
+              Field{"tag", DataType::kString, false},
+              Field{"ok", DataType::kBool, false}}));
+  auto add = [&](int64_t id, Value score, const char* tag, bool ok) {
+    ASSERT_TRUE(t->AppendRow({Value::Int64(id), std::move(score),
+                              Value::String(tag), Value::Bool(ok)})
+                    .ok());
+  };
+  add(1, Value::Double(10.0), "red", true);
+  add(2, Value::Double(20.0), "blue", false);
+  add(3, Value::Null(), "red", true);
+  add(4, Value::Double(40.0), "blue", true);
+  add(5, Value::Double(50.0), "red", false);
+  cat.RegisterOrReplace("t", t);
+  return cat;
+}
+
+// --- Lexer --------------------------------------------------------------
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT a, 1, 2.5, 'it''s' FROM t WHERE x <> 3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "a");
+  EXPECT_EQ((*tokens)[3].type, TokenType::kIntegerLit);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kDoubleLit);
+  EXPECT_EQ((*tokens)[7].type, TokenType::kStringLit);
+  EXPECT_EQ((*tokens)[7].text, "it's");
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, ScientificNotationAndComments) {
+  auto tokens = Tokenize("1e3 2.5E-2 -- trailing comment\n7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kDoubleLit);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kDoubleLit);
+  EXPECT_EQ((*tokens)[2].text, "7");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+// --- Parser -----------------------------------------------------------
+
+TEST(ParserTest, FullStatementRoundTrip) {
+  auto stmt = ParseSelect(
+      "SELECT tag, COUNT(*) AS n, AVG(score) FROM t WHERE score > 5 "
+      "GROUP BY tag HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->select_list.size(), 3u);
+  EXPECT_EQ(stmt->select_list[1].alias, "n");
+  EXPECT_EQ(stmt->from_table, "t");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_NE(stmt->having, nullptr);
+  EXPECT_EQ(stmt->order_by.size(), 1u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = ParseSelect("SELECT 1 + 2 * 3 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select_list[0].expr->ToString(), "(1 + (2 * 3))");
+  auto stmt2 = ParseSelect("SELECT (1 + 2) * 3 FROM t");
+  ASSERT_TRUE(stmt2.ok());
+  EXPECT_EQ(stmt2->select_list[0].expr->ToString(), "((1 + 2) * 3)");
+}
+
+TEST(ParserTest, AndOrPrecedence) {
+  auto stmt = ParseSelect("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  // AND binds tighter than OR.
+  EXPECT_EQ(stmt->where->ToString(), "((a = 1) OR ((b = 2) AND (c = 3)))");
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  auto stmt = ParseSelect("SELECT * FROM t WHERE x BETWEEN 1 AND 5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->ToString(), "((x >= 1) AND (x <= 5))");
+}
+
+TEST(ParserTest, InDesugarsToDisjunction) {
+  auto stmt = ParseSelect("SELECT * FROM t WHERE x IN (1, 2, 3)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->ToString(),
+            "(((x = 1) OR (x = 2)) OR (x = 3))");
+}
+
+TEST(ParserTest, ImplicitAlias) {
+  auto stmt = ParseSelect("SELECT score total FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select_list[0].alias, "total");
+}
+
+TEST(ParserTest, CountStarOnlyForCount) {
+  EXPECT_TRUE(ParseSelect("SELECT COUNT(*) FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT SUM(*) FROM t").ok());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a").ok());                 // no FROM
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());    // no predicate
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT x").ok());  // bad limit
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t garbage").ok());  // trailing
+  EXPECT_FALSE(ParseSelect("UPDATE t SET a = 1").ok());
+}
+
+TEST(ParserTest, GarbageNeverCrashesOnlyErrors) {
+  // Fuzz-ish sweep: deterministic pseudo-random token soup must always
+  // come back as a ParseError (or parse), never crash or hang.
+  const char* fragments[] = {"SELECT", "FROM",  "WHERE", "(",    ")",
+                             ",",      "*",     "+",     "-",    "'x'",
+                             "1",      "2.5",   "t",     "a",    "=",
+                             "<",      "AND",   "OR",    "NOT",  "JOIN",
+                             "ON",     "GROUP", "BY",    "LIMIT"};
+  uint64_t state = 12345;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string sql;
+    const int len = 1 + static_cast<int>(state % 12);
+    for (int i = 0; i < len; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      sql += fragments[(state >> 33) % (sizeof(fragments) /
+                                        sizeof(fragments[0]))];
+      sql += ' ';
+    }
+    auto result = ParseSelect(sql);  // must not crash
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError) << sql;
+    }
+  }
+}
+
+TEST(ParserTest, StandaloneExpression) {
+  auto e = ParseExpression("wavelength < 0.15 AND source = 42");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->ToString().find("wavelength") != std::string::npos);
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+}
+
+// --- Expression evaluation --------------------------------------------------
+
+TEST(ExprEvalTest, ArithmeticTyping) {
+  Catalog cat = MakeCatalog();
+  auto t = *cat.Get("t");
+  auto e = ParseExpression("id * 2 + 1");
+  ASSERT_TRUE(e.ok());
+  auto col = EvaluateExpr(**e, *t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->type(), DataType::kInt64);  // int ops stay int
+  EXPECT_EQ(col->Int64At(0), 3);
+  EXPECT_EQ(col->Int64At(4), 11);
+  // Division promotes to double.
+  auto d = EvaluateExpr(**ParseExpression("id / 2"), *t);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(d->DoubleAt(0), 0.5);
+}
+
+TEST(ExprEvalTest, NullPropagationInArithmetic) {
+  Catalog cat = MakeCatalog();
+  auto t = *cat.Get("t");
+  auto col = EvaluateExpr(**ParseExpression("score + 1"), *t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_FALSE(col->IsNull(0));
+  EXPECT_TRUE(col->IsNull(2));  // row 3 has NULL score
+}
+
+TEST(ExprEvalTest, ComparisonAndThreeValuedLogic) {
+  Catalog cat = MakeCatalog();
+  auto t = *cat.Get("t");
+  // score > 15 is NULL for row 3; NULL OR true = true; NULL AND true = NULL.
+  auto or_col = EvaluateExpr(**ParseExpression("score > 15 OR ok"), *t);
+  ASSERT_TRUE(or_col.ok());
+  EXPECT_TRUE(or_col->BoolAt(2));  // ok=true dominates NULL
+  auto and_col = EvaluateExpr(**ParseExpression("score > 15 AND ok"), *t);
+  ASSERT_TRUE(and_col.ok());
+  EXPECT_TRUE(and_col->IsNull(2));
+  auto and_false =
+      EvaluateExpr(**ParseExpression("score > 15 AND NOT ok"), *t);
+  ASSERT_TRUE(and_false.ok());
+  EXPECT_FALSE(and_false->IsNull(4));  // row5: 50>15 && !false = true
+  EXPECT_TRUE(and_false->BoolAt(4));
+}
+
+TEST(ExprEvalTest, StringComparison) {
+  Catalog cat = MakeCatalog();
+  auto t = *cat.Get("t");
+  auto col = EvaluateExpr(**ParseExpression("tag = 'red'"), *t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_TRUE(col->BoolAt(0));
+  EXPECT_FALSE(col->BoolAt(1));
+  // Cross-type comparison errors.
+  EXPECT_FALSE(EvaluateExpr(**ParseExpression("tag = 1"), *t).ok());
+}
+
+TEST(ExprEvalTest, Functions) {
+  Catalog cat = MakeCatalog();
+  auto t = *cat.Get("t");
+  auto abs_col = EvaluateExpr(**ParseExpression("abs(0 - id)"), *t);
+  ASSERT_TRUE(abs_col.ok());
+  EXPECT_EQ(abs_col->Int64At(4), 5);
+  auto pow_col = EvaluateExpr(**ParseExpression("pow(id, 2)"), *t);
+  ASSERT_TRUE(pow_col.ok());
+  EXPECT_DOUBLE_EQ(pow_col->DoubleAt(2), 9.0);
+  auto log_col = EvaluateExpr(**ParseExpression("ln(exp(1))"), *t);
+  ASSERT_TRUE(log_col.ok());
+  EXPECT_NEAR(log_col->DoubleAt(0), 1.0, 1e-12);
+  EXPECT_FALSE(EvaluateExpr(**ParseExpression("nosuchfn(1)"), *t).ok());
+  EXPECT_FALSE(EvaluateExpr(**ParseExpression("sqrt(1, 2)"), *t).ok());
+}
+
+TEST(ExprEvalTest, CoalesceAndNullif) {
+  Catalog cat = MakeCatalog();
+  auto t = *cat.Get("t");
+  // Row 3 has NULL score; coalesce falls back to -1.
+  auto c = EvaluateExpr(**ParseExpression("coalesce(score, -1.0)"), *t);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_DOUBLE_EQ(c->DoubleAt(0), 10.0);
+  EXPECT_DOUBLE_EQ(c->DoubleAt(2), -1.0);
+  // Chained fallbacks.
+  auto c2 = EvaluateExpr(
+      **ParseExpression("coalesce(nullif(score, 10.0), 0.0)"), *t);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_DOUBLE_EQ(c2->DoubleAt(0), 0.0);  // 10 nulled out, coalesced to 0
+  EXPECT_DOUBLE_EQ(c2->DoubleAt(1), 20.0);
+  // nullif yields NULL where equal.
+  auto n = EvaluateExpr(**ParseExpression("nullif(tag, 'red')"), *t);
+  ASSERT_TRUE(n.ok());
+  EXPECT_TRUE(n->IsNull(0));
+  EXPECT_EQ(n->StringAt(1), "blue");
+  // Type mixing rejected.
+  EXPECT_FALSE(EvaluateExpr(**ParseExpression("coalesce(tag, 1)"), *t).ok());
+  EXPECT_FALSE(EvaluateExpr(**ParseExpression("coalesce()"), *t).ok());
+}
+
+TEST(ExprEvalTest, DivisionByZeroIsError) {
+  Catalog cat = MakeCatalog();
+  auto t = *cat.Get("t");
+  EXPECT_EQ(EvaluateExpr(**ParseExpression("1 / (id - id)"), *t)
+                .status()
+                .code(),
+            StatusCode::kNumericError);
+  EXPECT_EQ(EvaluateExpr(**ParseExpression("id % (id - id)"), *t)
+                .status()
+                .code(),
+            StatusCode::kNumericError);
+}
+
+TEST(ExprEvalTest, EvaluateConstantFoldsComposites) {
+  auto v = EvaluateConstant(**ParseExpression("-(1 + 2) * 4"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int64(), -12);
+  EXPECT_FALSE(EvaluateConstant(**ParseExpression("id + 1")).ok());
+}
+
+TEST(ExprEvalTest, FilterRowsExcludesNullAndFalse) {
+  Catalog cat = MakeCatalog();
+  auto t = *cat.Get("t");
+  auto rows = FilterRows(**ParseExpression("score > 15"), *t);
+  ASSERT_TRUE(rows.ok());
+  // Rows 2 (20), 4 (40), 5 (50); row 3 (NULL) excluded.
+  EXPECT_EQ(*rows, (std::vector<uint32_t>{1, 3, 4}));
+  EXPECT_FALSE(FilterRows(**ParseExpression("id + 1"), *t).ok());
+}
+
+// --- Executor ---------------------------------------------------------------
+
+TEST(ExecutorTest, SelectStarPreservesEverything) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(cat, "SELECT * FROM t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 5u);
+  EXPECT_EQ(result->num_columns(), 4u);
+  EXPECT_EQ(result->schema().field(0).name, "id");
+}
+
+TEST(ExecutorTest, ProjectionWithExpressionsAndAliases) {
+  Catalog cat = MakeCatalog();
+  auto result =
+      ExecuteQuery(cat, "SELECT id, score * 2 AS doubled FROM t WHERE id = 2");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->schema().field(1).name, "doubled");
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 1).dbl(), 40.0);
+}
+
+TEST(ExecutorTest, WhereFiltersAndNullsDrop) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(cat, "SELECT id FROM t WHERE score >= 20");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3u);  // NULL row excluded
+}
+
+TEST(ExecutorTest, GlobalAggregates) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat, "SELECT COUNT(*), COUNT(score), SUM(score), AVG(score), "
+           "MIN(score), MAX(score) FROM t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->GetValue(0, 0).int64(), 5);   // COUNT(*)
+  EXPECT_EQ(result->GetValue(0, 1).int64(), 4);   // COUNT skips NULL
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 2).dbl(), 120.0);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 3).dbl(), 30.0);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 4).dbl(), 10.0);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 5).dbl(), 50.0);
+}
+
+TEST(ExecutorTest, EmptyInputAggregates) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat, "SELECT COUNT(*), SUM(score) FROM t WHERE id > 100");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->GetValue(0, 0).int64(), 0);
+  EXPECT_TRUE(result->GetValue(0, 1).is_null());  // SUM of nothing is NULL
+}
+
+TEST(ExecutorTest, GroupByWithHaving) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat,
+      "SELECT tag, COUNT(*) AS n, AVG(score) AS mean FROM t "
+      "GROUP BY tag HAVING COUNT(*) >= 2 ORDER BY tag");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->GetValue(0, 0).str(), "blue");
+  EXPECT_EQ(result->GetValue(0, 1).int64(), 2);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 2).dbl(), 30.0);
+  EXPECT_EQ(result->GetValue(1, 0).str(), "red");
+  EXPECT_EQ(result->GetValue(1, 1).int64(), 3);
+  EXPECT_DOUBLE_EQ(result->GetValue(1, 2).dbl(), 30.0);  // (10+50)/2
+}
+
+TEST(ExecutorTest, ExpressionsOverAggregates) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat, "SELECT SUM(score) / COUNT(score) AS manual_avg FROM t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 0).dbl(), 30.0);
+}
+
+TEST(ExecutorTest, GroupByExpressionKey) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat, "SELECT id % 2 AS parity, COUNT(*) FROM t GROUP BY id % 2 "
+           "ORDER BY parity");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->GetValue(0, 1).int64(), 2);  // ids 2, 4
+  EXPECT_EQ(result->GetValue(1, 1).int64(), 3);  // ids 1, 3, 5
+}
+
+TEST(ExecutorTest, OrderByMultipleKeysAndLimit) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat, "SELECT id, tag FROM t ORDER BY tag ASC, id DESC LIMIT 3");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 3u);
+  EXPECT_EQ(result->GetValue(0, 0).int64(), 4);  // blue, id desc
+  EXPECT_EQ(result->GetValue(1, 0).int64(), 2);
+  EXPECT_EQ(result->GetValue(2, 0).int64(), 5);  // red starts
+}
+
+TEST(ExecutorTest, OrderByNullsLastAscending) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(cat, "SELECT id, score FROM t ORDER BY score");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->GetValue(4, 1).is_null());
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 1).dbl(), 10.0);
+}
+
+TEST(ExecutorTest, OrderByAliasFromSelectList) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat, "SELECT id, score * -1 AS neg FROM t WHERE score > 0 "
+           "ORDER BY neg");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->GetValue(0, 0).int64(), 5);  // -50 smallest
+}
+
+TEST(ExecutorTest, LimitZeroAndOversized) {
+  Catalog cat = MakeCatalog();
+  auto zero = ExecuteQuery(cat, "SELECT id FROM t LIMIT 0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->num_rows(), 0u);
+  auto big = ExecuteQuery(cat, "SELECT id FROM t LIMIT 100");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->num_rows(), 5u);
+}
+
+TEST(ExecutorTest, PaperQueriesShapeCheck) {
+  // The two motivating queries from §2, over a stand-in table.
+  Catalog cat;
+  auto t = std::make_shared<Table>(
+      Schema({Field{"source", DataType::kInt64, false},
+              Field{"wavelength", DataType::kDouble, false},
+              Field{"intensity", DataType::kDouble, false}}));
+  for (int s = 1; s <= 50; ++s) {
+    for (double w : {0.12, 0.14, 0.16}) {
+      ASSERT_TRUE(t->AppendRow({Value::Int64(s), Value::Double(w),
+                                Value::Double(s * w)})
+                      .ok());
+    }
+  }
+  cat.RegisterOrReplace("measurements", t);
+  auto q1 = ExecuteQuery(cat,
+                         "SELECT intensity FROM measurements WHERE source = "
+                         "42 AND wavelength = 0.14");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_EQ(q1->num_rows(), 1u);
+  EXPECT_NEAR(q1->GetValue(0, 0).dbl(), 42 * 0.14, 1e-12);
+  auto q2 = ExecuteQuery(cat,
+                         "SELECT source, intensity FROM measurements WHERE "
+                         "wavelength = 0.14 AND intensity > 3.0");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->num_rows(), 29u);  // sources 22..50
+}
+
+TEST(ExecutorTest, ErrorsPropagate) {
+  Catalog cat = MakeCatalog();
+  EXPECT_FALSE(ExecuteQuery(cat, "SELECT x FROM t").ok());
+  EXPECT_FALSE(ExecuteQuery(cat, "SELECT id FROM missing").ok());
+  EXPECT_FALSE(ExecuteQuery(cat, "SELECT * FROM t GROUP BY tag").ok());
+  EXPECT_FALSE(ExecuteQuery(cat, "SELECT id FROM t WHERE score").ok());
+}
+
+// --- CASE expressions -----------------------------------------------------
+
+TEST(CaseTest, SearchedCaseWithElse) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat,
+      "SELECT id, CASE WHEN score >= 40 THEN 'high' WHEN score >= 20 THEN "
+      "'mid' ELSE 'low' END AS band FROM t ORDER BY id");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->GetValue(0, 1).str(), "low");   // 10
+  EXPECT_EQ(result->GetValue(1, 1).str(), "mid");   // 20
+  EXPECT_EQ(result->GetValue(2, 1).str(), "low");   // NULL -> no WHEN, ELSE
+  EXPECT_EQ(result->GetValue(3, 1).str(), "high");  // 40
+  EXPECT_EQ(result->GetValue(4, 1).str(), "high");  // 50
+}
+
+TEST(CaseTest, MissingElseYieldsNull) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat,
+      "SELECT CASE WHEN score > 45 THEN 1 END AS top FROM t ORDER BY id");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->GetValue(0, 0).is_null());
+  EXPECT_EQ(result->GetValue(4, 0).int64(), 1);
+}
+
+TEST(CaseTest, NumericPromotionAndGroupedUse) {
+  Catalog cat = MakeCatalog();
+  // CASE inside an aggregate: count rows per condition (pivot idiom).
+  auto result = ExecuteQuery(
+      cat,
+      "SELECT SUM(CASE WHEN tag = 'red' THEN 1 ELSE 0 END) AS reds, "
+      "SUM(CASE WHEN tag = 'blue' THEN 1.0 ELSE 0.0 END) AS blues FROM t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 0).dbl(), 3.0);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 1).dbl(), 2.0);
+}
+
+TEST(CaseTest, ValidationErrors) {
+  Catalog cat = MakeCatalog();
+  EXPECT_FALSE(ExecuteQuery(cat, "SELECT CASE END FROM t").ok());
+  EXPECT_FALSE(
+      ExecuteQuery(cat, "SELECT CASE WHEN id THEN 1 END FROM t").ok());
+  EXPECT_FALSE(ExecuteQuery(cat,
+                            "SELECT CASE WHEN ok THEN 'x' ELSE 1 END FROM t")
+                   .ok());
+  EXPECT_FALSE(
+      ExecuteQuery(cat, "SELECT CASE WHEN ok THEN 1 FROM t").ok());
+}
+
+TEST(CaseTest, ToStringRoundTrips) {
+  auto e = ParseExpression(
+      "CASE WHEN a > 1 THEN 'x' WHEN a > 0 THEN 'y' ELSE 'z' END");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(),
+            "CASE WHEN (a > 1) THEN 'x' WHEN (a > 0) THEN 'y' ELSE 'z' END");
+  auto clone = (*e)->Clone();
+  EXPECT_EQ(clone->ToString(), (*e)->ToString());
+}
+
+// --- VARIANCE / STDDEV -----------------------------------------------------
+
+TEST(VarianceTest, GlobalAndGrouped) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat, "SELECT VARIANCE(score), STDDEV(score) FROM t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // scores 10, 20, 40, 50 (NULL skipped): mean 30, var = (400+100+100+400)/3.
+  EXPECT_NEAR(result->GetValue(0, 0).dbl(), 1000.0 / 3.0, 1e-9);
+  EXPECT_NEAR(result->GetValue(0, 1).dbl(), std::sqrt(1000.0 / 3.0), 1e-9);
+  auto grouped = ExecuteQuery(
+      cat,
+      "SELECT tag, STDDEV(score) FROM t GROUP BY tag ORDER BY tag");
+  ASSERT_TRUE(grouped.ok());
+  // blue: 20, 40 -> sd = sqrt(200); red: 10, 50 -> sqrt(800).
+  EXPECT_NEAR(grouped->GetValue(0, 1).dbl(), std::sqrt(200.0), 1e-9);
+  EXPECT_NEAR(grouped->GetValue(1, 1).dbl(), std::sqrt(800.0), 1e-9);
+}
+
+TEST(VarianceTest, SingleValueIsNull) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat, "SELECT VARIANCE(score) FROM t WHERE id = 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->GetValue(0, 0).is_null());
+}
+
+TEST(VarianceTest, AliasesParse) {
+  Catalog cat = MakeCatalog();
+  EXPECT_TRUE(ExecuteQuery(cat, "SELECT VAR_SAMP(score) FROM t").ok());
+  EXPECT_TRUE(ExecuteQuery(cat, "SELECT STDDEV_SAMP(score) FROM t").ok());
+}
+
+// --- JOIN and DISTINCT -------------------------------------------------
+
+/// Adds a small dimension table keyed by tag.
+void AddDimension(Catalog* cat) {
+  auto dim = std::make_shared<Table>(
+      Schema({Field{"tag", DataType::kString, false},
+              Field{"weight", DataType::kDouble, false}}));
+  ASSERT_TRUE(
+      dim->AppendRow({Value::String("red"), Value::Double(1.5)}).ok());
+  ASSERT_TRUE(
+      dim->AppendRow({Value::String("blue"), Value::Double(2.0)}).ok());
+  ASSERT_TRUE(
+      dim->AppendRow({Value::String("green"), Value::Double(9.0)}).ok());
+  cat->RegisterOrReplace("dim", dim);
+}
+
+TEST(JoinTest, InnerEquiJoinBasics) {
+  Catalog cat = MakeCatalog();
+  AddDimension(&cat);
+  auto result = ExecuteQuery(
+      cat, "SELECT id, weight FROM t JOIN dim ON tag = tag ORDER BY id");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Every t row has a matching dim row (red/blue both present).
+  ASSERT_EQ(result->num_rows(), 5u);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 1).dbl(), 1.5);  // id 1 red
+  EXPECT_DOUBLE_EQ(result->GetValue(1, 1).dbl(), 2.0);  // id 2 blue
+}
+
+TEST(JoinTest, CollidingColumnNamesArePrefixed) {
+  Catalog cat = MakeCatalog();
+  // Second table also has a column 'tag' plus its own 'id'.
+  auto other = std::make_shared<Table>(
+      Schema({Field{"tag", DataType::kString, false},
+              Field{"id", DataType::kInt64, false}}));
+  ASSERT_TRUE(
+      other->AppendRow({Value::String("red"), Value::Int64(100)}).ok());
+  cat.RegisterOrReplace("other", other);
+  auto result = ExecuteQuery(
+      cat, "SELECT id, other_id FROM t JOIN other ON tag = tag");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 3u);  // three red rows in t
+  EXPECT_EQ(result->GetValue(0, 1).int64(), 100);
+}
+
+TEST(JoinTest, JoinThenAggregate) {
+  Catalog cat = MakeCatalog();
+  AddDimension(&cat);
+  auto result = ExecuteQuery(
+      cat,
+      "SELECT tag, SUM(score * weight) AS weighted FROM t JOIN dim ON tag "
+      "= tag GROUP BY tag ORDER BY tag");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  // blue: (20+40)*2.0 = 120; red: (10+50)*1.5 = 90 (NULL score skipped).
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 1).dbl(), 120.0);
+  EXPECT_DOUBLE_EQ(result->GetValue(1, 1).dbl(), 90.0);
+}
+
+TEST(JoinTest, NullKeysNeverMatch) {
+  Catalog cat;
+  auto a = std::make_shared<Table>(
+      Schema({Field{"k", DataType::kInt64, true},
+              Field{"v", DataType::kInt64, false}}));
+  ASSERT_TRUE(a->AppendRow({Value::Int64(1), Value::Int64(10)}).ok());
+  ASSERT_TRUE(a->AppendRow({Value::Null(), Value::Int64(20)}).ok());
+  auto b = std::make_shared<Table>(
+      Schema({Field{"kk", DataType::kInt64, true},
+              Field{"w", DataType::kInt64, false}}));
+  ASSERT_TRUE(b->AppendRow({Value::Int64(1), Value::Int64(100)}).ok());
+  ASSERT_TRUE(b->AppendRow({Value::Null(), Value::Int64(200)}).ok());
+  cat.RegisterOrReplace("a", a);
+  cat.RegisterOrReplace("b", b);
+  auto result = ExecuteQuery(cat, "SELECT v, w FROM a JOIN b ON k = kk");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);  // NULL = NULL does not match
+  EXPECT_EQ(result->GetValue(0, 1).int64(), 100);
+}
+
+TEST(JoinTest, TypeMismatchAndMissingTableErrors) {
+  Catalog cat = MakeCatalog();
+  AddDimension(&cat);
+  EXPECT_FALSE(
+      ExecuteQuery(cat, "SELECT id FROM t JOIN dim ON id = tag").ok());
+  EXPECT_FALSE(
+      ExecuteQuery(cat, "SELECT id FROM t JOIN ghost ON tag = tag").ok());
+  EXPECT_FALSE(ExecuteQuery(cat, "SELECT id FROM t JOIN dim").ok());
+}
+
+TEST(DistinctTest, DeduplicatesProjectedRows) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(cat, "SELECT DISTINCT tag FROM t ORDER BY tag");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->GetValue(0, 0).str(), "blue");
+  EXPECT_EQ(result->GetValue(1, 0).str(), "red");
+}
+
+TEST(DistinctTest, DistinctWithLimitAppliesAfterDedup) {
+  Catalog cat = MakeCatalog();
+  auto result =
+      ExecuteQuery(cat, "SELECT DISTINCT tag FROM t ORDER BY tag LIMIT 1");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->GetValue(0, 0).str(), "blue");
+}
+
+TEST(DistinctTest, DistinctOverExpression) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat, "SELECT DISTINCT id % 2 AS parity FROM t ORDER BY parity");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->GetValue(0, 0).int64(), 0);
+  EXPECT_EQ(result->GetValue(1, 0).int64(), 1);
+}
+
+// --- EXPLAIN ---------------------------------------------------------------
+
+TEST(ExplainTest, ShowsPipelineOutsideIn) {
+  Catalog cat = MakeCatalog();
+  auto plan = ExplainQuery(
+      cat,
+      "SELECT tag, COUNT(*) FROM t WHERE score > 5 GROUP BY tag "
+      "HAVING COUNT(*) > 1 ORDER BY tag LIMIT 3");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Outermost first, scan last; each operator present once.
+  const std::string& p = *plan;
+  const size_t limit_pos = p.find("Limit(3)");
+  const size_t sort_pos = p.find("Sort(");
+  const size_t agg_pos = p.find("HashAggregate");
+  const size_t filter_pos = p.find("Filter((score > 5))");
+  const size_t scan_pos = p.find("Scan(t, 5 rows)");
+  EXPECT_NE(limit_pos, std::string::npos);
+  EXPECT_NE(sort_pos, std::string::npos);
+  EXPECT_NE(agg_pos, std::string::npos);
+  EXPECT_NE(filter_pos, std::string::npos);
+  EXPECT_NE(scan_pos, std::string::npos);
+  EXPECT_LT(limit_pos, sort_pos);
+  EXPECT_LT(agg_pos, filter_pos);
+  EXPECT_LT(filter_pos, scan_pos);
+}
+
+TEST(ExplainTest, JoinAndDistinctAppear) {
+  Catalog cat = MakeCatalog();
+  AddDimension(&cat);
+  auto plan = ExplainQuery(
+      cat, "SELECT DISTINCT id FROM t JOIN dim ON tag = tag");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("Distinct"), std::string::npos);
+  EXPECT_NE(plan->find("HashJoin"), std::string::npos);
+  EXPECT_NE(plan->find("tag = tag"), std::string::npos);
+  EXPECT_FALSE(ExplainQuery(cat, "SELECT x FROM missing").ok());
+}
+
+TEST(ExecutorTest, CountStarOnEmptyGroupedInputYieldsNoRows) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat, "SELECT tag, COUNT(*) FROM t WHERE id > 99 GROUP BY tag");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace laws

@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.h"
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/csv.h"
+#include "storage/schema.h"
+#include "storage/serialize.h"
+#include "storage/table.h"
+#include "storage/types.h"
+
+namespace laws {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field{"id", DataType::kInt64, false},
+                 Field{"value", DataType::kDouble, true},
+                 Field{"tag", DataType::kString, true},
+                 Field{"flag", DataType::kBool, true}});
+}
+
+Table MakeTestTable(size_t rows, uint64_t seed = 1) {
+  Rng rng(seed);
+  Table t(TestSchema());
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<Value> row;
+    row.push_back(Value::Int64(static_cast<int64_t>(i)));
+    row.push_back(rng.Bernoulli(0.1) ? Value::Null()
+                                     : Value::Double(rng.Normal()));
+    row.push_back(Value::String(rng.Bernoulli(0.5) ? "red" : "blue"));
+    row.push_back(Value::Bool(rng.Bernoulli(0.3)));
+    EXPECT_TRUE(t.AppendRow(row).ok());
+  }
+  return t;
+}
+
+// --- Value / types ------------------------------------------------------
+
+TEST(ValueTest, NullAndTypes) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Int64(3).is_int64());
+  EXPECT_TRUE(Value::Double(3.5).is_double());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_EQ(Value::Int64(3).int64(), 3);
+  EXPECT_EQ(Value::String("x").str(), "x");
+}
+
+TEST(ValueTest, AsDoubleCoercions) {
+  EXPECT_DOUBLE_EQ(*Value::Int64(7).AsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(*Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(*Value::Bool(true).AsDouble(), 1.0);
+  EXPECT_FALSE(Value::Null().AsDouble().ok());
+  EXPECT_FALSE(Value::String("7").AsDouble().ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int64(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Double(1.5).ToString(), "1.5");
+}
+
+TEST(TypesTest, DataTypeRoundTrip) {
+  for (DataType t : {DataType::kInt64, DataType::kDouble, DataType::kString,
+                     DataType::kBool}) {
+    auto parsed = DataTypeFromString(DataTypeToString(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_EQ(*DataTypeFromString("BIGINT"), DataType::kInt64);
+  EXPECT_EQ(*DataTypeFromString("real"), DataType::kDouble);
+  EXPECT_EQ(*DataTypeFromString("VarChar"), DataType::kString);
+  EXPECT_FALSE(DataTypeFromString("blob").ok());
+}
+
+// --- Schema -------------------------------------------------------------
+
+TEST(SchemaTest, FieldLookupCaseInsensitive) {
+  Schema s = TestSchema();
+  EXPECT_EQ(*s.FieldIndex("ID"), 0u);
+  EXPECT_EQ(*s.FieldIndex("Value"), 1u);
+  EXPECT_FALSE(s.FieldIndex("missing").ok());
+  EXPECT_TRUE(s.HasField("tag"));
+  EXPECT_FALSE(s.HasField("nope"));
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  const std::string repr = TestSchema().ToString();
+  EXPECT_NE(repr.find("id INT64 NOT NULL"), std::string::npos);
+  EXPECT_NE(repr.find("value DOUBLE"), std::string::npos);
+}
+
+// --- Column ---------------------------------------------------------------
+
+TEST(ColumnTest, Int64AppendAndRead) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(1);
+  c.AppendInt64(-99);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.Int64At(1), -99);
+  EXPECT_FALSE(c.IsNull(0));
+}
+
+TEST(ColumnTest, NullTracking) {
+  Column c(DataType::kDouble);
+  c.AppendDouble(1.0);
+  EXPECT_TRUE(c.AppendNull().ok());
+  c.AppendDouble(3.0);
+  EXPECT_EQ(c.null_count(), 1u);
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_FALSE(c.IsNull(2));
+  EXPECT_TRUE(c.GetValue(1).is_null());
+}
+
+TEST(ColumnTest, NonNullableRejectsNull) {
+  Column c(DataType::kInt64, /*nullable=*/false);
+  EXPECT_FALSE(c.AppendNull().ok());
+}
+
+TEST(ColumnTest, StringDictionaryDeduplicates) {
+  Column c(DataType::kString);
+  for (int i = 0; i < 100; ++i) c.AppendString(i % 2 == 0 ? "a" : "b");
+  EXPECT_EQ(c.dictionary().size(), 2u);
+  EXPECT_EQ(c.StringAt(0), "a");
+  EXPECT_EQ(c.StringAt(1), "b");
+  EXPECT_EQ(*c.DictionaryCode("a"), 0u);
+  EXPECT_EQ(*c.DictionaryCode("b"), 1u);
+  EXPECT_FALSE(c.DictionaryCode("c").ok());
+}
+
+TEST(ColumnTest, AppendValueTypeChecking) {
+  Column c(DataType::kInt64);
+  EXPECT_TRUE(c.AppendValue(Value::Int64(1)).ok());
+  EXPECT_FALSE(c.AppendValue(Value::Double(1.0)).ok());
+  EXPECT_FALSE(c.AppendValue(Value::String("x")).ok());
+  // Double columns accept int values (widening).
+  Column d(DataType::kDouble);
+  EXPECT_TRUE(d.AppendValue(Value::Int64(2)).ok());
+  EXPECT_DOUBLE_EQ(d.DoubleAt(0), 2.0);
+}
+
+TEST(ColumnTest, ToDoubleVectorSkipsNulls) {
+  Column c(DataType::kDouble);
+  c.AppendDouble(1.0);
+  ASSERT_TRUE(c.AppendNull().ok());
+  c.AppendDouble(3.0);
+  auto v = c.ToDoubleVector();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<double>{1.0, 3.0}));
+  Column s(DataType::kString);
+  s.AppendString("x");
+  EXPECT_FALSE(s.ToDoubleVector().ok());
+}
+
+TEST(ColumnTest, GatherPreservesValuesAndNulls) {
+  Column c(DataType::kInt64);
+  for (int i = 0; i < 10; ++i) {
+    if (i == 5) {
+      ASSERT_TRUE(c.AppendNull().ok());
+    } else {
+      c.AppendInt64(i);
+    }
+  }
+  Column g = c.Gather({9, 5, 0});
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.Int64At(0), 9);
+  EXPECT_TRUE(g.IsNull(1));
+  EXPECT_EQ(g.Int64At(2), 0);
+}
+
+TEST(ColumnTest, MemoryBytesScalesWithData) {
+  Column c(DataType::kDouble);
+  const size_t empty = c.MemoryBytes();
+  for (int i = 0; i < 1000; ++i) c.AppendDouble(i);
+  EXPECT_GE(c.MemoryBytes(), empty + 1000 * sizeof(double));
+}
+
+TEST(ColumnTest, NumericAtCoercions) {
+  Column b(DataType::kBool);
+  b.AppendBool(true);
+  EXPECT_DOUBLE_EQ(*b.NumericAt(0), 1.0);
+  Column s(DataType::kString);
+  s.AppendString("x");
+  EXPECT_FALSE(s.NumericAt(0).ok());
+}
+
+// --- Table -----------------------------------------------------------------
+
+TEST(TableTest, AppendRowAndRead) {
+  Table t = MakeTestTable(10);
+  EXPECT_EQ(t.num_rows(), 10u);
+  EXPECT_EQ(t.num_columns(), 4u);
+  EXPECT_EQ(t.GetValue(3, 0).int64(), 3);
+}
+
+TEST(TableTest, AppendRowArityMismatch) {
+  Table t(TestSchema());
+  EXPECT_FALSE(t.AppendRow({Value::Int64(1)}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, AppendRowTypeMismatchLeavesTableUnchanged) {
+  Table t(TestSchema());
+  const auto status = t.AppendRow({Value::String("oops"), Value::Double(1.0),
+                                   Value::String("t"), Value::Bool(false)});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    EXPECT_EQ(t.column(c).size(), 0u);
+  }
+}
+
+TEST(TableTest, NonNullableEnforced) {
+  Table t(TestSchema());
+  EXPECT_FALSE(t.AppendRow({Value::Null(), Value::Double(1.0),
+                            Value::String("t"), Value::Bool(false)})
+                   .ok());
+}
+
+TEST(TableTest, DataVersionBumpsOnMutation) {
+  Table t = MakeTestTable(1);
+  const uint64_t v = t.data_version();
+  ASSERT_TRUE(t.AppendRow({Value::Int64(99), Value::Double(1.0),
+                           Value::String("t"), Value::Bool(true)})
+                  .ok());
+  EXPECT_GT(t.data_version(), v);
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t = MakeTestTable(3);
+  ASSERT_TRUE(t.ColumnByName("VALUE").ok());
+  EXPECT_FALSE(t.ColumnByName("ghost").ok());
+}
+
+TEST(TableTest, GatherRowsReordersAndSubsets) {
+  Table t = MakeTestTable(10);
+  Table g = t.GatherRows({7, 2, 2});
+  EXPECT_EQ(g.num_rows(), 3u);
+  EXPECT_EQ(g.GetValue(0, 0).int64(), 7);
+  EXPECT_EQ(g.GetValue(1, 0).int64(), 2);
+  EXPECT_EQ(g.GetValue(2, 0).int64(), 2);
+}
+
+TEST(TableTest, FromColumnsValidation) {
+  Schema s({Field{"a", DataType::kInt64, false}});
+  Column good(DataType::kInt64, false);
+  good.AppendInt64(1);
+  auto t = Table::FromColumns(s, {good});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);
+  // Type mismatch.
+  Column bad(DataType::kDouble);
+  EXPECT_FALSE(Table::FromColumns(s, {bad}).ok());
+  // Ragged columns.
+  Schema s2({Field{"a", DataType::kInt64, false},
+             Field{"b", DataType::kInt64, false}});
+  Column shorter(DataType::kInt64, false);
+  EXPECT_FALSE(Table::FromColumns(s2, {good, shorter}).ok());
+}
+
+TEST(TableTest, SyncRowCountAfterBulkLoad) {
+  Table t(Schema({Field{"a", DataType::kInt64, false},
+                  Field{"b", DataType::kDouble, false}}));
+  for (int i = 0; i < 5; ++i) {
+    t.mutable_column(0)->AppendInt64(i);
+    t.mutable_column(1)->AppendDouble(i * 2.0);
+  }
+  ASSERT_TRUE(t.SyncRowCount().ok());
+  EXPECT_EQ(t.num_rows(), 5u);
+  // Ragged bulk load is rejected.
+  t.mutable_column(0)->AppendInt64(9);
+  EXPECT_FALSE(t.SyncRowCount().ok());
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = MakeTestTable(30);
+  const std::string repr = t.ToString(5);
+  EXPECT_NE(repr.find("[25 more rows]"), std::string::npos);
+}
+
+// --- Catalog ----------------------------------------------------------------
+
+TEST(CatalogTest, RegisterGetDrop) {
+  Catalog cat;
+  auto t = std::make_shared<Table>(MakeTestTable(3));
+  ASSERT_TRUE(cat.Register("obs", t).ok());
+  EXPECT_TRUE(cat.Contains("OBS"));  // case-insensitive
+  auto got = cat.Get("Obs");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->num_rows(), 3u);
+  EXPECT_FALSE(cat.Register("OBS", t).ok());  // duplicate
+  EXPECT_TRUE(cat.Drop("obs").ok());
+  EXPECT_FALSE(cat.Get("obs").ok());
+  EXPECT_FALSE(cat.Drop("obs").ok());
+}
+
+TEST(CatalogTest, RegisterOrReplace) {
+  Catalog cat;
+  cat.RegisterOrReplace("t", std::make_shared<Table>(MakeTestTable(1)));
+  cat.RegisterOrReplace("t", std::make_shared<Table>(MakeTestTable(2)));
+  EXPECT_EQ((*cat.Get("t"))->num_rows(), 2u);
+  EXPECT_EQ(cat.size(), 1u);
+}
+
+TEST(CatalogTest, ListTablesSorted) {
+  Catalog cat;
+  cat.RegisterOrReplace("zeta", std::make_shared<Table>(MakeTestTable(1)));
+  cat.RegisterOrReplace("alpha", std::make_shared<Table>(MakeTestTable(1)));
+  const auto names = cat.ListTables();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(CatalogTest, NullTableRejected) {
+  Catalog cat;
+  EXPECT_FALSE(cat.Register("t", nullptr).ok());
+}
+
+// --- CSV ------------------------------------------------------------------
+
+TEST(CsvTest, RoundTrip) {
+  Table t = MakeTestTable(25);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(t, out).ok());
+  auto parsed = ReadCsvString(out.str(), t.schema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(parsed->GetValue(r, 0), t.GetValue(r, 0));
+    EXPECT_EQ(parsed->GetValue(r, 2), t.GetValue(r, 2));
+    EXPECT_EQ(parsed->GetValue(r, 3), t.GetValue(r, 3));
+    if (t.GetValue(r, 1).is_null()) {
+      EXPECT_TRUE(parsed->GetValue(r, 1).is_null());
+    } else {
+      EXPECT_NEAR(parsed->GetValue(r, 1).dbl(), t.GetValue(r, 1).dbl(),
+                  1e-9);
+    }
+  }
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndQuotes) {
+  Schema s({Field{"name", DataType::kString, false},
+            Field{"n", DataType::kInt64, false}});
+  const std::string csv = "name,n\n\"a,b\",1\n\"say \"\"hi\"\"\",2\n";
+  auto t = ReadCsvString(csv, s);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->GetValue(0, 0).str(), "a,b");
+  EXPECT_EQ(t->GetValue(1, 0).str(), "say \"hi\"");
+}
+
+TEST(CsvTest, HeaderMismatchFails) {
+  Schema s({Field{"a", DataType::kInt64, false}});
+  EXPECT_FALSE(ReadCsvString("b\n1\n", s).ok());
+}
+
+TEST(CsvTest, BadValuesCarryLineNumbers) {
+  Schema s({Field{"a", DataType::kInt64, false}});
+  auto r = ReadCsvString("a\nnot_a_number\n", s);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, ArityMismatchFails) {
+  Schema s({Field{"a", DataType::kInt64, false},
+            Field{"b", DataType::kInt64, false}});
+  EXPECT_FALSE(ReadCsvString("a,b\n1\n", s).ok());
+}
+
+TEST(CsvTest, NullTokenHandling) {
+  Schema s({Field{"a", DataType::kDouble, true}});
+  auto t = ReadCsvString("a\n\n1.5\n", s);  // empty line skipped
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);
+  CsvOptions opts;
+  opts.null_token = "NA";
+  auto t2 = ReadCsvString("a\nNA\n2.5\n", s, opts);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(t2->GetValue(0, 0).is_null());
+  EXPECT_DOUBLE_EQ(t2->GetValue(1, 0).dbl(), 2.5);
+}
+
+TEST(CsvTest, FileRoundTripAndSchemaSpec) {
+  Table t = MakeTestTable(40);
+  const std::string path = "/tmp/lawsdb_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto back = ReadCsvFile(path, t.schema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), 40u);
+  EXPECT_FALSE(ReadCsvFile("/tmp/nope_no_such.csv", t.schema()).ok());
+
+  auto schema = ParseSchemaSpec("id:bigint, value?:double, tag?:varchar");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->num_fields(), 3u);
+  EXPECT_EQ(schema->field(0).type, DataType::kInt64);
+  EXPECT_FALSE(schema->field(0).nullable);
+  EXPECT_TRUE(schema->field(1).nullable);
+  EXPECT_EQ(schema->field(2).type, DataType::kString);
+  EXPECT_FALSE(ParseSchemaSpec("").ok());
+  EXPECT_FALSE(ParseSchemaSpec("a:blob").ok());
+  EXPECT_FALSE(ParseSchemaSpec("justaname").ok());
+}
+
+// --- Serialization -----------------------------------------------------------
+
+class SerializeRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SerializeRoundTrip, BitExact) {
+  Table t = MakeTestTable(GetParam(), /*seed=*/GetParam() + 7);
+  const auto bytes = SerializeTableToBytes(t);
+  auto back = DeserializeTableFromBytes(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  ASSERT_EQ(back->schema().num_fields(), t.schema().num_fields());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      EXPECT_EQ(back->GetValue(r, c), t.GetValue(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SerializeRoundTrip,
+                         ::testing::Values(0, 1, 7, 8, 9, 63, 64, 65, 1000));
+
+TEST(SerializeTest, RejectsGarbage) {
+  std::vector<uint8_t> garbage = {'X', 'X', 'X', 'X', 0, 0};
+  EXPECT_FALSE(DeserializeTableFromBytes(garbage).ok());
+}
+
+TEST(SerializeTest, RejectsTruncated) {
+  Table t = MakeTestTable(100);
+  auto bytes = SerializeTableToBytes(t);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DeserializeTableFromBytes(bytes).ok());
+}
+
+}  // namespace
+}  // namespace laws

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/fit.h"
+#include "model/grouped_fit.h"
+#include "model/model.h"
+#include "workload/retail.h"
+#include "workload/sensor.h"
+
+namespace laws {
+namespace {
+
+TEST(RetailTest, ShapeAndSchema) {
+  RetailConfig cfg;
+  cfg.num_skus = 20;
+  cfg.num_days = 60;
+  auto data = GenerateRetail(cfg);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->sales.num_rows(), 20u * 60u);
+  EXPECT_TRUE(data->sales.schema().HasField("sku"));
+  EXPECT_TRUE(data->sales.schema().HasField("day"));
+  EXPECT_TRUE(data->sales.schema().HasField("units"));
+  EXPECT_EQ(data->truth.size(), 20u);
+}
+
+TEST(RetailTest, SeasonalFitRecoversPlantedCoefficients) {
+  RetailConfig cfg;
+  cfg.num_skus = 10;
+  cfg.num_days = 140;
+  cfg.noise_sd = 2.0;
+  auto data = GenerateRetail(cfg);
+  ASSERT_TRUE(data.ok());
+  SeasonalModel model(cfg.period);
+  GroupedFitSpec spec;
+  spec.group_column = "sku";
+  spec.input_columns = {"day"};
+  spec.output_column = "units";
+  auto fits = FitGrouped(model, data->sales, spec);
+  ASSERT_TRUE(fits.ok());
+  ASSERT_EQ(fits->groups.size(), 10u);
+  for (size_t g = 0; g < fits->groups.size(); ++g) {
+    const auto& truth = data->truth[g];
+    const auto& params = fits->groups[g].fit.parameters;
+    EXPECT_EQ(fits->groups[g].group_key, truth.sku);
+    EXPECT_NEAR(params[0], truth.level, 1.5) << "sku " << truth.sku;
+    EXPECT_NEAR(params[1], truth.sin_coef, 1.0);
+    EXPECT_NEAR(params[2], truth.cos_coef, 1.0);
+    EXPECT_NEAR(params[3], truth.trend, 0.03);
+  }
+}
+
+TEST(RetailTest, DeterministicAndValidating) {
+  RetailConfig cfg;
+  cfg.num_skus = 5;
+  cfg.num_days = 10;
+  auto a = GenerateRetail(cfg);
+  auto b = GenerateRetail(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->sales.GetValue(7, 2), b->sales.GetValue(7, 2));
+  RetailConfig bad;
+  bad.num_skus = 0;
+  EXPECT_FALSE(GenerateRetail(bad).ok());
+}
+
+TEST(SensorTest, ShapeAndBreakpoints) {
+  SensorConfig cfg;
+  cfg.num_sensors = 5;
+  cfg.num_ticks = 300;
+  auto data = GenerateSensor(cfg);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->readings.num_rows(), 5u * 300u);
+  ASSERT_EQ(data->tick_breakpoints.size(), 2u);
+  EXPECT_NEAR(data->tick_breakpoints[0], 105.0, 1e-9);
+  EXPECT_NEAR(data->tick_breakpoints[1], 210.0, 1e-9);
+}
+
+TEST(SensorTest, DriftIsContinuousAcrossRegimes) {
+  SensorConfig cfg;
+  cfg.num_sensors = 3;
+  cfg.num_ticks = 400;
+  cfg.noise_sd = 0.0;  // pure signal
+  auto data = GenerateSensor(cfg);
+  ASSERT_TRUE(data.ok());
+  const Column& temp = *data->readings.ColumnByName("temperature").value();
+  // Within one sensor, consecutive ticks never jump (continuity at
+  // breakpoints).
+  for (size_t i = 1; i < cfg.num_ticks; ++i) {
+    EXPECT_LT(std::fabs(temp.DoubleAt(i) - temp.DoubleAt(i - 1)), 0.1)
+        << "jump at tick " << i;
+  }
+}
+
+TEST(SensorTest, PiecewiseFitBeatsGlobalLinear) {
+  SensorConfig cfg;
+  cfg.num_sensors = 1;
+  cfg.num_ticks = 900;
+  cfg.slope_sd = 0.02;  // pronounced regime changes
+  cfg.seed = 123;
+  auto data = GenerateSensor(cfg);
+  ASSERT_TRUE(data.ok());
+
+  Matrix x(cfg.num_ticks, 1);
+  Vector y(cfg.num_ticks);
+  const Column& tick = *data->readings.ColumnByName("tick").value();
+  const Column& temp = *data->readings.ColumnByName("temperature").value();
+  for (size_t i = 0; i < cfg.num_ticks; ++i) {
+    x(i, 0) = static_cast<double>(tick.Int64At(i));
+    y[i] = temp.DoubleAt(i);
+  }
+
+  PiecewisePolynomialModel piecewise(data->tick_breakpoints, 1);
+  LinearModel global(1);
+  auto fit_pw = FitModel(piecewise, x, y);
+  auto fit_gl = FitModel(global, x, y);
+  ASSERT_TRUE(fit_pw.ok());
+  ASSERT_TRUE(fit_gl.ok());
+  // Matching regime structure should fit much better (FunctionDB's pitch).
+  EXPECT_LT(fit_pw->quality.residual_standard_error,
+            fit_gl->quality.residual_standard_error);
+  EXPECT_GT(fit_pw->quality.r_squared, 0.9);
+}
+
+TEST(SensorTest, RejectsBadBreakpoints) {
+  SensorConfig cfg;
+  cfg.breakpoints = {1.5};
+  EXPECT_FALSE(GenerateSensor(cfg).ok());
+  SensorConfig tiny;
+  tiny.num_ticks = 2;
+  EXPECT_FALSE(GenerateSensor(tiny).ok());
+}
+
+}  // namespace
+}  // namespace laws
