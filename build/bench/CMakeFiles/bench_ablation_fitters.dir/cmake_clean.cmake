@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fitters.dir/bench_ablation_fitters.cc.o"
+  "CMakeFiles/bench_ablation_fitters.dir/bench_ablation_fitters.cc.o.d"
+  "bench_ablation_fitters"
+  "bench_ablation_fitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

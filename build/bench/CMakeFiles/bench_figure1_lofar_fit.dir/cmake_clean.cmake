@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_lofar_fit.dir/bench_figure1_lofar_fit.cc.o"
+  "CMakeFiles/bench_figure1_lofar_fit.dir/bench_figure1_lofar_fit.cc.o.d"
+  "bench_figure1_lofar_fit"
+  "bench_figure1_lofar_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_lofar_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

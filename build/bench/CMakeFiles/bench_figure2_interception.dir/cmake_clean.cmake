@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_interception.dir/bench_figure2_interception.cc.o"
+  "CMakeFiles/bench_figure2_interception.dir/bench_figure2_interception.cc.o.d"
+  "bench_figure2_interception"
+  "bench_figure2_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_lofar_pipeline.dir/bench_table1_lofar_pipeline.cc.o"
+  "CMakeFiles/bench_table1_lofar_pipeline.dir/bench_table1_lofar_pipeline.cc.o.d"
+  "bench_table1_lofar_pipeline"
+  "bench_table1_lofar_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lofar_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

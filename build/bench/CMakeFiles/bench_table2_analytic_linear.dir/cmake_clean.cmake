@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_analytic_linear.dir/bench_table2_analytic_linear.cc.o"
+  "CMakeFiles/bench_table2_analytic_linear.dir/bench_table2_analytic_linear.cc.o.d"
+  "bench_table2_analytic_linear"
+  "bench_table2_analytic_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_analytic_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_anomalies.dir/bench_table2_anomalies.cc.o"
+  "CMakeFiles/bench_table2_anomalies.dir/bench_table2_anomalies.cc.o.d"
+  "bench_table2_anomalies"
+  "bench_table2_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

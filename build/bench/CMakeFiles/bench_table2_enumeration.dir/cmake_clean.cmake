@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_enumeration.dir/bench_table2_enumeration.cc.o"
+  "CMakeFiles/bench_table2_enumeration.dir/bench_table2_enumeration.cc.o.d"
+  "bench_table2_enumeration"
+  "bench_table2_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

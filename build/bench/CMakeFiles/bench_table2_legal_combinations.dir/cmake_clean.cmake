@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_legal_combinations.dir/bench_table2_legal_combinations.cc.o"
+  "CMakeFiles/bench_table2_legal_combinations.dir/bench_table2_legal_combinations.cc.o.d"
+  "bench_table2_legal_combinations"
+  "bench_table2_legal_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_legal_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

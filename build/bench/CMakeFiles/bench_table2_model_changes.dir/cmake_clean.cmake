@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_model_changes.dir/bench_table2_model_changes.cc.o"
+  "CMakeFiles/bench_table2_model_changes.dir/bench_table2_model_changes.cc.o.d"
+  "bench_table2_model_changes"
+  "bench_table2_model_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_model_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_semantic_compression.dir/bench_table2_semantic_compression.cc.o"
+  "CMakeFiles/bench_table2_semantic_compression.dir/bench_table2_semantic_compression.cc.o.d"
+  "bench_table2_semantic_compression"
+  "bench_table2_semantic_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_semantic_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_zero_io_scan.dir/bench_table2_zero_io_scan.cc.o"
+  "CMakeFiles/bench_table2_zero_io_scan.dir/bench_table2_zero_io_scan.cc.o.d"
+  "bench_table2_zero_io_scan"
+  "bench_table2_zero_io_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_zero_io_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

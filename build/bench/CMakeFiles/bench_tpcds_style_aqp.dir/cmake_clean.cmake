@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcds_style_aqp.dir/bench_tpcds_style_aqp.cc.o"
+  "CMakeFiles/bench_tpcds_style_aqp.dir/bench_tpcds_style_aqp.cc.o.d"
+  "bench_tpcds_style_aqp"
+  "bench_tpcds_style_aqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcds_style_aqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tpcds_style_aqp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lawsdb_shell.dir/lawsdb_shell.cpp.o"
+  "CMakeFiles/lawsdb_shell.dir/lawsdb_shell.cpp.o.d"
+  "lawsdb_shell"
+  "lawsdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lawsdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lofar_transients.dir/lofar_transients.cpp.o"
+  "CMakeFiles/lofar_transients.dir/lofar_transients.cpp.o.d"
+  "lofar_transients"
+  "lofar_transients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lofar_transients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

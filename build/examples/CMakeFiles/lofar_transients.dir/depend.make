@@ -1,0 +1,2 @@
+# Empty dependencies file for lofar_transients.
+# This may be replaced when dependencies are built.

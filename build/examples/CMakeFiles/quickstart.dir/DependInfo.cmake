@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/laws_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/laws_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/laws_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/laws_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/laws_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/laws_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/laws_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/laws_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqp/CMakeFiles/laws_aqp.dir/DependInfo.cmake"
+  "/root/repo/build/src/anomaly/CMakeFiles/laws_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/lofar/CMakeFiles/laws_lofar.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/laws_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

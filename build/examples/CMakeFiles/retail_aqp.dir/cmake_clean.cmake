@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_aqp.dir/retail_aqp.cpp.o"
+  "CMakeFiles/retail_aqp.dir/retail_aqp.cpp.o.d"
+  "retail_aqp"
+  "retail_aqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_aqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

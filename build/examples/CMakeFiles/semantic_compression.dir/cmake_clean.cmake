@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_compression.dir/semantic_compression.cpp.o"
+  "CMakeFiles/semantic_compression.dir/semantic_compression.cpp.o.d"
+  "semantic_compression"
+  "semantic_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

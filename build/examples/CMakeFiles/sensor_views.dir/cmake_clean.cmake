@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_views.dir/sensor_views.cpp.o"
+  "CMakeFiles/sensor_views.dir/sensor_views.cpp.o.d"
+  "sensor_views"
+  "sensor_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_anomaly.dir/anomaly.cc.o"
+  "CMakeFiles/laws_anomaly.dir/anomaly.cc.o.d"
+  "CMakeFiles/laws_anomaly.dir/exploration.cc.o"
+  "CMakeFiles/laws_anomaly.dir/exploration.cc.o.d"
+  "liblaws_anomaly.a"
+  "liblaws_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblaws_anomaly.a"
+)

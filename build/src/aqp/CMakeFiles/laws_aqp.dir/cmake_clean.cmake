@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_aqp.dir/analytic.cc.o"
+  "CMakeFiles/laws_aqp.dir/analytic.cc.o.d"
+  "CMakeFiles/laws_aqp.dir/bloom.cc.o"
+  "CMakeFiles/laws_aqp.dir/bloom.cc.o.d"
+  "CMakeFiles/laws_aqp.dir/domain.cc.o"
+  "CMakeFiles/laws_aqp.dir/domain.cc.o.d"
+  "CMakeFiles/laws_aqp.dir/histogram_aqp.cc.o"
+  "CMakeFiles/laws_aqp.dir/histogram_aqp.cc.o.d"
+  "CMakeFiles/laws_aqp.dir/hybrid.cc.o"
+  "CMakeFiles/laws_aqp.dir/hybrid.cc.o.d"
+  "CMakeFiles/laws_aqp.dir/inverse.cc.o"
+  "CMakeFiles/laws_aqp.dir/inverse.cc.o.d"
+  "CMakeFiles/laws_aqp.dir/model_aqp.cc.o"
+  "CMakeFiles/laws_aqp.dir/model_aqp.cc.o.d"
+  "CMakeFiles/laws_aqp.dir/sampling_aqp.cc.o"
+  "CMakeFiles/laws_aqp.dir/sampling_aqp.cc.o.d"
+  "liblaws_aqp.a"
+  "liblaws_aqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_aqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_common.dir/logging.cc.o"
+  "CMakeFiles/laws_common.dir/logging.cc.o.d"
+  "CMakeFiles/laws_common.dir/random.cc.o"
+  "CMakeFiles/laws_common.dir/random.cc.o.d"
+  "CMakeFiles/laws_common.dir/status.cc.o"
+  "CMakeFiles/laws_common.dir/status.cc.o.d"
+  "CMakeFiles/laws_common.dir/string_util.cc.o"
+  "CMakeFiles/laws_common.dir/string_util.cc.o.d"
+  "liblaws_common.a"
+  "liblaws_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

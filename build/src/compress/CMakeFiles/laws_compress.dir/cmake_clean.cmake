@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_compress.dir/column_compressor.cc.o"
+  "CMakeFiles/laws_compress.dir/column_compressor.cc.o.d"
+  "CMakeFiles/laws_compress.dir/encoding.cc.o"
+  "CMakeFiles/laws_compress.dir/encoding.cc.o.d"
+  "CMakeFiles/laws_compress.dir/semantic.cc.o"
+  "CMakeFiles/laws_compress.dir/semantic.cc.o.d"
+  "liblaws_compress.a"
+  "liblaws_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

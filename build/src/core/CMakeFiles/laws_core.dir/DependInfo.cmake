@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/laws_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/laws_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/diagnose.cc" "src/core/CMakeFiles/laws_core.dir/diagnose.cc.o" "gcc" "src/core/CMakeFiles/laws_core.dir/diagnose.cc.o.d"
+  "/root/repo/src/core/model_catalog.cc" "src/core/CMakeFiles/laws_core.dir/model_catalog.cc.o" "gcc" "src/core/CMakeFiles/laws_core.dir/model_catalog.cc.o.d"
+  "/root/repo/src/core/persistence.cc" "src/core/CMakeFiles/laws_core.dir/persistence.cc.o" "gcc" "src/core/CMakeFiles/laws_core.dir/persistence.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/laws_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/laws_core.dir/session.cc.o.d"
+  "/root/repo/src/core/strawman.cc" "src/core/CMakeFiles/laws_core.dir/strawman.cc.o" "gcc" "src/core/CMakeFiles/laws_core.dir/strawman.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/laws_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/laws_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/laws_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/laws_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/laws_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/laws_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/laws_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_core.dir/advisor.cc.o"
+  "CMakeFiles/laws_core.dir/advisor.cc.o.d"
+  "CMakeFiles/laws_core.dir/diagnose.cc.o"
+  "CMakeFiles/laws_core.dir/diagnose.cc.o.d"
+  "CMakeFiles/laws_core.dir/model_catalog.cc.o"
+  "CMakeFiles/laws_core.dir/model_catalog.cc.o.d"
+  "CMakeFiles/laws_core.dir/persistence.cc.o"
+  "CMakeFiles/laws_core.dir/persistence.cc.o.d"
+  "CMakeFiles/laws_core.dir/session.cc.o"
+  "CMakeFiles/laws_core.dir/session.cc.o.d"
+  "CMakeFiles/laws_core.dir/strawman.cc.o"
+  "CMakeFiles/laws_core.dir/strawman.cc.o.d"
+  "liblaws_core.a"
+  "liblaws_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_linalg.dir/matrix.cc.o"
+  "CMakeFiles/laws_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/laws_linalg.dir/solve.cc.o"
+  "CMakeFiles/laws_linalg.dir/solve.cc.o.d"
+  "liblaws_linalg.a"
+  "liblaws_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lofar/generator.cc" "src/lofar/CMakeFiles/laws_lofar.dir/generator.cc.o" "gcc" "src/lofar/CMakeFiles/laws_lofar.dir/generator.cc.o.d"
+  "/root/repo/src/lofar/pipeline.cc" "src/lofar/CMakeFiles/laws_lofar.dir/pipeline.cc.o" "gcc" "src/lofar/CMakeFiles/laws_lofar.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/laws_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/laws_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/laws_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/laws_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/laws_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/laws_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/laws_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/laws_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_lofar.dir/generator.cc.o"
+  "CMakeFiles/laws_lofar.dir/generator.cc.o.d"
+  "CMakeFiles/laws_lofar.dir/pipeline.cc.o"
+  "CMakeFiles/laws_lofar.dir/pipeline.cc.o.d"
+  "liblaws_lofar.a"
+  "liblaws_lofar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_lofar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

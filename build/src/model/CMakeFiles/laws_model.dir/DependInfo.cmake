@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/fit.cc" "src/model/CMakeFiles/laws_model.dir/fit.cc.o" "gcc" "src/model/CMakeFiles/laws_model.dir/fit.cc.o.d"
+  "/root/repo/src/model/grouped_fit.cc" "src/model/CMakeFiles/laws_model.dir/grouped_fit.cc.o" "gcc" "src/model/CMakeFiles/laws_model.dir/grouped_fit.cc.o.d"
+  "/root/repo/src/model/incremental.cc" "src/model/CMakeFiles/laws_model.dir/incremental.cc.o" "gcc" "src/model/CMakeFiles/laws_model.dir/incremental.cc.o.d"
+  "/root/repo/src/model/model.cc" "src/model/CMakeFiles/laws_model.dir/model.cc.o" "gcc" "src/model/CMakeFiles/laws_model.dir/model.cc.o.d"
+  "/root/repo/src/model/robust.cc" "src/model/CMakeFiles/laws_model.dir/robust.cc.o" "gcc" "src/model/CMakeFiles/laws_model.dir/robust.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/laws_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/laws_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/laws_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/laws_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_model.dir/fit.cc.o"
+  "CMakeFiles/laws_model.dir/fit.cc.o.d"
+  "CMakeFiles/laws_model.dir/grouped_fit.cc.o"
+  "CMakeFiles/laws_model.dir/grouped_fit.cc.o.d"
+  "CMakeFiles/laws_model.dir/incremental.cc.o"
+  "CMakeFiles/laws_model.dir/incremental.cc.o.d"
+  "CMakeFiles/laws_model.dir/model.cc.o"
+  "CMakeFiles/laws_model.dir/model.cc.o.d"
+  "CMakeFiles/laws_model.dir/robust.cc.o"
+  "CMakeFiles/laws_model.dir/robust.cc.o.d"
+  "liblaws_model.a"
+  "liblaws_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

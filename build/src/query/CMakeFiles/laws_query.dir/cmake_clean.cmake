@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_query.dir/ast.cc.o"
+  "CMakeFiles/laws_query.dir/ast.cc.o.d"
+  "CMakeFiles/laws_query.dir/executor.cc.o"
+  "CMakeFiles/laws_query.dir/executor.cc.o.d"
+  "CMakeFiles/laws_query.dir/expr_eval.cc.o"
+  "CMakeFiles/laws_query.dir/expr_eval.cc.o.d"
+  "CMakeFiles/laws_query.dir/lexer.cc.o"
+  "CMakeFiles/laws_query.dir/lexer.cc.o.d"
+  "CMakeFiles/laws_query.dir/parser.cc.o"
+  "CMakeFiles/laws_query.dir/parser.cc.o.d"
+  "liblaws_query.a"
+  "liblaws_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/laws_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/laws_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/diagnostics.cc" "src/stats/CMakeFiles/laws_stats.dir/diagnostics.cc.o" "gcc" "src/stats/CMakeFiles/laws_stats.dir/diagnostics.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/laws_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/laws_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/goodness_of_fit.cc" "src/stats/CMakeFiles/laws_stats.dir/goodness_of_fit.cc.o" "gcc" "src/stats/CMakeFiles/laws_stats.dir/goodness_of_fit.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/laws_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/laws_stats.dir/histogram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/laws_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_stats.dir/descriptive.cc.o"
+  "CMakeFiles/laws_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/laws_stats.dir/diagnostics.cc.o"
+  "CMakeFiles/laws_stats.dir/diagnostics.cc.o.d"
+  "CMakeFiles/laws_stats.dir/distributions.cc.o"
+  "CMakeFiles/laws_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/laws_stats.dir/goodness_of_fit.cc.o"
+  "CMakeFiles/laws_stats.dir/goodness_of_fit.cc.o.d"
+  "CMakeFiles/laws_stats.dir/histogram.cc.o"
+  "CMakeFiles/laws_stats.dir/histogram.cc.o.d"
+  "liblaws_stats.a"
+  "liblaws_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

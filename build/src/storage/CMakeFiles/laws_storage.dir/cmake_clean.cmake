@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_storage.dir/catalog.cc.o"
+  "CMakeFiles/laws_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/laws_storage.dir/column.cc.o"
+  "CMakeFiles/laws_storage.dir/column.cc.o.d"
+  "CMakeFiles/laws_storage.dir/csv.cc.o"
+  "CMakeFiles/laws_storage.dir/csv.cc.o.d"
+  "CMakeFiles/laws_storage.dir/schema.cc.o"
+  "CMakeFiles/laws_storage.dir/schema.cc.o.d"
+  "CMakeFiles/laws_storage.dir/serialize.cc.o"
+  "CMakeFiles/laws_storage.dir/serialize.cc.o.d"
+  "CMakeFiles/laws_storage.dir/table.cc.o"
+  "CMakeFiles/laws_storage.dir/table.cc.o.d"
+  "CMakeFiles/laws_storage.dir/types.cc.o"
+  "CMakeFiles/laws_storage.dir/types.cc.o.d"
+  "liblaws_storage.a"
+  "liblaws_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_workload.dir/retail.cc.o"
+  "CMakeFiles/laws_workload.dir/retail.cc.o.d"
+  "CMakeFiles/laws_workload.dir/sensor.cc.o"
+  "CMakeFiles/laws_workload.dir/sensor.cc.o.d"
+  "liblaws_workload.a"
+  "liblaws_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lofar_test.dir/lofar_test.cc.o"
+  "CMakeFiles/lofar_test.dir/lofar_test.cc.o.d"
+  "lofar_test"
+  "lofar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lofar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
