@@ -12,11 +12,14 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "lofar/generator.h"
 #include "model/fit.h"
+#include "model/grouped_fit.h"
 #include "model/model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace laws;
   using namespace laws::bench;
 
@@ -89,5 +92,59 @@ int main() {
   std::printf("\nSHAPE OK: fitted alpha %.3f is in the thermal band around "
               "-0.69\n",
               fit.parameters[1]);
+
+  // Thread-count scaling sweep over the full grouped fit of the sample
+  // (all 500 sources), the Figure-1 slice of the paper's hot path. The
+  // fitted parameters must be bit-identical at every lane count.
+  JsonReport json(JsonPathFromArgs(argc, argv));
+  GroupedFitSpec spec;
+  spec.group_column = "source";
+  spec.input_columns = {"wavelength"};
+  spec.output_column = "intensity";
+  std::printf("\ngrouped-fit scaling sweep (%zu rows, %zu sources)\n",
+              data.observations.num_rows(), cfg.num_sources);
+  std::printf("%8s %10s %9s %12s\n", "threads", "fit s", "speedup",
+              "determinism");
+  double serial_s = 0.0;
+  GroupedFitOutput reference;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ThreadPool::SetGlobalThreadCount(threads);
+    Timer timer;
+    GroupedFitOutput fits =
+        Unwrap(FitGrouped(model, data.observations, spec), "grouped fit");
+    const double seconds = timer.ElapsedSeconds();
+    bool identical = true;
+    if (threads == 1) {
+      serial_s = seconds;
+      reference = std::move(fits);
+    } else {
+      identical = fits.groups.size() == reference.groups.size() &&
+                  fits.skipped_too_few == reference.skipped_too_few &&
+                  fits.failed == reference.failed;
+      for (size_t g = 0; identical && g < fits.groups.size(); ++g) {
+        identical = fits.groups[g].group_key == reference.groups[g].group_key &&
+                    fits.groups[g].fit.parameters ==
+                        reference.groups[g].fit.parameters;
+      }
+      if (!identical) {
+        std::fprintf(stderr,
+                     "FATAL: grouped fit at %zu threads diverged from the "
+                     "serial reference\n",
+                     threads);
+        return 1;
+      }
+    }
+    const double speedup = seconds > 0.0 ? serial_s / seconds : 0.0;
+    std::printf("%8zu %10.4f %8.2fx %12s\n", threads, seconds, speedup,
+                threads == 1 ? "reference" : "bit-exact");
+    json.Begin("figure1_grouped_fit");
+    json.Field("rows", data.observations.num_rows());
+    json.Field("sources", cfg.num_sources);
+    json.Field("threads", threads);
+    json.Field("seconds", seconds);
+    json.Field("speedup", speedup);
+  }
+  ThreadPool::SetGlobalThreadCount(0);  // restore default
+  json.Flush();
   return 0;
 }

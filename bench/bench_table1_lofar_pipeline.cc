@@ -5,35 +5,64 @@
 // alpha, constant p, residual SE): "we were able to replace ca. 11MB of
 // observations with 640KB of model parameters, ca. 5% of the original
 // dataset size". This bench runs the pipeline at the paper's exact
-// cardinalities and prints both tables plus the byte accounting.
+// cardinalities and prints both tables plus the byte accounting, then
+// sweeps the ThreadPool lane count (1/2/4/8) to record the parallel
+// speedup of the end-to-end pipeline. The fitted parameter table must be
+// bit-identical at every thread count; any divergence is fatal.
+//
+// Flags: --json <path> emits per-run records (rows, seconds, threads,
+// speedup) for the BENCH_*.json perf trajectory.
 
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/session.h"
 #include "lofar/pipeline.h"
 #include "storage/catalog.h"
 
-int main() {
-  using namespace laws;
+namespace {
+
+using namespace laws;
+
+/// Bitwise table equality: the determinism gate for the parallel fit.
+bool TablesIdentical(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    if (a.column(c).int64_data() != b.column(c).int64_data()) return false;
+    if (a.column(c).double_data() != b.column(c).double_data()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace laws::bench;
 
   Banner("Table 1: LOFAR observations -> per-source parameter table",
          "1,452,824 rows / 35,692 sources -> (alpha, p, residual SE) per "
          "source; ~11MB -> ~640KB = ~5%");
 
+  JsonReport json(JsonPathFromArgs(argc, argv));
+  LofarConfig cfg;  // paper-exact defaults
+
+  // Reference run at 1 thread: the serial ground truth for Table 1 and
+  // the determinism check.
+  ThreadPool::SetGlobalThreadCount(1);
   Catalog catalog;
   ModelCatalog models;
   Session session(&catalog, &models);
-
-  LofarConfig cfg;  // paper-exact defaults
   Timer total;
-  Timer gen_timer;
   LofarPipelineResult result = Unwrap(
       RunLofarPipeline(cfg, &catalog, &session, "measurements"), "pipeline");
-  const double total_s = total.ElapsedSeconds();
+  const double serial_s = total.ElapsedSeconds();
 
   const Table& obs = **catalog.Get("measurements");
   std::printf("observations table (%zu rows from %zu sources):\n",
@@ -59,9 +88,10 @@ int main() {
               result.parameter_bytes,
               HumanBytes(result.parameter_bytes).c_str());
   std::printf("%-26s %11.2f%%  (paper: ~5%%)\n", "parameter/raw ratio", pct);
-  std::printf("pipeline wall time: %.1f s (%zu fits)\n", total_s,
-              captured->num_groups);
-  (void)gen_timer;
+  std::printf("pipeline wall time: %.1f s at 1 thread (%zu fits; "
+              "gen %.1f s, fit %.1f s)\n",
+              serial_s, captured->num_groups, result.generate_seconds,
+              result.fit_seconds);
 
   if (pct > 12.0) {
     std::fprintf(stderr, "FATAL: parameter ratio %.2f%% far above the "
@@ -69,8 +99,75 @@ int main() {
                  pct);
     return 1;
   }
+
+  json.Begin("table1_lofar_pipeline");
+  json.Field("rows", obs.num_rows());
+  json.Field("sources", cfg.num_sources);
+  json.Field("threads", static_cast<size_t>(1));
+  json.Field("seconds", serial_s);
+  json.Field("generate_seconds", result.generate_seconds);
+  json.Field("fit_seconds", result.fit_seconds);
+  json.Field("speedup", 1.0);
+  json.Field("parameter_ratio_pct", pct);
+
+  // Thread-count scaling sweep: rerun the full pipeline end to end and
+  // require a bit-identical parameter table each time.
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("\nthread scaling sweep (hardware concurrency: %u)\n", hw);
+  std::printf("%8s %10s %10s %10s %9s %12s\n", "threads", "total s",
+              "gen s", "fit s", "speedup", "determinism");
+  std::printf("%8d %10.2f %10.2f %10.2f %9.2fx %12s\n", 1, serial_s,
+              result.generate_seconds, result.fit_seconds, 1.0, "reference");
+  double best_speedup = 1.0;
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    ThreadPool::SetGlobalThreadCount(threads);
+    Catalog sweep_catalog;
+    ModelCatalog sweep_models;
+    Session sweep_session(&sweep_catalog, &sweep_models);
+    Timer sweep_timer;
+    LofarPipelineResult sweep = Unwrap(
+        RunLofarPipeline(cfg, &sweep_catalog, &sweep_session, "measurements"),
+        "sweep pipeline");
+    const double sweep_s = sweep_timer.ElapsedSeconds();
+    auto sweep_captured =
+        Unwrap(sweep_models.Get(sweep.model_id), "sweep model");
+    const bool identical = TablesIdentical(captured->parameter_table,
+                                           sweep_captured->parameter_table);
+    const double speedup = sweep_s > 0.0 ? serial_s / sweep_s : 0.0;
+    if (speedup > best_speedup) best_speedup = speedup;
+    std::printf("%8zu %10.2f %10.2f %10.2f %9.2fx %12s\n", threads, sweep_s,
+                sweep.generate_seconds, sweep.fit_seconds, speedup,
+                identical ? "bit-exact" : "DIVERGED");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: parameter table at %zu threads differs from the "
+                   "serial reference\n",
+                   threads);
+      return 1;
+    }
+    json.Begin("table1_lofar_pipeline");
+    json.Field("rows", obs.num_rows());
+    json.Field("sources", cfg.num_sources);
+    json.Field("threads", threads);
+    json.Field("seconds", sweep_s);
+    json.Field("generate_seconds", sweep.generate_seconds);
+    json.Field("fit_seconds", sweep.fit_seconds);
+    json.Field("speedup", speedup);
+    json.Field("bit_identical", true);
+  }
+  ThreadPool::SetGlobalThreadCount(0);  // restore default
+
+  std::printf("best end-to-end speedup: %.2fx (target: >=3x on >=4 "
+              "hardware cores)\n",
+              best_speedup);
+  if (hw >= 4 && best_speedup < 3.0) {
+    std::printf("WARNING: below the 3x scaling target despite %u cores\n",
+                hw);
+  }
+
+  json.Flush();
   std::printf("\nSHAPE OK: parameter table is %.1f%% of raw data (paper: "
-              "~5%%)\n",
+              "~5%%), bit-identical across 1/2/4/8 threads\n",
               pct);
   return 0;
 }

@@ -9,7 +9,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -42,6 +45,104 @@ T Unwrap(Result<T> result, const char* what) {
   }
   return std::move(result).value();
 }
+
+/// Returns the path following a `--json` flag in argv, or "" when absent.
+/// Every bench accepts `--json <path>` and, when given, appends its
+/// machine-readable records there (the BENCH_*.json perf trajectory).
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+/// Minimal machine-readable experiment log: flat records of string /
+/// numeric fields, written as a JSON array on Flush. Disabled (all calls
+/// no-ops) when constructed with an empty path, so benches can call it
+/// unconditionally.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Starts a new record; subsequent Field calls attach to it.
+  void Begin(const std::string& experiment) {
+    if (!enabled()) return;
+    records_.emplace_back();
+    Field("experiment", experiment);
+  }
+
+  void Field(const std::string& key, const std::string& value) {
+    Append(key, "\"" + Escaped(value) + "\"");
+  }
+  void Field(const std::string& key, const char* value) {
+    Field(key, std::string(value));
+  }
+  void Field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    Append(key, buf);
+  }
+  void Field(const std::string& key, size_t value) {
+    Append(key, std::to_string(value));
+  }
+  void Field(const std::string& key, int value) {
+    Append(key, std::to_string(value));
+  }
+  void Field(const std::string& key, bool value) {
+    Append(key, value ? "true" : "false");
+  }
+
+  /// Writes all records to the path; call once at the end of main. Exits
+  /// non-zero on IO failure like every other harness error.
+  void Flush() {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FATAL cannot write JSON report to %s\n",
+                   path_.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "[\n");
+    for (size_t r = 0; r < records_.size(); ++r) {
+      std::fprintf(f, "  {");
+      for (size_t i = 0; i < records_[r].size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     records_[r][i].first.c_str(),
+                     records_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("JSON report: %s (%zu records)\n", path_.c_str(),
+                records_.size());
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  void Append(const std::string& key, std::string rendered) {
+    if (!enabled() || records_.empty()) return;
+    records_.back().emplace_back(key, std::move(rendered));
+  }
+
+  std::string path_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
 
 }  // namespace laws::bench
 

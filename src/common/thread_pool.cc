@@ -1,0 +1,180 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace laws {
+
+namespace {
+
+/// Set while the current thread is a pool worker or is executing a
+/// ParallelFor chunk; nested parallel constructs observe it and run
+/// inline instead of re-entering the scheduler.
+thread_local bool tls_in_parallel_region = false;
+
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& GlobalMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(std::max<size_t>(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Serial fallback: no workers exist, run inline.
+    const bool saved = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    task();
+    tls_in_parallel_region = saved;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_parallel_region = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  std::unique_ptr<ThreadPool>& slot = GlobalSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>(DefaultThreadCount());
+  return *slot;
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  const size_t from_env = ParseThreadCount(std::getenv("LAWS_THREADS"));
+  if (from_env > 0) return from_env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::SetGlobalThreadCount(size_t n) {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  GlobalSlot() =
+      std::make_unique<ThreadPool>(n == 0 ? DefaultThreadCount() : n);
+}
+
+size_t ThreadPool::ParseThreadCount(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value <= 0) return 0;
+  return static_cast<size_t>(value);
+}
+
+void ParallelForChunks(size_t begin, size_t end,
+                       const std::function<void(size_t, size_t)>& body,
+                       const ParallelForOptions& options) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                             : ThreadPool::Global();
+  // Floor division: never split into chunks smaller than the grain.
+  const size_t grain = std::max<size_t>(1, options.grain);
+  const size_t max_chunks = n / grain;
+  const size_t chunks = std::min(pool.num_threads(), max_chunks);
+  if (chunks <= 1 || tls_in_parallel_region) {
+    const bool saved = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    body(begin, end);
+    tls_in_parallel_region = saved;
+    return;
+  }
+
+  // Chunked static partition: chunk c covers
+  // [begin + c*n/chunks, begin + (c+1)*n/chunks).
+  struct Barrier {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t remaining;
+    std::vector<std::exception_ptr> errors;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining = chunks;
+  barrier->errors.assign(chunks, nullptr);
+
+  auto run_chunk = [&body, barrier, begin, n, chunks](size_t c) {
+    const size_t lo = begin + c * n / chunks;
+    const size_t hi = begin + (c + 1) * n / chunks;
+    try {
+      body(lo, hi);
+    } catch (...) {
+      barrier->errors[c] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(barrier->mutex);
+      --barrier->remaining;
+    }
+    barrier->done.notify_one();
+  };
+
+  for (size_t c = 1; c < chunks; ++c) {
+    pool.Submit([run_chunk, c] { run_chunk(c); });
+  }
+  // The caller is lane 0.
+  tls_in_parallel_region = true;
+  run_chunk(0);
+  tls_in_parallel_region = false;
+
+  {
+    std::unique_lock<std::mutex> lock(barrier->mutex);
+    barrier->done.wait(lock, [&] { return barrier->remaining == 0; });
+  }
+  for (const std::exception_ptr& e : barrier->errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& body,
+                 const ParallelForOptions& options) {
+  ParallelForChunks(
+      begin, end,
+      [&body](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) body(i);
+      },
+      options);
+}
+
+}  // namespace laws

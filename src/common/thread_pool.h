@@ -1,0 +1,108 @@
+#ifndef LAWSDB_COMMON_THREAD_POOL_H_
+#define LAWSDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace laws {
+
+/// Fixed-size worker pool behind ParallelFor — the concurrency substrate
+/// for the per-group fitting, per-column compression, and data-generation
+/// hot paths. A pool of `num_threads` provides `num_threads` parallel
+/// lanes: `num_threads - 1` background workers plus the calling thread,
+/// which always participates in ParallelFor. At num_threads == 1 no
+/// threads are spawned and everything runs inline on the caller — the
+/// graceful serial fallback.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` lanes (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of parallel lanes (including the caller during ParallelFor).
+  size_t num_threads() const { return num_threads_; }
+
+  /// Enqueues a task for a background worker. On a 1-lane pool (no
+  /// workers) the task runs inline, immediately, on the calling thread.
+  /// Submitting from inside a task is safe; tasks must not block waiting
+  /// for other tasks in the same pool.
+  void Submit(std::function<void()> task);
+
+  /// The process-wide pool, built on first use with DefaultThreadCount()
+  /// lanes.
+  static ThreadPool& Global();
+
+  /// Lane count for the global pool: the LAWS_THREADS environment
+  /// variable when set to a positive integer, otherwise hardware
+  /// concurrency (>= 1).
+  static size_t DefaultThreadCount();
+
+  /// Rebuilds the global pool with `n` lanes (0 restores
+  /// DefaultThreadCount()). For benchmark sweeps and tests; must not race
+  /// with in-flight ParallelFor calls.
+  static void SetGlobalThreadCount(size_t n);
+
+  /// Parses a LAWS_THREADS-style value: positive integers pass through,
+  /// everything else (null, empty, junk, zero, negative) yields 0 for
+  /// "unset". Exposed for tests.
+  static size_t ParseThreadCount(const char* text);
+
+ private:
+  void WorkerLoop();
+
+  const size_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+/// Tuning knobs for ParallelFor / ParallelForChunks.
+struct ParallelForOptions {
+  /// Minimum iterations per chunk; a range shorter than `2 * grain` runs
+  /// serially on the caller. Raise this for cheap per-index bodies so the
+  /// scheduling overhead cannot dominate.
+  size_t grain = 1;
+  /// Pool to schedule on; nullptr means ThreadPool::Global().
+  ThreadPool* pool = nullptr;
+};
+
+/// Runs body(chunk_begin, chunk_end) over a chunked static partition of
+/// [begin, end): at most num_threads contiguous chunks of near-equal
+/// size, one per lane. The calling thread executes the first chunk
+/// itself. Exceptions thrown by any chunk are captured and the
+/// lowest-indexed one is rethrown on the caller after all chunks finish
+/// (the partition is deterministic for a fixed lane count, so so is the
+/// choice). Nested calls — from inside a pool task or another
+/// ParallelFor body — run serially inline, which makes nesting safe
+/// rather than a deadlock.
+///
+/// Determinism contract: the partition depends on the lane count, so
+/// bodies must write only to disjoint, index-addressed slots (no
+/// order-dependent accumulation) for results to be bit-identical across
+/// thread counts. Every parallel loop in this repository follows that
+/// rule; see DESIGN.md "Threading model".
+void ParallelForChunks(size_t begin, size_t end,
+                       const std::function<void(size_t, size_t)>& body,
+                       const ParallelForOptions& options = {});
+
+/// Per-index convenience over ParallelForChunks: body(i) for i in
+/// [begin, end). Use for heavyweight bodies (model fits, column
+/// compression); prefer ParallelForChunks with a hand-written inner loop
+/// for per-row work.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& body,
+                 const ParallelForOptions& options = {});
+
+}  // namespace laws
+
+#endif  // LAWSDB_COMMON_THREAD_POOL_H_

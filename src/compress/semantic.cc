@@ -4,10 +4,27 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "model/model.h"
 
 namespace laws {
 namespace {
+
+/// Non-failing numeric coercion for columns already checked to be
+/// non-string; used inside parallel regions where Status cannot flow.
+double CoerceNumeric(const Column& c, size_t i) {
+  switch (c.type()) {
+    case DataType::kInt64:
+      return static_cast<double>(c.Int64At(i));
+    case DataType::kDouble:
+      return c.DoubleAt(i);
+    case DataType::kBool:
+      return c.BoolAt(i) ? 1.0 : 0.0;
+    case DataType::kString:
+      break;  // excluded by the callers' type checks
+  }
+  return 0.0;
+}
 
 /// Builds group -> parameter vector lookup from the parameter table layout
 /// produced by GroupedFitToTable (group, params..., residual_se, r_squared,
@@ -40,29 +57,38 @@ Result<Vector> PredictRows(const Table& table, const Model& model,
   std::vector<const Column*> inputs;
   for (const auto& name : input_columns) {
     LAWS_ASSIGN_OR_RETURN(const Column* c, table.ColumnByName(name));
+    if (c->type() == DataType::kString) {
+      return Status::TypeMismatch("input column '" + name +
+                                  "' is not numeric");
+    }
     inputs.push_back(c);
   }
   const size_t n = table.num_rows();
   Vector pred(n, 0.0);
-  Vector x(inputs.size());
-  for (size_t i = 0; i < n; ++i) {
-    if (group->IsNull(i)) continue;
-    const auto it = params.find(group->Int64At(i));
-    if (it == params.end()) continue;
-    bool ok = true;
-    for (size_t c = 0; c < inputs.size(); ++c) {
-      if (inputs[c]->IsNull(i)) {
-        ok = false;
-        break;
+  // Rows are independent and each lane writes disjoint pred[i] slots, so
+  // the result is identical at any thread count. The grain keeps tiny
+  // tables on the serial path.
+  ParallelForOptions opts;
+  opts.grain = 4096;
+  ParallelForChunks(0, n, [&](size_t lo, size_t hi) {
+    Vector x(inputs.size());
+    for (size_t i = lo; i < hi; ++i) {
+      if (group->IsNull(i)) continue;
+      const auto it = params.find(group->Int64At(i));
+      if (it == params.end()) continue;
+      bool ok = true;
+      for (size_t c = 0; c < inputs.size(); ++c) {
+        if (inputs[c]->IsNull(i)) {
+          ok = false;
+          break;
+        }
+        x[c] = CoerceNumeric(*inputs[c], i);
       }
-      auto v = inputs[c]->NumericAt(i);
-      if (!v.ok()) return v.status();
-      x[c] = *v;
+      if (!ok) continue;
+      const double y = model.Evaluate(x, it->second);
+      pred[i] = std::isfinite(y) ? y : 0.0;
     }
-    if (!ok) continue;
-    const double y = model.Evaluate(x, it->second);
-    pred[i] = std::isfinite(y) ? y : 0.0;
-  }
+  }, opts);
   return pred;
 }
 
@@ -157,15 +183,29 @@ Result<SemanticCompressedTable> SemanticCompress(
                           CompressColumn(residuals, ColumnEncoding::kAuto));
   }
 
-  // Remaining columns, generically compressed.
+  // Remaining columns, generically compressed — one independent encoding
+  // search per column, fanned out across lanes. Slots are indexed by the
+  // schema-order position so the blob layout never depends on scheduling.
+  std::vector<size_t> keep;
   for (size_t c = 0; c < table.num_columns(); ++c) {
     const std::string& name = table.schema().field(c).name;
     if (name == spec.output_column) continue;
-    LAWS_ASSIGN_OR_RETURN(
-        CompressedColumn cc,
-        CompressColumn(table.column(c), options.other_columns_encoding));
-    out.other_columns.push_back(std::move(cc));
+    keep.push_back(c);
     out.other_column_names.push_back(name);
+  }
+  out.other_columns.resize(keep.size());
+  std::vector<Status> column_status(keep.size());
+  ParallelFor(0, keep.size(), [&](size_t i) {
+    auto cc = CompressColumn(table.column(keep[i]),
+                             options.other_columns_encoding);
+    if (cc.ok()) {
+      out.other_columns[i] = std::move(*cc);
+    } else {
+      column_status[i] = cc.status();
+    }
+  });
+  for (const Status& s : column_status) {
+    LAWS_RETURN_IF_ERROR(s);
   }
   return out;
 }

@@ -64,16 +64,24 @@ Status ExtractObservations(const Table& table,
     }
     if (ok) usable.push_back(static_cast<uint32_t>(i));
   }
-  *inputs = Matrix(usable.size(), in_cols.size());
-  outputs->assign(usable.size(), 0.0);
-  for (size_t r = 0; r < usable.size(); ++r) {
-    for (size_t c = 0; c < in_cols.size(); ++c) {
-      LAWS_ASSIGN_OR_RETURN(double v, in_cols[c]->NumericAt(usable[r]));
-      (*inputs)(r, c) = v;
+  const size_t rows = usable.size();
+  const size_t num_cols = in_cols.size();
+  *inputs = Matrix(rows, num_cols);
+  if (num_cols == 1) {
+    LAWS_RETURN_IF_ERROR(
+        in_cols[0]->GatherNumeric(usable.data(), rows,
+                                  inputs->mutable_data()));
+  } else {
+    std::vector<double> scratch(rows);
+    for (size_t c = 0; c < num_cols; ++c) {
+      LAWS_RETURN_IF_ERROR(
+          in_cols[c]->GatherNumeric(usable.data(), rows, scratch.data()));
+      double* data = inputs->mutable_data();
+      for (size_t r = 0; r < rows; ++r) data[r * num_cols + c] = scratch[r];
     }
-    LAWS_ASSIGN_OR_RETURN((*outputs)[r], out_col->NumericAt(usable[r]));
   }
-  return Status::OK();
+  outputs->assign(rows, 0.0);
+  return out_col->GatherNumeric(usable.data(), rows, outputs->data());
 }
 
 }  // namespace

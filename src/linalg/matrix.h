@@ -52,6 +52,10 @@ class Matrix {
 
   const std::vector<double>& data() const { return data_; }
 
+  /// Raw row-major storage for bulk fills (column gathers, BLAS-style
+  /// kernels); size is rows() * cols().
+  double* mutable_data() { return data_.data(); }
+
   /// Returns the transpose.
   Matrix Transposed() const;
 

@@ -3,8 +3,24 @@
 #include <cmath>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace laws {
+
+namespace {
+
+/// SplitMix64-style seed derivation for the per-source generator streams.
+/// Each source owns an independent Rng, so sources can be generated on any
+/// lane in any order and the dataset is still a pure function of the seed
+/// — identical at every thread count.
+uint64_t SourceSeed(uint64_t seed, uint64_t source) {
+  uint64_t z = seed ^ (0x9E3779B97F4A7C15ULL * (source + 1));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 Result<LofarDataset> GenerateLofar(const LofarConfig& config) {
   if (config.num_sources == 0 || config.bands.empty()) {
@@ -20,7 +36,7 @@ Result<LofarDataset> GenerateLofar(const LofarConfig& config) {
   LofarDataset dataset;
   dataset.config = config;
 
-  // Ground-truth spectra.
+  // Ground-truth spectra, drawn serially from the master stream.
   dataset.truth.reserve(config.num_sources);
   for (size_t s = 0; s < config.num_sources; ++s) {
     LofarSourceTruth t;
@@ -31,49 +47,88 @@ Result<LofarDataset> GenerateLofar(const LofarConfig& config) {
     dataset.truth.push_back(t);
   }
 
+  // Row layout (fixed before any observation is drawn): every source gets
+  // kMinObsPerSource guaranteed rows first so per-source fits are
+  // well-posed, then the remainder is assigned uniformly at random from
+  // the master stream.
+  const size_t num_sources = config.num_sources;
+  const size_t guaranteed = num_sources * kMinObsPerSource;
+  const size_t remaining = config.num_rows - guaranteed;
+  std::vector<uint32_t> assign(remaining);
+  for (size_t i = 0; i < remaining; ++i) {
+    assign[i] = static_cast<uint32_t>(rng.UniformInt(
+        0, static_cast<int64_t>(num_sources) - 1));
+  }
+
+  // Counting sort of the remainder assignments: remainder_rows lists, for
+  // each source contiguously, the global row positions of its extra rows
+  // in emission order.
+  std::vector<uint32_t> counts(num_sources, 0);
+  for (uint32_t s : assign) ++counts[s];
+  std::vector<uint32_t> offsets(num_sources + 1, 0);
+  for (size_t s = 0; s < num_sources; ++s) {
+    offsets[s + 1] = offsets[s] + counts[s];
+  }
+  std::vector<uint32_t> remainder_rows(remaining);
+  {
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t i = 0; i < remaining; ++i) {
+      remainder_rows[cursor[assign[i]]++] =
+          static_cast<uint32_t>(guaranteed + i);
+    }
+  }
+
+  // Observations, one independent stream per source, written straight
+  // into preallocated columnar storage (disjoint slots per source).
+  std::vector<int64_t> source_data(config.num_rows);
+  std::vector<double> wavelength_data(config.num_rows);
+  std::vector<double> intensity_data(config.num_rows);
+  const std::vector<LofarSourceTruth>& truth = dataset.truth;
+  ParallelForChunks(0, num_sources, [&](size_t lo, size_t hi) {
+    for (size_t s = lo; s < hi; ++s) {
+      Rng source_rng(SourceSeed(config.seed, s));
+      const LofarSourceTruth& t = truth[s];
+      auto emit_row = [&](size_t row) {
+        const double band =
+            config.bands[static_cast<size_t>(source_rng.UniformInt(
+                0, static_cast<int64_t>(config.bands.size()) - 1))];
+        const double nu =
+            band *
+            (1.0 + config.band_jitter * (source_rng.NextDouble() - 0.5));
+        double intensity;
+        if (t.anomalous) {
+          // Frequency-independent emission with heavy scatter: the flat /
+          // turn-over spectra the paper wants to surface via goodness of
+          // fit.
+          intensity = t.p * std::pow(0.15, t.alpha) *
+                      std::exp(source_rng.Normal(0.0, 0.9));
+        } else {
+          intensity = t.p * std::pow(nu, t.alpha) *
+                      std::exp(source_rng.Normal(0.0, config.noise_sd));
+        }
+        source_data[row] = t.source;
+        wavelength_data[row] = nu;
+        intensity_data[row] = intensity;
+      };
+      for (size_t k = 0; k < kMinObsPerSource; ++k) {
+        emit_row(s * kMinObsPerSource + k);
+      }
+      for (uint32_t r = offsets[s]; r < offsets[s + 1]; ++r) {
+        emit_row(remainder_rows[r]);
+      }
+    }
+  });
+
   Schema schema({Field{"source", DataType::kInt64, false},
                  Field{"wavelength", DataType::kDouble, false},
                  Field{"intensity", DataType::kDouble, false}});
-  Table table(schema);
-  Column* source_col = table.mutable_column(0);
-  Column* wavelength_col = table.mutable_column(1);
-  Column* intensity_col = table.mutable_column(2);
-
-  auto emit_row = [&](const LofarSourceTruth& t) {
-    const double band =
-        config.bands[static_cast<size_t>(rng.UniformInt(
-            0, static_cast<int64_t>(config.bands.size()) - 1))];
-    const double nu =
-        band * (1.0 + config.band_jitter * (rng.NextDouble() - 0.5));
-    double intensity;
-    if (t.anomalous) {
-      // Frequency-independent emission with heavy scatter: the flat /
-      // turn-over spectra the paper wants to surface via goodness of fit.
-      intensity = t.p * std::pow(0.15, t.alpha) *
-                  std::exp(rng.Normal(0.0, 0.9));
-    } else {
-      intensity = t.p * std::pow(nu, t.alpha) *
-                  std::exp(rng.Normal(0.0, config.noise_sd));
-    }
-    source_col->AppendInt64(t.source);
-    wavelength_col->AppendDouble(nu);
-    intensity_col->AppendDouble(intensity);
-  };
-
-  // Guarantee a well-posed fit for every source, then fill the remainder
-  // uniformly.
-  for (const LofarSourceTruth& t : dataset.truth) {
-    for (size_t k = 0; k < kMinObsPerSource; ++k) emit_row(t);
-  }
-  const size_t remaining =
-      config.num_rows - config.num_sources * kMinObsPerSource;
-  for (size_t i = 0; i < remaining; ++i) {
-    const auto s = static_cast<size_t>(rng.UniformInt(
-        0, static_cast<int64_t>(config.num_sources) - 1));
-    emit_row(dataset.truth[s]);
-  }
-  LAWS_RETURN_IF_ERROR(table.SyncRowCount());
-  dataset.observations = std::move(table);
+  std::vector<Column> columns;
+  columns.push_back(Column::FromInt64Vector(std::move(source_data)));
+  columns.push_back(Column::FromDoubleVector(std::move(wavelength_data)));
+  columns.push_back(Column::FromDoubleVector(std::move(intensity_data)));
+  LAWS_ASSIGN_OR_RETURN(
+      dataset.observations,
+      Table::FromColumns(std::move(schema), std::move(columns)));
   return dataset;
 }
 

@@ -1,5 +1,8 @@
 #include "lofar/pipeline.h"
 
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
 namespace laws {
 
 Result<LofarPipelineResult> RunLofarPipeline(const LofarConfig& config,
@@ -7,7 +10,12 @@ Result<LofarPipelineResult> RunLofarPipeline(const LofarConfig& config,
                                              Session* session,
                                              const std::string& table_name) {
   LofarPipelineResult result;
+  result.threads = ThreadPool::Global().num_threads();
+
+  Timer phase;
   LAWS_ASSIGN_OR_RETURN(result.dataset, GenerateLofar(config));
+  result.generate_seconds = phase.ElapsedSeconds();
+
   auto table = std::make_shared<Table>(std::move(result.dataset.observations));
   result.raw_bytes = table->MemoryBytes();
   catalog->RegisterOrReplace(table_name, table);
@@ -21,9 +29,13 @@ Result<LofarPipelineResult> RunLofarPipeline(const LofarConfig& config,
   request.output_column = "intensity";
   request.group_column = "source";
   // The LOFAR model is log-linearizable; the auto algorithm warm-starts
-  // from the log-log OLS and polishes with Levenberg-Marquardt.
+  // from the log-log OLS and polishes with Levenberg-Marquardt. The
+  // grouped fit fans the per-source regressions out over the global
+  // ThreadPool.
   request.options.algorithm = FitAlgorithm::kAuto;
+  phase.Restart();
   LAWS_ASSIGN_OR_RETURN(result.report, session->Fit(request));
+  result.fit_seconds = phase.ElapsedSeconds();
   result.model_id = result.report.model_id;
 
   LAWS_ASSIGN_OR_RETURN(const CapturedModel* captured,

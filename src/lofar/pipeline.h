@@ -22,6 +22,12 @@ struct LofarPipelineResult {
   /// Bytes of the captured parameter artifact (parameter table + metadata).
   size_t parameter_bytes = 0;
   double parameter_ratio = 0.0;  // parameter_bytes / raw_bytes
+
+  /// Phase timings for the scaling benches (generation and grouped fit
+  /// both run on the ThreadPool lanes reported in `threads`).
+  double generate_seconds = 0.0;
+  double fit_seconds = 0.0;
+  size_t threads = 1;
 };
 
 /// Generates the dataset (with `config`), registers it as `table_name` in

@@ -1,9 +1,59 @@
 #include "model/grouped_fit.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace laws {
+
+namespace {
+
+/// One contiguous run of rows for a single group key inside the keyed row
+/// index built by FitGrouped.
+struct GroupSlice {
+  int64_t key = 0;
+  size_t offset = 0;
+  size_t length = 0;
+};
+
+/// Per-group outcome slot, written by exactly one ParallelFor lane and
+/// merged serially in group order so the output (and the skipped/failed
+/// tallies) is bit-identical across thread counts.
+struct GroupOutcome {
+  enum class Kind : uint8_t { kSkipped, kFailed, kFitted } kind =
+      Kind::kSkipped;
+  FitOutput fit;
+};
+
+/// Assembles the (inputs, outputs) observation block for one group via
+/// bulk column gathers — one type dispatch per column instead of a
+/// Result-unwrapping NumericAt per cell.
+Status GatherObservations(const std::vector<const Column*>& input_cols,
+                          const Column& output_col, const uint32_t* rows,
+                          size_t n, Matrix* inputs, Vector* outputs,
+                          std::vector<double>* scratch) {
+  *inputs = Matrix(n, input_cols.size());
+  if (input_cols.size() == 1) {
+    // Single-input models (the paper's power law) fill the n x 1 design
+    // block contiguously.
+    LAWS_RETURN_IF_ERROR(
+        input_cols[0]->GatherNumeric(rows, n, inputs->mutable_data()));
+  } else {
+    scratch->resize(n);
+    double* data = inputs->mutable_data();
+    const size_t num_cols = input_cols.size();
+    for (size_t c = 0; c < num_cols; ++c) {
+      LAWS_RETURN_IF_ERROR(
+          input_cols[c]->GatherNumeric(rows, n, scratch->data()));
+      for (size_t r = 0; r < n; ++r) data[r * num_cols + c] = (*scratch)[r];
+    }
+  }
+  outputs->resize(n);
+  return output_col.GatherNumeric(rows, n, outputs->data());
+}
+
+}  // namespace
 
 Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
                                     const GroupedFitSpec& spec) {
@@ -32,10 +82,13 @@ Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
     return Status::TypeMismatch("output column is not numeric");
   }
 
-  // Bucket row indices by group key, preserving first-seen order within
-  // groups.
-  std::unordered_map<int64_t, std::vector<uint32_t>> buckets;
+  // Group by sorting a (key, row) index instead of hashing rows into
+  // per-key vectors: one allocation, cache-friendly, and the sort on
+  // (key, row) pairs both orders groups by key (the output contract) and
+  // keeps rows within a group in first-seen order.
   const size_t n = table.num_rows();
+  std::vector<std::pair<int64_t, uint32_t>> keyed;
+  keyed.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (group_col->IsNull(i) || output_col->IsNull(i)) continue;
     bool usable = true;
@@ -46,41 +99,79 @@ Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
       }
     }
     if (!usable) continue;
-    buckets[group_col->Int64At(i)].push_back(static_cast<uint32_t>(i));
+    keyed.emplace_back(group_col->Int64At(i), static_cast<uint32_t>(i));
   }
+  std::sort(keyed.begin(), keyed.end());
+
+  // Row indices in group-sorted order, plus one slice per group.
+  std::vector<uint32_t> row_index(keyed.size());
+  std::vector<GroupSlice> groups;
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    row_index[i] = keyed[i].second;
+    if (i == 0 || keyed[i].first != keyed[i - 1].first) {
+      groups.push_back(GroupSlice{keyed[i].first, i, 0});
+    }
+    ++groups.back().length;
+  }
+  keyed.clear();
+  keyed.shrink_to_fit();
 
   const size_t floor_obs =
       std::max(model.num_parameters() + 1, spec.min_observations);
 
+  // Fit groups in parallel. Each lane owns a disjoint slice of the
+  // outcome array and reuses its matrix/vector buffers across the groups
+  // it processes; FitModel is a pure function of its inputs, so outcomes
+  // are independent of the partition.
+  std::vector<GroupOutcome> outcomes(groups.size());
+  ParallelForChunks(0, groups.size(), [&](size_t lo, size_t hi) {
+    Matrix inputs;
+    Vector outputs;
+    std::vector<double> scratch;
+    for (size_t g = lo; g < hi; ++g) {
+      const GroupSlice& slice = groups[g];
+      GroupOutcome& slot = outcomes[g];
+      if (slice.length < floor_obs) {
+        slot.kind = GroupOutcome::Kind::kSkipped;
+        continue;
+      }
+      const Status gathered = GatherObservations(
+          input_cols, *output_col, row_index.data() + slice.offset,
+          slice.length, &inputs, &outputs, &scratch);
+      if (!gathered.ok()) {
+        // Unreachable after the type checks above; count as a failed fit
+        // rather than crossing the parallel region with an error.
+        slot.kind = GroupOutcome::Kind::kFailed;
+        continue;
+      }
+      auto fit = FitModel(model, inputs, outputs, spec.fit_options);
+      if (!fit.ok()) {
+        slot.kind = GroupOutcome::Kind::kFailed;
+        continue;
+      }
+      slot.kind = GroupOutcome::Kind::kFitted;
+      slot.fit = std::move(*fit);
+    }
+  });
+
+  // Deterministic merge in group-key order.
   GroupedFitOutput out;
   out.rows_processed = n;
-  out.groups.reserve(buckets.size());
-  for (auto& [key, rows] : buckets) {
-    if (rows.size() < floor_obs) {
-      ++out.skipped_too_few;
-      continue;
+  out.groups.reserve(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    switch (outcomes[g].kind) {
+      case GroupOutcome::Kind::kSkipped:
+        ++out.skipped_too_few;
+        break;
+      case GroupOutcome::Kind::kFailed:
+        ++out.failed;
+        break;
+      case GroupOutcome::Kind::kFitted:
+        out.groups.push_back(
+            GroupFitResult{groups[g].key, std::move(outcomes[g].fit)});
+        break;
     }
-    Matrix inputs(rows.size(), input_cols.size());
-    Vector outputs(rows.size());
-    for (size_t r = 0; r < rows.size(); ++r) {
-      const uint32_t row = rows[r];
-      for (size_t c = 0; c < input_cols.size(); ++c) {
-        LAWS_ASSIGN_OR_RETURN(double v, input_cols[c]->NumericAt(row));
-        inputs(r, c) = v;
-      }
-      LAWS_ASSIGN_OR_RETURN(outputs[r], output_col->NumericAt(row));
-    }
-    auto fit = FitModel(model, inputs, outputs, spec.fit_options);
-    if (!fit.ok()) {
-      ++out.failed;
-      continue;
-    }
-    out.groups.push_back(GroupFitResult{key, std::move(*fit)});
   }
-  std::sort(out.groups.begin(), out.groups.end(),
-            [](const GroupFitResult& a, const GroupFitResult& b) {
-              return a.group_key < b.group_key;
-            });
   return out;
 }
 

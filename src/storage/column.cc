@@ -1,6 +1,8 @@
 #include "storage/column.h"
 
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 namespace laws {
 
@@ -162,6 +164,70 @@ Result<std::vector<double>> Column::ToDoubleVector() const {
         break;  // unreachable
     }
   }
+  return out;
+}
+
+Status Column::GatherNumeric(const uint32_t* rows, size_t n,
+                             double* out) const {
+  switch (type_) {
+    case DataType::kInt64: {
+      const int64_t* data = int64_data_.data();
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<double>(data[rows[i]]);
+      }
+      return Status::OK();
+    }
+    case DataType::kDouble: {
+      const double* data = double_data_.data();
+      for (size_t i = 0; i < n; ++i) out[i] = data[rows[i]];
+      return Status::OK();
+    }
+    case DataType::kBool: {
+      const uint8_t* data = bool_data_.data();
+      for (size_t i = 0; i < n; ++i) out[i] = data[rows[i]] ? 1.0 : 0.0;
+      return Status::OK();
+    }
+    case DataType::kString:
+      return Status::TypeMismatch("string column is not numeric");
+  }
+  return Status::Internal("corrupt column type");
+}
+
+Result<size_t> Column::GatherNumericMasked(const uint32_t* rows, size_t n,
+                                           double* out,
+                                           uint8_t* null_mask) const {
+  LAWS_RETURN_IF_ERROR(GatherNumeric(rows, n, out));
+  if (!nullable_ || validity_.empty()) {
+    if (null_mask != nullptr) {
+      for (size_t i = 0; i < n; ++i) null_mask[i] = 0;
+    }
+    return n;
+  }
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  size_t non_null = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool valid = ValidAt(rows[i]);
+    if (valid) {
+      ++non_null;
+    } else {
+      out[i] = kNan;
+    }
+    if (null_mask != nullptr) null_mask[i] = valid ? 0 : 1;
+  }
+  return non_null;
+}
+
+Column Column::FromInt64Vector(std::vector<int64_t> values) {
+  Column out(DataType::kInt64, /*nullable=*/false);
+  out.size_ = values.size();
+  out.int64_data_ = std::move(values);
+  return out;
+}
+
+Column Column::FromDoubleVector(std::vector<double> values) {
+  Column out(DataType::kDouble, /*nullable=*/false);
+  out.size_ = values.size();
+  out.double_data_ = std::move(values);
   return out;
 }
 

@@ -74,6 +74,29 @@ class Column {
   /// string columns. The workhorse extraction for model fitting.
   Result<std::vector<double>> ToDoubleVector() const;
 
+  /// Bulk numeric gather: coerces the elements at `rows[0..n)` to double
+  /// into `out` (int64/double/bool -> double), one type dispatch for the
+  /// whole batch instead of a Result-wrapped virtual call per cell — the
+  /// fast path for grouped-fit matrix assembly. Rows must be in range and
+  /// non-NULL (a NULL row silently gathers its zeroed backing slot); use
+  /// GatherNumericMasked when rows may contain NULLs. Error for string
+  /// columns.
+  Status GatherNumeric(const uint32_t* rows, size_t n, double* out) const;
+
+  /// Null-mask-aware variant: NULL rows gather as quiet NaN and set
+  /// null_mask[i] = 1 (valid rows set 0). `null_mask` may be nullptr when
+  /// only the NaN sentinel is wanted. Returns the number of non-NULL rows
+  /// gathered.
+  Result<size_t> GatherNumericMasked(const uint32_t* rows, size_t n,
+                                     double* out, uint8_t* null_mask) const;
+
+  /// Builds a non-nullable INT64 column by moving `values` into place (no
+  /// per-element append) — the bulk-construction path for generators.
+  static Column FromInt64Vector(std::vector<int64_t> values);
+
+  /// Builds a non-nullable DOUBLE column by moving `values` into place.
+  static Column FromDoubleVector(std::vector<double> values);
+
   /// New column containing rows at `indices` (in that order).
   Column Gather(const std::vector<uint32_t>& indices) const;
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "model/fit.h"
 #include "model/grouped_fit.h"
 #include "model/incremental.h"
@@ -759,6 +760,74 @@ TEST(BuildDesignMatrixTest, RejectsNonlinearModels) {
   PowerLawModel m;
   Matrix x(3, 1);
   EXPECT_FALSE(BuildDesignMatrix(m, x).ok());
+}
+
+TEST(GroupedFitTest, OutputIdenticalAcrossThreadCounts) {
+  // The paper's hot path must be bit-identical whether it runs serially
+  // or fanned out over the ThreadPool: same parameters, same group order,
+  // same skipped/failed tallies. The table plants healthy groups, a
+  // too-small group, and a rank-deficient group (identical x values) so
+  // all three outcome kinds are exercised.
+  Rng rng(42);
+  Table t(Schema({Field{"g", DataType::kInt64, false},
+                  Field{"x", DataType::kDouble, false},
+                  Field{"y", DataType::kDouble, false}}));
+  for (int g = 1; g <= 120; ++g) {
+    const double a = rng.Uniform(-5, 5);
+    const double b = rng.Uniform(-2, 2);
+    for (int i = 0; i < 12; ++i) {
+      const double x = rng.Uniform(0, 10);
+      ASSERT_TRUE(t.AppendRow({Value::Int64(g), Value::Double(x),
+                               Value::Double(a + b * x + rng.Normal(0, 0.1))})
+                      .ok());
+    }
+  }
+  // Group 200: too few observations -> skipped.
+  ASSERT_TRUE(
+      t.AppendRow({Value::Int64(200), Value::Double(1), Value::Double(2)})
+          .ok());
+  // Group 300: constant x -> singular design -> failed.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int64(300), Value::Double(3.0),
+                             Value::Double(rng.Uniform(0, 1))})
+                    .ok());
+  }
+  LinearModel model(1);
+  GroupedFitSpec spec;
+  spec.group_column = "g";
+  spec.input_columns = {"x"};
+  spec.output_column = "y";
+
+  ThreadPool::SetGlobalThreadCount(1);
+  auto serial = FitGrouped(model, t, spec);
+  ASSERT_TRUE(serial.ok());
+  ThreadPool::SetGlobalThreadCount(8);
+  auto parallel = FitGrouped(model, t, spec);
+  ThreadPool::SetGlobalThreadCount(0);
+  ASSERT_TRUE(parallel.ok());
+
+  EXPECT_EQ(serial->skipped_too_few, 1u);
+  EXPECT_EQ(serial->failed, 1u);
+  EXPECT_EQ(parallel->skipped_too_few, serial->skipped_too_few);
+  EXPECT_EQ(parallel->failed, serial->failed);
+  EXPECT_EQ(parallel->rows_processed, serial->rows_processed);
+  ASSERT_EQ(parallel->groups.size(), serial->groups.size());
+  for (size_t i = 0; i < serial->groups.size(); ++i) {
+    EXPECT_EQ(parallel->groups[i].group_key, serial->groups[i].group_key);
+    // Bitwise equality, not EXPECT_NEAR: the parallel merge guarantees
+    // the exact same FitModel invocations in the exact same per-group
+    // row order.
+    EXPECT_EQ(parallel->groups[i].fit.parameters,
+              serial->groups[i].fit.parameters);
+    EXPECT_EQ(parallel->groups[i].fit.standard_errors,
+              serial->groups[i].fit.standard_errors);
+    EXPECT_EQ(parallel->groups[i].fit.quality.r_squared,
+              serial->groups[i].fit.quality.r_squared);
+  }
+  // Keys ascend (the output contract).
+  for (size_t i = 1; i < serial->groups.size(); ++i) {
+    EXPECT_LT(serial->groups[i - 1].group_key, serial->groups[i].group_key);
+  }
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "common/random.h"
@@ -186,6 +187,95 @@ TEST(ColumnTest, NumericAtCoercions) {
   Column s(DataType::kString);
   s.AppendString("x");
   EXPECT_FALSE(s.NumericAt(0).ok());
+}
+
+TEST(ColumnTest, GatherNumericAllTypes) {
+  Column i64(DataType::kInt64);
+  Column dbl(DataType::kDouble);
+  Column bl(DataType::kBool);
+  for (int i = 0; i < 6; ++i) {
+    i64.AppendInt64(i * 10);
+    dbl.AppendDouble(i * 0.5);
+    bl.AppendBool(i % 2 == 0);
+  }
+  const std::vector<uint32_t> rows = {5, 0, 3};
+  double out[3];
+  ASSERT_TRUE(i64.GatherNumeric(rows.data(), rows.size(), out).ok());
+  EXPECT_DOUBLE_EQ(out[0], 50.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 30.0);
+  ASSERT_TRUE(dbl.GatherNumeric(rows.data(), rows.size(), out).ok());
+  EXPECT_DOUBLE_EQ(out[0], 2.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.5);
+  ASSERT_TRUE(bl.GatherNumeric(rows.data(), rows.size(), out).ok());
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
+
+  Column s(DataType::kString);
+  s.AppendString("a");
+  const uint32_t zero = 0;
+  EXPECT_FALSE(s.GatherNumeric(&zero, 1, out).ok());
+}
+
+TEST(ColumnTest, GatherNumericMatchesNumericAt) {
+  Column c(DataType::kDouble);
+  for (int i = 0; i < 100; ++i) c.AppendDouble(std::sin(i));
+  std::vector<uint32_t> rows;
+  for (uint32_t i = 0; i < 100; i += 3) rows.push_back(i);
+  std::vector<double> out(rows.size());
+  ASSERT_TRUE(c.GatherNumeric(rows.data(), rows.size(), out.data()).ok());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(out[i], *c.NumericAt(rows[i]));
+  }
+}
+
+TEST(ColumnTest, GatherNumericMaskedFlagsNulls) {
+  Column c(DataType::kDouble, /*nullable=*/true);
+  c.AppendDouble(1.5);
+  ASSERT_TRUE(c.AppendNull().ok());
+  c.AppendDouble(2.5);
+  ASSERT_TRUE(c.AppendNull().ok());
+  const std::vector<uint32_t> rows = {0, 1, 2, 3};
+  std::vector<double> out(4);
+  std::vector<uint8_t> mask(4, 9);
+  auto non_null =
+      c.GatherNumericMasked(rows.data(), rows.size(), out.data(), mask.data());
+  ASSERT_TRUE(non_null.ok());
+  EXPECT_EQ(*non_null, 2u);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);
+  EXPECT_TRUE(std::isnan(out[1]));
+  EXPECT_DOUBLE_EQ(out[2], 2.5);
+  EXPECT_TRUE(std::isnan(out[3]));
+  EXPECT_EQ(mask[0], 0);
+  EXPECT_EQ(mask[1], 1);
+  EXPECT_EQ(mask[2], 0);
+  EXPECT_EQ(mask[3], 1);
+
+  // Mask is optional; non-nullable columns report everything valid.
+  Column nn(DataType::kInt64, /*nullable=*/false);
+  nn.AppendInt64(7);
+  const uint32_t zero = 0;
+  double v = 0;
+  auto all = nn.GatherNumericMasked(&zero, 1, &v, nullptr);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, 1u);
+  EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(ColumnTest, FromVectorBulkConstruction) {
+  Column i64 = Column::FromInt64Vector({3, 1, 4, 1, 5});
+  EXPECT_EQ(i64.size(), 5u);
+  EXPECT_EQ(i64.type(), DataType::kInt64);
+  EXPECT_FALSE(i64.nullable());
+  EXPECT_EQ(i64.null_count(), 0u);
+  EXPECT_EQ(i64.Int64At(2), 4);
+
+  Column dbl = Column::FromDoubleVector({0.5, -1.25});
+  EXPECT_EQ(dbl.size(), 2u);
+  EXPECT_EQ(dbl.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(dbl.DoubleAt(1), -1.25);
+  EXPECT_FALSE(dbl.IsNull(0));
 }
 
 // --- Table -----------------------------------------------------------------

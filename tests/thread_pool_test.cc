@@ -1,0 +1,162 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace laws {
+namespace {
+
+TEST(ThreadPoolTest, ParseThreadCount) {
+  EXPECT_EQ(ThreadPool::ParseThreadCount(nullptr), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount(""), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("4"), 4u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("16"), 16u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("0"), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("-2"), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("abc"), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("4x"), 0u);
+}
+
+TEST(ThreadPoolTest, LaneCountClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsInlineOnSingleLanePool) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id observed;
+  pool.Submit([&] { observed = std::this_thread::get_id(); });
+  EXPECT_EQ(observed, caller);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasksOnWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  for (int spin = 0; spin < 2000 && count.load() < 32; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, NestedSubmitIsSafe) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    ++count;
+    pool.Submit([&count] { ++count; });
+  });
+  for (int spin = 0; spin < 2000 && count.load() < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverCallsBody) {
+  ThreadPool pool(4);
+  ParallelForOptions opts;
+  opts.pool = &pool;
+  bool called = false;
+  ParallelFor(5, 5, [&](size_t) { called = true; }, opts);
+  ParallelFor(7, 3, [&](size_t) { called = true; }, opts);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  ParallelForOptions opts;
+  opts.pool = &pool;
+  std::vector<int> visits(1000, 0);
+  ParallelFor(0, visits.size(), [&](size_t i) { ++visits[i]; }, opts);
+  for (size_t i = 0; i < visits.size(); ++i) {
+    ASSERT_EQ(visits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ChunksPartitionTheRange) {
+  ThreadPool pool(3);
+  ParallelForOptions opts;
+  opts.pool = &pool;
+  std::vector<int> visits(100, 0);
+  ParallelForChunks(10, 90, [&](size_t lo, size_t hi) {
+    ASSERT_LE(lo, hi);
+    for (size_t i = lo; i < hi; ++i) ++visits[i];
+  }, opts);
+  for (size_t i = 0; i < visits.size(); ++i) {
+    ASSERT_EQ(visits[i], (i >= 10 && i < 90) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SingleLaneRunsOnCallingThread) {
+  ThreadPool pool(1);
+  ParallelForOptions opts;
+  opts.pool = &pool;
+  const std::thread::id caller = std::this_thread::get_id();
+  ParallelFor(0, 16, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  }, opts);
+}
+
+TEST(ParallelForTest, GrainForcesSerialForSmallRanges) {
+  ThreadPool pool(4);
+  ParallelForOptions opts;
+  opts.pool = &pool;
+  opts.grain = 100;
+  const std::thread::id caller = std::this_thread::get_id();
+  ParallelFor(0, 150, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  }, opts);
+}
+
+TEST(ParallelForTest, PropagatesExceptionsToCaller) {
+  ThreadPool pool(4);
+  ParallelForOptions opts;
+  opts.pool = &pool;
+  EXPECT_THROW(
+      ParallelFor(0, 100, [](size_t i) {
+        if (i == 37) throw std::runtime_error("boom");
+      }, opts),
+      std::runtime_error);
+  // The pool survives a throwing region and stays usable.
+  std::atomic<int> count{0};
+  ParallelFor(0, 100, [&](size_t) { ++count; }, opts);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelForTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  ParallelForOptions opts;
+  opts.pool = &pool;
+  std::vector<std::vector<int>> visits(8, std::vector<int>(64, 0));
+  ParallelFor(0, visits.size(), [&](size_t outer) {
+    // The inner loop must detect the surrounding region and run inline
+    // rather than deadlocking on a saturated pool.
+    ParallelFor(0, visits[outer].size(),
+                [&, outer](size_t inner) { ++visits[outer][inner]; }, opts);
+  }, opts);
+  for (const auto& row : visits) {
+    for (int v : row) ASSERT_EQ(v, 1);
+  }
+}
+
+TEST(ParallelForTest, GlobalPoolThreadCountIsConfigurable) {
+  ThreadPool::SetGlobalThreadCount(3);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 3u);
+  std::vector<int> visits(256, 0);
+  ParallelFor(0, visits.size(), [&](size_t i) { ++visits[i]; });
+  for (int v : visits) ASSERT_EQ(v, 1);
+  ThreadPool::SetGlobalThreadCount(0);  // back to LAWS_THREADS / hardware
+  EXPECT_EQ(ThreadPool::Global().num_threads(),
+            ThreadPool::DefaultThreadCount());
+}
+
+}  // namespace
+}  // namespace laws
