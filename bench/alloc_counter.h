@@ -1,0 +1,24 @@
+#ifndef LAWSDB_BENCH_ALLOC_COUNTER_H_
+#define LAWSDB_BENCH_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+// Bench-only heap instrumentation. When the interposing implementation is
+// linked in (laws_bench_alloc, default for bench binaries and off under
+// LAWS_SANITIZE — sanitizers own malloc), every global `operator new` in
+// the binary bumps an atomic counter, so benches can report allocation
+// counts (e.g. allocs_per_group for the grouped fit) alongside timings.
+// With the stub implementation all calls return zero/false and the bench
+// prints "n/a".
+
+namespace laws::bench {
+
+/// Total global operator-new calls observed so far in this process.
+uint64_t AllocCount();
+
+/// True when the interposing implementation is linked in.
+bool AllocCounterEnabled();
+
+}  // namespace laws::bench
+
+#endif  // LAWSDB_BENCH_ALLOC_COUNTER_H_

@@ -1,0 +1,12 @@
+#include "bench/alloc_counter.h"
+
+// Stub implementation: no interposition, counters read as disabled. Used
+// when LAWS_BENCH_ALLOC_COUNTER is OFF (sanitizer builds own malloc).
+
+namespace laws::bench {
+
+uint64_t AllocCount() { return 0; }
+
+bool AllocCounterEnabled() { return false; }
+
+}  // namespace laws::bench

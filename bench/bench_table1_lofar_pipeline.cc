@@ -11,18 +11,25 @@
 // bit-identical at every thread count; any divergence is fatal.
 //
 // Flags: --json <path> emits per-run records (rows, seconds, threads,
-// speedup) for the BENCH_*.json perf trajectory.
+// speedup) for the BENCH_*.json perf trajectory. --groups-sweep switches
+// to a synthetic group-size sweep (4/40/400 observations per group) that
+// isolates the grouped-fit kernel's per-group overhead from generation.
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <random>
 #include <thread>
 #include <vector>
 
+#include "bench/alloc_counter.h"
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/session.h"
 #include "lofar/pipeline.h"
+#include "model/grouped_fit.h"
 #include "storage/catalog.h"
 
 namespace {
@@ -41,10 +48,120 @@ bool TablesIdentical(const Table& a, const Table& b) {
   return true;
 }
 
+/// Counts operator-new calls across one FitGrouped run; 0/denominator-safe
+/// when no groups were fitted.
+double AllocsPerGroup(uint64_t alloc_delta, size_t num_groups) {
+  return num_groups > 0
+             ? static_cast<double>(alloc_delta) /
+                   static_cast<double>(num_groups)
+             : 0.0;
+}
+
+/// --groups-sweep: synthetic power-law tables at group sizes 4/40/400
+/// (total rows held ~constant), fitted single-threaded. Isolates the
+/// per-group fixed cost of the fit kernels: tiny groups are pure
+/// dispatch+gather overhead, large groups amortize it.
+int RunGroupsSweep(laws::bench::JsonReport& json) {
+  using namespace laws::bench;
+  constexpr size_t kSweepRows = 240000;
+  ThreadPool::SetGlobalThreadCount(1);
+  std::printf("group-size sweep: ~%zu rows, power law, 1 thread\n\n",
+              kSweepRows);
+  std::printf("%12s %10s %10s %14s %14s\n", "group size", "groups",
+              "fit s", "groups/sec", "allocs/group");
+  for (const size_t group_size : {size_t{4}, size_t{40}, size_t{400}}) {
+    const size_t num_groups = kSweepRows / group_size;
+    const size_t rows = num_groups * group_size;
+    std::mt19937_64 rng(1000 + group_size);
+    std::uniform_real_distribution<double> wl(1.0, 10.0);
+    std::normal_distribution<double> log_noise(0.0, 0.05);
+    std::vector<int64_t> source(rows);
+    std::vector<double> wavelength(rows);
+    std::vector<double> intensity(rows);
+    size_t i = 0;
+    for (size_t g = 0; g < num_groups; ++g) {
+      const double p = 0.5 + 3.0 * static_cast<double>(g % 97) / 96.0;
+      const double alpha = -1.5 + static_cast<double>(g % 53) / 52.0;
+      for (size_t k = 0; k < group_size; ++k, ++i) {
+        const double nu = wl(rng);
+        source[i] = static_cast<int64_t>(g);
+        wavelength[i] = nu;
+        intensity[i] = p * std::pow(nu, alpha) * std::exp(log_noise(rng));
+      }
+    }
+    std::vector<Field> fields{Field{"source", DataType::kInt64, false},
+                              Field{"wavelength", DataType::kDouble, false},
+                              Field{"intensity", DataType::kDouble, false}};
+    std::vector<Column> columns;
+    columns.push_back(Column::FromInt64Vector(std::move(source)));
+    columns.push_back(Column::FromDoubleVector(std::move(wavelength)));
+    columns.push_back(Column::FromDoubleVector(std::move(intensity)));
+    Table table = Unwrap(
+        Table::FromColumns(Schema(std::move(fields)), std::move(columns)),
+        "sweep table");
+
+    PowerLawModel model;
+    GroupedFitSpec spec;
+    spec.group_column = "source";
+    spec.input_columns = {"wavelength"};
+    spec.output_column = "intensity";
+    const uint64_t allocs_before = AllocCount();
+    Timer timer;
+    GroupedFitOutput fits =
+        Unwrap(FitGrouped(model, table, spec), "sweep fit");
+    const double fit_s = timer.ElapsedSeconds();
+    const double apg =
+        AllocsPerGroup(AllocCount() - allocs_before, fits.groups.size());
+    const double gps = fit_s > 0.0
+                           ? static_cast<double>(fits.groups.size()) / fit_s
+                           : 0.0;
+    if (fits.groups.size() != num_groups) {
+      std::fprintf(stderr,
+                   "FATAL: sweep fitted %zu of %zu groups (skipped %zu, "
+                   "failed %zu)\n",
+                   fits.groups.size(), num_groups, fits.skipped_too_few,
+                   fits.failed);
+      return 1;
+    }
+    if (AllocCounterEnabled()) {
+      std::printf("%12zu %10zu %10.3f %14.0f %14.1f\n", group_size,
+                  fits.groups.size(), fit_s, gps, apg);
+    } else {
+      std::printf("%12zu %10zu %10.3f %14.0f %14s\n", group_size,
+                  fits.groups.size(), fit_s, gps, "n/a");
+    }
+    json.Begin("table1_groups_sweep");
+    json.Field("group_size", group_size);
+    json.Field("groups", fits.groups.size());
+    json.Field("rows", rows);
+    json.Field("threads", static_cast<size_t>(1));
+    json.Field("fit_seconds", fit_s);
+    json.Field("groups_per_second", gps);
+    json.Field("alloc_counter_enabled", AllocCounterEnabled());
+    json.Field("allocs_per_group", apg);
+  }
+  ThreadPool::SetGlobalThreadCount(0);
+  json.Flush();
+  std::printf("\nSHAPE OK: all sweep groups fitted\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace laws::bench;
+
+  bool groups_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--groups-sweep") == 0) groups_sweep = true;
+  }
+  if (groups_sweep) {
+    Banner("Table 1 (sweep): grouped-fit cost vs observations per group",
+           "per-group fixed cost of the closed-form fit kernels at group "
+           "sizes 4/40/400");
+    JsonReport sweep_json(JsonPathFromArgs(argc, argv));
+    return RunGroupsSweep(sweep_json);
+  }
 
   Banner("Table 1: LOFAR observations -> per-source parameter table",
          "1,452,824 rows / 35,692 sources -> (alpha, p, residual SE) per "
@@ -100,15 +217,41 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  json.Begin("table1_lofar_pipeline");
-  json.Field("rows", obs.num_rows());
-  json.Field("sources", cfg.num_sources);
-  json.Field("threads", static_cast<size_t>(1));
-  json.Field("seconds", serial_s);
-  json.Field("generate_seconds", result.generate_seconds);
-  json.Field("fit_seconds", result.fit_seconds);
-  json.Field("speedup", 1.0);
-  json.Field("parameter_ratio_pct", pct);
+  // Fit-phase allocation accounting: refit the observations table
+  // directly (no generation, no session bookkeeping) and count
+  // operator-new calls per fitted group. With the closed-form kernels and
+  // per-lane FitScratch arenas this should be O(1) small allocations per
+  // group (the FitOutput vectors), not dozens.
+  {
+    PowerLawModel power_law;
+    GroupedFitSpec refit_spec;
+    refit_spec.group_column = "source";
+    refit_spec.input_columns = {"wavelength"};
+    refit_spec.output_column = "intensity";
+    const uint64_t allocs_before = AllocCount();
+    GroupedFitOutput refit =
+        Unwrap(FitGrouped(power_law, obs, refit_spec), "alloc refit");
+    const double allocs_per_group =
+        AllocsPerGroup(AllocCount() - allocs_before, refit.groups.size());
+    if (AllocCounterEnabled()) {
+      std::printf("fit-phase allocations: %.1f per group (%zu groups)\n",
+                  allocs_per_group, refit.groups.size());
+    } else {
+      std::printf("fit-phase allocations: n/a (counter not linked)\n");
+    }
+
+    json.Begin("table1_lofar_pipeline");
+    json.Field("rows", obs.num_rows());
+    json.Field("sources", cfg.num_sources);
+    json.Field("threads", static_cast<size_t>(1));
+    json.Field("seconds", serial_s);
+    json.Field("generate_seconds", result.generate_seconds);
+    json.Field("fit_seconds", result.fit_seconds);
+    json.Field("speedup", 1.0);
+    json.Field("parameter_ratio_pct", pct);
+    json.Field("alloc_counter_enabled", AllocCounterEnabled());
+    json.Field("allocs_per_group", allocs_per_group);
+  }
 
   // Thread-count scaling sweep: rerun the full pipeline end to end and
   // require a bit-identical parameter table each time.

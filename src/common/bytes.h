@@ -104,6 +104,7 @@ class ByteReader {
 
   Status GetRaw(void* out, size_t n) {
     if (pos_ + n > size_) return Truncated("raw");
+    if (n == 0) return Status::OK();  // out may be null (empty vector .data())
     std::memcpy(out, data_ + pos_, n);
     pos_ += n;
     return Status::OK();

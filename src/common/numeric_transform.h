@@ -1,0 +1,36 @@
+#ifndef LAWSDB_COMMON_NUMERIC_TRANSFORM_H_
+#define LAWSDB_COMMON_NUMERIC_TRANSFORM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+namespace laws {
+
+/// Elementwise transforms shared between the storage gather kernels and the
+/// model linearizations: a model whose fit is closed-form in transformed
+/// space (log-log OLS for the power law) names the transform here, and
+/// Column::GatherNumericTransformed materializes the transformed values in
+/// a single fused pass instead of gather-then-transform.
+enum class NumericTransform : uint8_t {
+  kIdentity,
+  kLog,
+};
+
+inline double ApplyNumericTransform(NumericTransform t, double v) {
+  return t == NumericTransform::kLog ? std::log(v) : v;
+}
+
+/// Inverse of the transform (exp for kLog); used to map transformed-space
+/// predictions back to the original response scale.
+inline double InvertNumericTransform(NumericTransform t, double v) {
+  return t == NumericTransform::kLog ? std::exp(v) : v;
+}
+
+inline std::string_view NumericTransformToString(NumericTransform t) {
+  return t == NumericTransform::kLog ? "log" : "identity";
+}
+
+}  // namespace laws
+
+#endif  // LAWSDB_COMMON_NUMERIC_TRANSFORM_H_

@@ -31,18 +31,31 @@ Matrix Matrix::Multiply(const Matrix& other) const {
 }
 
 Vector Matrix::MultiplyVec(const Vector& v) const {
+  Vector out;
+  MultiplyVecInto(v, &out);
+  return out;
+}
+
+void Matrix::MultiplyVecInto(const Vector& v, Vector* out_vec) const {
   assert(v.size() == cols_);
-  Vector out(rows_, 0.0);
+  Vector& out = *out_vec;
+  out.resize(rows_);
   for (size_t i = 0; i < rows_; ++i) {
     double acc = 0.0;
     for (size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * v[j];
     out[i] = acc;
   }
-  return out;
 }
 
 Matrix Matrix::Gram() const {
-  Matrix g(cols_, cols_);
+  Matrix g;
+  GramInto(&g);
+  return g;
+}
+
+void Matrix::GramInto(Matrix* out) const {
+  Matrix& g = *out;
+  g.ReshapeZero(cols_, cols_);
   for (size_t i = 0; i < rows_; ++i) {
     for (size_t a = 0; a < cols_; ++a) {
       const double via = (*this)(i, a);
@@ -55,18 +68,23 @@ Matrix Matrix::Gram() const {
   for (size_t a = 0; a < cols_; ++a) {
     for (size_t b = 0; b < a; ++b) g(a, b) = g(b, a);
   }
-  return g;
 }
 
 Vector Matrix::TransposeMultiplyVec(const Vector& b) const {
+  Vector out;
+  TransposeMultiplyVecInto(b, &out);
+  return out;
+}
+
+void Matrix::TransposeMultiplyVecInto(const Vector& b, Vector* out_vec) const {
   assert(b.size() == rows_);
-  Vector out(cols_, 0.0);
+  Vector& out = *out_vec;
+  out.assign(cols_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {
     const double bi = b[i];
     if (bi == 0.0) continue;
     for (size_t j = 0; j < cols_; ++j) out[j] += (*this)(i, j) * bi;
   }
-  return out;
 }
 
 double Matrix::FrobeniusNorm() const {

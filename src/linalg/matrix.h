@@ -41,6 +41,24 @@ class Matrix {
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
 
+  /// Reshapes to rows x cols, reusing the existing heap buffer whenever its
+  /// capacity allows — the scratch-arena primitive behind the per-lane fit
+  /// kernels. Element values are unspecified afterwards; callers must
+  /// overwrite every cell (gathers, Jacobian fills) or use ReshapeZero.
+  void Reshape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// Reshape followed by zero-fill, for accumulation targets (Gram/normal
+  /// matrices). Still allocation-free once capacity has grown.
+  void ReshapeZero(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
   double& operator()(size_t i, size_t j) {
     assert(i < rows_ && j < cols_);
     return data_[i * cols_ + j];
@@ -65,11 +83,22 @@ class Matrix {
   /// Matrix-vector product this * v; v.size() must equal cols().
   Vector MultiplyVec(const Vector& v) const;
 
+  /// Allocation-free MultiplyVec: resizes `out` (capacity reuse) and writes
+  /// the product into it. `out` must not alias v.
+  void MultiplyVecInto(const Vector& v, Vector* out) const;
+
   /// Computes A^T * A directly (the Gram matrix), exploiting symmetry.
   Matrix Gram() const;
 
+  /// Allocation-free Gram: reshapes `out` to cols x cols and accumulates
+  /// into its reused buffer.
+  void GramInto(Matrix* out) const;
+
   /// Computes A^T * b for b of length rows().
   Vector TransposeMultiplyVec(const Vector& b) const;
+
+  /// Allocation-free TransposeMultiplyVec; `out` must not alias b.
+  void TransposeMultiplyVecInto(const Vector& b, Vector* out) const;
 
   /// Frobenius norm.
   double FrobeniusNorm() const;

@@ -5,11 +5,18 @@
 namespace laws {
 
 Result<Matrix> CholeskyFactor(const Matrix& a) {
+  Matrix l;
+  LAWS_RETURN_IF_ERROR(CholeskyFactorInto(a, &l));
+  return l;
+}
+
+Status CholeskyFactorInto(const Matrix& a, Matrix* l_out) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("Cholesky requires a square matrix");
   }
   const size_t n = a.rows();
-  Matrix l(n, n);
+  Matrix& l = *l_out;
+  l.ReshapeZero(n, n);
   for (size_t j = 0; j < n; ++j) {
     double diag = a(j, j);
     for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
@@ -25,40 +32,58 @@ Result<Matrix> CholeskyFactor(const Matrix& a) {
       l(i, j) = v / ljj;
     }
   }
-  return l;
+  return Status::OK();
 }
 
 Result<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
-  if (b.size() != a.rows()) {
-    return Status::InvalidArgument("CholeskySolve: dimension mismatch");
-  }
-  LAWS_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
-  const size_t n = l.rows();
-  // Forward substitution L y = b.
-  Vector y(n);
-  for (size_t i = 0; i < n; ++i) {
-    double v = b[i];
-    for (size_t k = 0; k < i; ++k) v -= l(i, k) * y[k];
-    y[i] = v / l(i, i);
-  }
-  // Back substitution L^T x = y.
-  Vector x(n);
-  for (size_t ii = n; ii > 0; --ii) {
-    const size_t i = ii - 1;
-    double v = y[i];
-    for (size_t k = i + 1; k < n; ++k) v -= l(k, i) * x[k];
-    x[i] = v / l(i, i);
-  }
+  Matrix l;
+  Vector x;
+  LAWS_RETURN_IF_ERROR(CholeskySolveInto(a, b, &l, &x));
   return x;
 }
 
+Status CholeskySolveInto(const Matrix& a, const Vector& b, Matrix* l_buf,
+                         Vector* x_out) {
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("CholeskySolve: dimension mismatch");
+  }
+  LAWS_RETURN_IF_ERROR(CholeskyFactorInto(a, l_buf));
+  const Matrix& l = *l_buf;
+  const size_t n = l.rows();
+  Vector& x = *x_out;
+  x.resize(n);
+  // Forward substitution L y = b, with y written into x.
+  for (size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (size_t k = 0; k < i; ++k) v -= l(i, k) * x[k];
+    x[i] = v / l(i, i);
+  }
+  // Back substitution L^T x = y, in place: position i still holds y[i] when
+  // row i is processed (only entries above i have been overwritten).
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double v = x[i];
+    for (size_t k = i + 1; k < n; ++k) v -= l(k, i) * x[k];
+    x[i] = v / l(i, i);
+  }
+  return Status::OK();
+}
+
 Result<QrFactors> QrFactorize(const Matrix& a) {
+  QrFactors f;
+  LAWS_RETURN_IF_ERROR(QrFactorizeInto(a, &f));
+  return f;
+}
+
+Status QrFactorizeInto(const Matrix& a, QrFactors* f_out) {
   const size_t m = a.rows();
   const size_t n = a.cols();
   if (m < n) {
     return Status::InvalidArgument("QR requires rows >= cols");
   }
-  QrFactors f{a, Vector(n, 0.0)};
+  QrFactors& f = *f_out;
+  f.qr = a;  // copy-assignment reuses the destination's heap buffer
+  f.tau.assign(n, 0.0);
   Matrix& qr = f.qr;
   for (size_t k = 0; k < n; ++k) {
     // Norm of the k-th column below (and including) the diagonal.
@@ -84,7 +109,7 @@ Result<QrFactors> QrFactorize(const Matrix& a) {
       for (size_t i = k + 1; i < m; ++i) qr(i, j) -= dot * qr(i, k);
     }
   }
-  return f;
+  return Status::OK();
 }
 
 void ApplyQTranspose(const QrFactors& f, Vector& b) {
@@ -100,11 +125,22 @@ void ApplyQTranspose(const QrFactors& f, Vector& b) {
 }
 
 Result<Vector> LeastSquaresQr(const Matrix& a, const Vector& b) {
+  QrFactors f;
+  Vector qtb;
+  Vector x;
+  LAWS_RETURN_IF_ERROR(LeastSquaresQrInto(a, b, &f, &qtb, &x));
+  return x;
+}
+
+Status LeastSquaresQrInto(const Matrix& a, const Vector& b, QrFactors* f_buf,
+                          Vector* qtb_buf, Vector* x_out) {
   if (b.size() != a.rows()) {
     return Status::InvalidArgument("LeastSquaresQr: dimension mismatch");
   }
-  LAWS_ASSIGN_OR_RETURN(QrFactors f, QrFactorize(a));
-  Vector qtb = b;
+  LAWS_RETURN_IF_ERROR(QrFactorizeInto(a, f_buf));
+  const QrFactors& f = *f_buf;
+  Vector& qtb = *qtb_buf;
+  qtb = b;
   ApplyQTranspose(f, qtb);
   const size_t n = a.cols();
   // Relative singularity threshold: a diagonal entry vanishing relative to
@@ -114,7 +150,8 @@ Result<Vector> LeastSquaresQr(const Matrix& a, const Vector& b) {
     max_diag = std::max(max_diag, std::fabs(f.qr(i, i)));
   }
   const double tol = 1e-12 * max_diag;
-  Vector x(n);
+  Vector& x = *x_out;
+  x.assign(n, 0.0);
   for (size_t ii = n; ii > 0; --ii) {
     const size_t i = ii - 1;
     double v = qtb[i];
@@ -125,7 +162,7 @@ Result<Vector> LeastSquaresQr(const Matrix& a, const Vector& b) {
     }
     x[i] = v / rii;
   }
-  return x;
+  return Status::OK();
 }
 
 Result<Vector> LeastSquaresNormal(const Matrix& a, const Vector& b) {

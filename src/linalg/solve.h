@@ -11,8 +11,20 @@ namespace laws {
 /// (numerically) positive definite.
 Result<Matrix> CholeskyFactor(const Matrix& a);
 
+/// Allocation-free variant: factors into `*l`, which is reshaped in place
+/// (its heap buffer is reused across calls — the fit-scratch path).
+Status CholeskyFactorInto(const Matrix& a, Matrix* l);
+
 /// Solves A x = b for symmetric positive-definite A via Cholesky.
 Result<Vector> CholeskySolve(const Matrix& a, const Vector& b);
+
+/// Allocation-free variant of CholeskySolve: `*l` holds the factorization,
+/// `*x` doubles as the forward-substitution workspace and receives the
+/// solution. Both buffers are resized in place and reused across calls, so
+/// a caller looping over many small systems (per-group, per-iteration
+/// normal equations) performs no per-solve heap traffic after warmup.
+Status CholeskySolveInto(const Matrix& a, const Vector& b, Matrix* l,
+                         Vector* x);
 
 /// Householder QR of an m x n matrix with m >= n. `r` is upper triangular
 /// (n x n); `q_applied_b` support comes from ApplyQTranspose.
@@ -29,12 +41,21 @@ struct QrFactors {
 /// rank-deficient inputs (a zero pivot column).
 Result<QrFactors> QrFactorize(const Matrix& a);
 
+/// Allocation-free variant: factors into `*f`, whose buffers are reused
+/// across calls once their capacity has grown.
+Status QrFactorizeInto(const Matrix& a, QrFactors* f);
+
 /// Applies Q^T (from the factorization) to b in place.
 void ApplyQTranspose(const QrFactors& f, Vector& b);
 
 /// Solves the least-squares problem min ||A x - b||_2 via Householder QR.
 /// Numerically preferable to normal equations for ill-conditioned designs.
 Result<Vector> LeastSquaresQr(const Matrix& a, const Vector& b);
+
+/// Allocation-free variant: `*f` and `*qtb` are scratch buffers reused
+/// across calls; the solution lands in `*x`.
+Status LeastSquaresQrInto(const Matrix& a, const Vector& b, QrFactors* f,
+                          Vector* qtb, Vector* x);
 
 /// Solves the least-squares problem by forming the normal equations
 /// A^T A x = A^T b and Cholesky-solving. Faster but squares the condition

@@ -28,10 +28,11 @@ Result<LofarPipelineResult> RunLofarPipeline(const LofarConfig& config,
   request.input_columns = {"wavelength"};
   request.output_column = "intensity";
   request.group_column = "source";
-  // The LOFAR model is log-linearizable; the auto algorithm warm-starts
-  // from the log-log OLS and polishes with Levenberg-Marquardt. The
-  // grouped fit fans the per-source regressions out over the global
-  // ThreadPool.
+  // The LOFAR power law linearizes exactly, so under kAuto each source is
+  // solved by the closed-form log-log sum kernel (fused gather-transform,
+  // no matrices, no iteration); only groups with out-of-domain data fall
+  // back to warm-started Levenberg-Marquardt. The grouped fit fans the
+  // per-source regressions out over the global ThreadPool.
   request.options.algorithm = FitAlgorithm::kAuto;
   phase.Restart();
   LAWS_ASSIGN_OR_RETURN(result.report, session->Fit(request));

@@ -3,15 +3,10 @@
 #include <cmath>
 
 #include "linalg/solve.h"
+#include "model/fit_kernels.h"
 
 namespace laws {
 namespace {
-
-Vector RowOf(const Matrix& inputs, size_t i) {
-  Vector x(inputs.cols());
-  for (size_t j = 0; j < inputs.cols(); ++j) x[j] = inputs(i, j);
-  return x;
-}
 
 double ResidualSumOfSquares(const Vector& y, const Vector& pred) {
   double rss = 0.0;
@@ -23,18 +18,21 @@ double ResidualSumOfSquares(const Vector& y, const Vector& pred) {
 }
 
 /// Jacobian of the model function wrt parameters, evaluated at every row.
-Matrix ComputeJacobian(const Model& model, const Matrix& inputs,
-                       const Vector& params) {
+/// `grad` and `xrow` are scratch staging vectors.
+void ComputeJacobianInto(const Model& model, const Matrix& inputs,
+                         const Vector& params, Matrix* j_out, Vector* grad,
+                         Vector* xrow) {
   const size_t n = inputs.rows();
   const size_t p = model.num_parameters();
-  Matrix j(n, p);
-  Vector grad;
+  Matrix& j = *j_out;
+  j.Reshape(n, p);
+  Vector& x = *xrow;
+  x.resize(inputs.cols());
   for (size_t i = 0; i < n; ++i) {
-    const Vector x = RowOf(inputs, i);
-    model.ParameterGradient(x, params, &grad);
-    for (size_t k = 0; k < p; ++k) j(i, k) = grad[k];
+    for (size_t c = 0; c < inputs.cols(); ++c) x[c] = inputs(i, c);
+    model.ParameterGradient(x, params, grad);
+    for (size_t k = 0; k < p; ++k) j(i, k) = (*grad)[k];
   }
-  return j;
 }
 
 bool AllFinite(const Vector& v) {
@@ -61,21 +59,28 @@ Vector StandardErrors(const Matrix& jacobian, double rss, size_t n,
 
 Result<FitOutput> FitLinear(const Model& model, const Matrix& inputs,
                             const Vector& outputs, const FitOptions& options,
-                            bool use_qr) {
-  LAWS_ASSIGN_OR_RETURN(Matrix design, BuildDesignMatrix(model, inputs));
-  Result<Vector> beta = use_qr ? LeastSquaresQr(design, outputs)
-                               : LeastSquaresNormal(design, outputs);
-  if (!beta.ok()) return beta.status();
+                            bool use_qr, FitScratch* scratch) {
+  Matrix& design = scratch->design;
+  LAWS_RETURN_IF_ERROR(BuildDesignMatrixInto(model, inputs, &design,
+                                             &scratch->phi, &scratch->xrow));
   FitOutput out;
-  out.parameters = std::move(*beta);
+  if (use_qr) {
+    LAWS_RETURN_IF_ERROR(LeastSquaresQrInto(design, outputs, &scratch->qr,
+                                            &scratch->qtb, &out.parameters));
+  } else {
+    design.GramInto(&scratch->jtj);
+    design.TransposeMultiplyVecInto(outputs, &scratch->jtr);
+    LAWS_RETURN_IF_ERROR(CholeskySolveInto(scratch->jtj, scratch->jtr,
+                                           &scratch->chol, &out.parameters));
+  }
   out.converged = true;
   out.iterations = 1;
   out.algorithm_used =
       use_qr ? FitAlgorithm::kOls : FitAlgorithm::kOlsNormalEquations;
-  const Vector pred = design.MultiplyVec(out.parameters);
+  design.MultiplyVecInto(out.parameters, &scratch->pred);
   LAWS_ASSIGN_OR_RETURN(
       out.quality,
-      ComputeFitQuality(outputs, pred, model.num_parameters()));
+      ComputeFitQuality(outputs, scratch->pred, model.num_parameters()));
   if (options.compute_standard_errors) {
     out.standard_errors =
         StandardErrors(design, out.quality.residual_sum_of_squares,
@@ -86,16 +91,21 @@ Result<FitOutput> FitLinear(const Model& model, const Matrix& inputs,
 
 Result<FitOutput> FitIterative(const Model& model, const Matrix& inputs,
                                const Vector& outputs,
-                               const FitOptions& options, bool damped) {
+                               const FitOptions& options, bool damped,
+                               FitScratch* scratch) {
   const size_t n = outputs.size();
   const size_t p = model.num_parameters();
 
   Vector beta = options.initial_parameters;
   if (beta.empty()) {
-    // Prefer a closed-form transformed-space estimate as warm start.
-    Vector warm;
-    if (model.LogLinearEstimate(inputs, outputs, &warm)) {
-      beta = std::move(warm);
+    // Prefer a closed-form transformed-space estimate as warm start: the
+    // sum-accumulator kernel where the model linearizes exactly, the
+    // model's own heuristic estimate otherwise.
+    if (ClosedFormWarmStart(model, inputs, outputs, scratch,
+                            &scratch->warm)) {
+      beta = scratch->warm;
+    } else if (model.LogLinearEstimate(inputs, outputs, &scratch->warm)) {
+      beta = scratch->warm;
     } else {
       beta = model.InitialParameters();
     }
@@ -104,7 +114,8 @@ Result<FitOutput> FitIterative(const Model& model, const Matrix& inputs,
     return Status::InvalidArgument("initial parameter count mismatch");
   }
 
-  Vector pred = PredictAll(model, inputs, beta);
+  Vector& pred = scratch->pred;
+  PredictAllInto(model, inputs, beta, &pred, &scratch->xrow);
   double rss = ResidualSumOfSquares(outputs, pred);
   if (!std::isfinite(rss)) {
     return Status::NumericError("non-finite residuals at starting point");
@@ -117,18 +128,23 @@ Result<FitOutput> FitIterative(const Model& model, const Matrix& inputs,
   bool converged = false;
   size_t iter = 0;
   for (; iter < options.max_iterations && !converged; ++iter) {
-    const Matrix jacobian = ComputeJacobian(model, inputs, beta);
+    Matrix& jacobian = scratch->jacobian;
+    ComputeJacobianInto(model, inputs, beta, &jacobian, &scratch->grad,
+                        &scratch->xrow);
     // Residuals r = y - f; normal direction solves (J^T J) step = J^T r.
-    Vector residuals(n);
+    Vector& residuals = scratch->residuals;
+    residuals.resize(n);
     for (size_t i = 0; i < n; ++i) residuals[i] = outputs[i] - pred[i];
-    const Vector jtr = jacobian.TransposeMultiplyVec(residuals);
-    Matrix jtj = jacobian.Gram();
+    jacobian.TransposeMultiplyVecInto(residuals, &scratch->jtr);
+    Matrix& jtj = scratch->jtj;
+    jacobian.GramInto(&jtj);
 
     bool accepted = false;
     // LM retries with increasing damping inside one outer iteration; plain
     // Gauss-Newton takes the raw step once.
     for (int attempt = 0; attempt < (damped ? 25 : 1); ++attempt) {
-      Matrix system = jtj;
+      Matrix& system = scratch->system;
+      system = jtj;  // copy-assignment reuses the destination buffer
       if (damped) {
         for (size_t k = 0; k < p; ++k) {
           // Marquardt scaling: damp proportionally to the curvature, with a
@@ -137,13 +153,17 @@ Result<FitOutput> FitIterative(const Model& model, const Matrix& inputs,
           system(k, k) = jtj(k, k) + lambda * d;
         }
       }
-      auto step = CholeskySolve(system, jtr);
-      if (!step.ok()) {
-        if (!damped) return step.status();
+      Vector& step = scratch->step;
+      const Status solved =
+          CholeskySolveInto(system, scratch->jtr, &scratch->chol, &step);
+      if (!solved.ok()) {
+        if (!damped) return solved;
         lambda *= 10.0;
         continue;
       }
-      const Vector candidate = Add(beta, *step);
+      Vector& candidate = scratch->candidate;
+      candidate.resize(p);
+      for (size_t k = 0; k < p; ++k) candidate[k] = beta[k] + step[k];
       if (!AllFinite(candidate)) {
         if (!damped) {
           return Status::NumericError("Gauss-Newton produced non-finite step");
@@ -151,7 +171,8 @@ Result<FitOutput> FitIterative(const Model& model, const Matrix& inputs,
         lambda *= 10.0;
         continue;
       }
-      const Vector cand_pred = PredictAll(model, inputs, candidate);
+      Vector& cand_pred = scratch->cand_pred;
+      PredictAllInto(model, inputs, candidate, &cand_pred, &scratch->xrow);
       const double cand_rss = ResidualSumOfSquares(outputs, cand_pred);
       if (damped && (!std::isfinite(cand_rss) || cand_rss > rss)) {
         lambda *= 10.0;
@@ -161,11 +182,11 @@ Result<FitOutput> FitIterative(const Model& model, const Matrix& inputs,
         return Status::NumericError("Gauss-Newton diverged (non-finite RSS)");
       }
       // Accept.
-      const double step_norm = Norm2(*step);
+      const double step_norm = Norm2(step);
       const double beta_norm = Norm2(beta);
       const double rss_drop = rss - cand_rss;
       beta = candidate;
-      pred = cand_pred;
+      pred.swap(cand_pred);
       const double prev_rss = rss;
       rss = cand_rss;
       if (damped) lambda = std::max(lambda / 10.0, 1e-12);
@@ -189,16 +210,33 @@ Result<FitOutput> FitIterative(const Model& model, const Matrix& inputs,
   out.converged = converged;
   LAWS_ASSIGN_OR_RETURN(out.quality, ComputeFitQuality(outputs, pred, p));
   if (options.compute_standard_errors) {
-    const Matrix jacobian = ComputeJacobian(model, inputs, beta);
+    ComputeJacobianInto(model, inputs, beta, &scratch->jacobian,
+                        &scratch->grad, &scratch->xrow);
     out.standard_errors = StandardErrors(
-        jacobian, out.quality.residual_sum_of_squares, n, p);
+        scratch->jacobian, out.quality.residual_sum_of_squares, n, p);
   }
   return out;
 }
 
 Result<FitOutput> FitLogLinearOnly(const Model& model, const Matrix& inputs,
                                    const Vector& outputs,
-                                   const FitOptions& options) {
+                                   const FitOptions& options,
+                                   FitScratch* scratch) {
+  // Models with an exact linearization go through the sum-accumulator
+  // kernel; a kernel failure here is a domain/degeneracy error, reported
+  // as before.
+  Result<FitOutput> kernel_fit = FitOutput{};
+  if (TryClosedFormFit(model, inputs, outputs, options, scratch,
+                       &kernel_fit)) {
+    return kernel_fit;
+  }
+  ModelLinearization lin;
+  if (model.Linearization(&lin) && model.num_inputs() == 1) {
+    return Status::InvalidArgument(
+        "model '" + model.name() +
+        "' has no log-linear transformation (or data violates its domain)");
+  }
+  // Other models fall back to their heuristic transformed-space estimate.
   Vector params;
   if (!model.LogLinearEstimate(inputs, outputs, &params)) {
     return Status::InvalidArgument(
@@ -210,15 +248,18 @@ Result<FitOutput> FitLogLinearOnly(const Model& model, const Matrix& inputs,
   out.converged = true;
   out.iterations = 1;
   out.algorithm_used = FitAlgorithm::kLogLinear;
-  const Vector pred = PredictAll(model, inputs, out.parameters);
+  PredictAllInto(model, inputs, out.parameters, &scratch->pred,
+                 &scratch->xrow);
   LAWS_ASSIGN_OR_RETURN(
       out.quality,
-      ComputeFitQuality(outputs, pred, model.num_parameters()));
+      ComputeFitQuality(outputs, scratch->pred, model.num_parameters()));
   if (options.compute_standard_errors) {
-    const Matrix jacobian = ComputeJacobian(model, inputs, out.parameters);
+    ComputeJacobianInto(model, inputs, out.parameters, &scratch->jacobian,
+                        &scratch->grad, &scratch->xrow);
     out.standard_errors =
-        StandardErrors(jacobian, out.quality.residual_sum_of_squares,
-                       outputs.size(), model.num_parameters());
+        StandardErrors(scratch->jacobian,
+                       out.quality.residual_sum_of_squares, outputs.size(),
+                       model.num_parameters());
   }
   return out;
 }
@@ -245,36 +286,65 @@ std::string_view FitAlgorithmToString(FitAlgorithm a) {
 
 Vector PredictAll(const Model& model, const Matrix& inputs,
                   const Vector& params) {
+  Vector pred;
+  Vector x;
+  PredictAllInto(model, inputs, params, &pred, &x);
+  return pred;
+}
+
+void PredictAllInto(const Model& model, const Matrix& inputs,
+                    const Vector& params, Vector* pred_out, Vector* xrow) {
   const size_t n = inputs.rows();
-  Vector pred(n);
-  Vector x(inputs.cols());
+  Vector& pred = *pred_out;
+  pred.resize(n);
+  Vector& x = *xrow;
+  x.resize(inputs.cols());
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < inputs.cols(); ++j) x[j] = inputs(i, j);
     pred[i] = model.Evaluate(x, params);
   }
-  return pred;
 }
 
 Result<Matrix> BuildDesignMatrix(const Model& model, const Matrix& inputs) {
+  Matrix design;
+  Vector phi;
+  Vector x;
+  LAWS_RETURN_IF_ERROR(
+      BuildDesignMatrixInto(model, inputs, &design, &phi, &x));
+  return design;
+}
+
+Status BuildDesignMatrixInto(const Model& model, const Matrix& inputs,
+                             Matrix* design_out, Vector* phi_buf,
+                             Vector* xrow) {
   if (!model.IsLinearInParameters()) {
     return Status::InvalidArgument("model '" + model.name() +
                                    "' is not linear in its parameters");
   }
   const size_t n = inputs.rows();
   const size_t p = model.num_parameters();
-  Matrix design(n, p);
-  Vector phi;
-  Vector x(inputs.cols());
+  Matrix& design = *design_out;
+  design.Reshape(n, p);
+  Vector& phi = *phi_buf;
+  Vector& x = *xrow;
+  x.resize(inputs.cols());
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < inputs.cols(); ++j) x[j] = inputs(i, j);
     LAWS_RETURN_IF_ERROR(model.BasisFunctions(x, &phi));
     for (size_t k = 0; k < p; ++k) design(i, k) = phi[k];
   }
-  return design;
+  return Status::OK();
 }
 
 Result<FitOutput> FitModel(const Model& model, const Matrix& inputs,
                            const Vector& outputs, const FitOptions& options) {
+  FitScratch scratch;
+  return FitModel(model, inputs, outputs, options, &scratch);
+}
+
+Result<FitOutput> FitModel(const Model& model, const Matrix& inputs,
+                           const Vector& outputs, const FitOptions& options,
+                           FitScratch* scratch) {
   if (inputs.rows() != outputs.size()) {
     return Status::InvalidArgument("inputs/outputs row count mismatch");
   }
@@ -287,21 +357,35 @@ Result<FitOutput> FitModel(const Model& model, const Matrix& inputs,
   }
 
   switch (options.algorithm) {
-    case FitAlgorithm::kAuto:
-      if (model.IsLinearInParameters()) {
-        return FitLinear(model, inputs, outputs, options, /*use_qr=*/true);
+    case FitAlgorithm::kAuto: {
+      if (options.closed_form_fast_path) {
+        Result<FitOutput> fast = FitOutput{};
+        if (TryClosedFormFit(model, inputs, outputs, options, scratch,
+                             &fast)) {
+          return fast;
+        }
       }
-      return FitIterative(model, inputs, outputs, options, /*damped=*/true);
+      if (model.IsLinearInParameters()) {
+        return FitLinear(model, inputs, outputs, options, /*use_qr=*/true,
+                         scratch);
+      }
+      return FitIterative(model, inputs, outputs, options, /*damped=*/true,
+                          scratch);
+    }
     case FitAlgorithm::kOls:
-      return FitLinear(model, inputs, outputs, options, /*use_qr=*/true);
+      return FitLinear(model, inputs, outputs, options, /*use_qr=*/true,
+                       scratch);
     case FitAlgorithm::kOlsNormalEquations:
-      return FitLinear(model, inputs, outputs, options, /*use_qr=*/false);
+      return FitLinear(model, inputs, outputs, options, /*use_qr=*/false,
+                       scratch);
     case FitAlgorithm::kGaussNewton:
-      return FitIterative(model, inputs, outputs, options, /*damped=*/false);
+      return FitIterative(model, inputs, outputs, options, /*damped=*/false,
+                          scratch);
     case FitAlgorithm::kLevenbergMarquardt:
-      return FitIterative(model, inputs, outputs, options, /*damped=*/true);
+      return FitIterative(model, inputs, outputs, options, /*damped=*/true,
+                          scratch);
     case FitAlgorithm::kLogLinear:
-      return FitLogLinearOnly(model, inputs, outputs, options);
+      return FitLogLinearOnly(model, inputs, outputs, options, scratch);
   }
   return Status::Internal("unknown fit algorithm");
 }

@@ -1,0 +1,190 @@
+#include "model/fit_kernels.h"
+
+#include <cmath>
+
+namespace laws {
+
+bool SimpleOlsSolve(const double* x, const double* y, size_t n, double* b0,
+                    double* b1, SimpleRegressionSums* sums) {
+  if (n < 2) return false;
+  // Pass 1: means. Non-finite inputs (log of a non-positive value gathered
+  // as -inf/NaN) poison the means and are rejected by the finiteness check
+  // below — no separate domain scan needed.
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const double mean_x = sum_x * inv_n;
+  const double mean_y = sum_y * inv_n;
+  // Pass 2: centered second moments (numerically stable vs raw sums).
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (!(sxx > 0.0) || !std::isfinite(sxx) || !std::isfinite(sxy) ||
+      !std::isfinite(syy)) {
+    return false;  // constant x, or out-of-domain data
+  }
+  const double slope = sxy / sxx;
+  const double intercept = mean_y - slope * mean_x;
+  if (!std::isfinite(slope) || !std::isfinite(intercept)) return false;
+  *b1 = slope;
+  *b0 = intercept;
+  if (sums != nullptr) {
+    sums->n = n;
+    sums->mean_x = mean_x;
+    sums->mean_y = mean_y;
+    sums->sxx = sxx;
+    sums->sxy = sxy;
+    sums->syy = syy;
+  }
+  return true;
+}
+
+bool TransformValues(NumericTransform transform, const double* values,
+                     size_t n, Vector* out_vec) {
+  Vector& out = *out_vec;
+  out.resize(n);
+  bool finite = true;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = ApplyNumericTransform(transform, values[i]);
+    out[i] = v;
+    finite = finite && std::isfinite(v);
+  }
+  return finite;
+}
+
+void MapLinearizedParameters(const ModelLinearization& lin, double b0,
+                             double b1, Vector* params) {
+  params->resize(2);
+  (*params)[0] = lin.param_map == ModelLinearization::ParamMap::kExpInterceptSlope
+                     ? std::exp(b0)
+                     : b0;
+  (*params)[1] = b1;
+}
+
+Result<FitOutput> ClosedFormLinearizedFit(const Model& model,
+                                          const ModelLinearization& lin,
+                                          const double* tx, const double* ty,
+                                          size_t n, const Vector& original_y,
+                                          const FitOptions& options,
+                                          FitScratch* scratch) {
+  double b0 = 0.0;
+  double b1 = 0.0;
+  SimpleRegressionSums sums;
+  if (!SimpleOlsSolve(tx, ty, n, &b0, &b1, &sums)) {
+    return Status::NumericError(
+        "closed-form linearized fit is degenerate or out of domain");
+  }
+  FitOutput out;
+  MapLinearizedParameters(lin, b0, b1, &out.parameters);
+  for (double p : out.parameters) {
+    if (!std::isfinite(p)) {
+      return Status::NumericError(
+          "closed-form linearized fit produced non-finite parameters");
+    }
+  }
+  out.converged = true;
+  out.iterations = 1;
+  out.algorithm_used = FitAlgorithm::kLogLinear;
+  // Predictions in original space come straight from the transformed
+  // inputs: invert the y-transform of the fitted line, no model Evaluate
+  // virtual call per row.
+  Vector& pred = scratch->pred;
+  pred.resize(n);
+  if (lin.y_transform == NumericTransform::kLog) {
+    for (size_t i = 0; i < n; ++i) pred[i] = std::exp(b0 + b1 * tx[i]);
+  } else {
+    for (size_t i = 0; i < n; ++i) pred[i] = b0 + b1 * tx[i];
+  }
+  const size_t p = model.num_parameters();
+  LAWS_ASSIGN_OR_RETURN(out.quality, ComputeFitQuality(original_y, pred, p));
+  if (options.compute_standard_errors && n > 2) {
+    // Exact OLS standard errors in transformed space; the exponentiated
+    // intercept gets the delta-method map se(exp(b0)) ~= exp(b0) * se(b0).
+    const double rss_t = std::max(sums.syy - b1 * sums.sxy, 0.0);
+    const double s2 = rss_t / static_cast<double>(n - 2);
+    const double se_b1 = std::sqrt(s2 / sums.sxx);
+    const double se_b0 = std::sqrt(
+        s2 * (1.0 / static_cast<double>(n) + sums.mean_x * sums.mean_x / sums.sxx));
+    out.standard_errors.resize(2);
+    out.standard_errors[0] =
+        lin.param_map == ModelLinearization::ParamMap::kExpInterceptSlope
+            ? out.parameters[0] * se_b0
+            : se_b0;
+    out.standard_errors[1] = se_b1;
+  }
+  return out;
+}
+
+namespace {
+
+/// Transforms the single input column and the outputs into scratch->tx/ty.
+/// Returns false when the model has no linearization, the data is not
+/// single-input, or a transform lands out of domain.
+bool StageLinearizedData(const Model& model, const Matrix& inputs,
+                         const Vector& outputs, FitScratch* scratch,
+                         ModelLinearization* lin) {
+  if (!model.Linearization(lin)) return false;
+  if (model.num_inputs() != 1 || inputs.cols() != 1) return false;
+  const size_t n = inputs.rows();
+  if (n != outputs.size()) return false;
+  Vector& tx = scratch->tx;
+  tx.resize(n);
+  bool finite = true;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = ApplyNumericTransform(lin->x_transform, inputs(i, 0));
+    tx[i] = v;
+    finite = finite && std::isfinite(v);
+  }
+  if (!finite) return false;
+  return TransformValues(lin->y_transform, outputs.data(), n, &scratch->ty);
+}
+
+}  // namespace
+
+bool TryClosedFormFit(const Model& model, const Matrix& inputs,
+                      const Vector& outputs, const FitOptions& options,
+                      FitScratch* scratch, Result<FitOutput>* out) {
+  ModelLinearization lin;
+  if (!StageLinearizedData(model, inputs, outputs, scratch, &lin)) {
+    return false;
+  }
+  Result<FitOutput> fit = ClosedFormLinearizedFit(
+      model, lin, scratch->tx.data(), scratch->ty.data(), outputs.size(),
+      outputs, options, scratch);
+  if (!fit.ok()) return false;  // degenerate: take the generic path
+  *out = std::move(fit);
+  return true;
+}
+
+bool ClosedFormWarmStart(const Model& model, const Matrix& inputs,
+                         const Vector& outputs, FitScratch* scratch,
+                         Vector* params) {
+  ModelLinearization lin;
+  if (!StageLinearizedData(model, inputs, outputs, scratch, &lin)) {
+    return false;
+  }
+  double b0 = 0.0;
+  double b1 = 0.0;
+  if (!SimpleOlsSolve(scratch->tx.data(), scratch->ty.data(), outputs.size(),
+                      &b0, &b1, nullptr)) {
+    return false;
+  }
+  MapLinearizedParameters(lin, b0, b1, params);
+  for (double p : *params) {
+    if (!std::isfinite(p)) return false;
+  }
+  return true;
+}
+
+}  // namespace laws

@@ -1,0 +1,88 @@
+#ifndef LAWSDB_MODEL_FIT_KERNELS_H_
+#define LAWSDB_MODEL_FIT_KERNELS_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "model/fit.h"
+#include "model/model.h"
+
+namespace laws {
+
+/// Specialized fitting kernels (paper §3): the paper's workhorse models —
+/// power law I = p * nu^alpha, exponential, log law, simple linear — are
+/// exact ordinary least squares after an elementwise transform, so their
+/// fit reduces to one pass of running sums followed by a 2x2 closed-form
+/// solve. No design matrix, no factorization, no iteration; the only
+/// floating-point state is five centered sums. These kernels are the fast
+/// path under FitAlgorithm::kAuto and the warm start for the iterative
+/// path when options demand iteration.
+
+/// Centered sufficient statistics of a simple regression y = b0 + b1 * x,
+/// accumulated in one pass (two reads per point).
+struct SimpleRegressionSums {
+  size_t n = 0;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  double sxx = 0.0;  // sum (x - mean_x)^2
+  double sxy = 0.0;  // sum (x - mean_x)(y - mean_y)
+  double syy = 0.0;  // sum (y - mean_y)^2
+};
+
+/// Closed-form simple OLS over `n` points: slope b1 = Sxy/Sxx, intercept
+/// b0 = mean_y - b1 * mean_x. Returns false when the problem is degenerate
+/// (n < 2, constant x, or non-finite inputs such as log of a non-positive
+/// value) — callers route those groups to the iterative / skip path. On
+/// success fills `sums` with the centered statistics for standard-error
+/// computation.
+bool SimpleOlsSolve(const double* x, const double* y, size_t n, double* b0,
+                    double* b1, SimpleRegressionSums* sums);
+
+/// Elementwise transform of `n` values into `out` (resized). Returns true
+/// iff every transformed value is finite, i.e. the data respects the
+/// transform's domain.
+bool TransformValues(NumericTransform transform, const double* values,
+                     size_t n, Vector* out);
+
+/// Maps the transformed-space regression (b0, b1) back to model
+/// parameters per the linearization's ParamMap.
+void MapLinearizedParameters(const ModelLinearization& lin, double b0,
+                             double b1, Vector* params);
+
+/// Fits a linearizable model in closed form from already-transformed data:
+/// `tx`/`ty` are the transformed inputs/outputs, `original_y` the
+/// untransformed outputs used for original-space fit quality. Produces a
+/// complete FitOutput (algorithm_used = kLogLinear): parameters via the
+/// ParamMap, quality against `original_y`, and — when requested —
+/// transformed-space standard errors with a delta-method map for
+/// exponentiated intercepts. Returns NumericError when the regression is
+/// degenerate or out of domain; callers treat that as "take the generic
+/// path", not as a failed fit.
+Result<FitOutput> ClosedFormLinearizedFit(const Model& model,
+                                          const ModelLinearization& lin,
+                                          const double* tx, const double* ty,
+                                          size_t n, const Vector& original_y,
+                                          const FitOptions& options,
+                                          FitScratch* scratch);
+
+/// FitModel-shaped front end: detects a usable linearization on `model`,
+/// transforms the (single) input column and outputs into scratch->tx/ty,
+/// and runs ClosedFormLinearizedFit. Returns true and fills `*out` only
+/// when the closed form applies and succeeds; false means "fall through to
+/// the generic dispatch" (no linearization, multi-input data, domain
+/// violation, or degenerate regression).
+bool TryClosedFormFit(const Model& model, const Matrix& inputs,
+                      const Vector& outputs, const FitOptions& options,
+                      FitScratch* scratch, Result<FitOutput>* out);
+
+/// Closed-form warm start for the iterative path: solves the linearized
+/// regression and maps parameters, without quality or standard errors.
+/// Returns false when no linearization applies or the data is out of
+/// domain (callers fall back to Model::LogLinearEstimate / defaults).
+bool ClosedFormWarmStart(const Model& model, const Matrix& inputs,
+                         const Vector& outputs, FitScratch* scratch,
+                         Vector* params);
+
+}  // namespace laws
+
+#endif  // LAWSDB_MODEL_FIT_KERNELS_H_

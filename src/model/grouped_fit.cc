@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "model/fit_kernels.h"
 
 namespace laws {
 
@@ -32,8 +33,8 @@ struct GroupOutcome {
 Status GatherObservations(const std::vector<const Column*>& input_cols,
                           const Column& output_col, const uint32_t* rows,
                           size_t n, Matrix* inputs, Vector* outputs,
-                          std::vector<double>* scratch) {
-  *inputs = Matrix(n, input_cols.size());
+                          Vector* scratch) {
+  inputs->Reshape(n, input_cols.size());
   if (input_cols.size() == 1) {
     // Single-input models (the paper's power law) fill the n x 1 design
     // block contiguously.
@@ -119,15 +120,30 @@ Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
   const size_t floor_obs =
       std::max(model.num_parameters() + 1, spec.min_observations);
 
+  // The paper's hot configuration — a single-input model with an exact
+  // linearization (power law) — skips matrix assembly entirely: the fused
+  // gather-transform materializes log(x)/log(y) straight out of column
+  // storage and the closed-form sum kernel fits each group with zero
+  // allocations after lane warm-up. Groups whose data violates the
+  // transform domain fall back to the generic FitModel dispatch.
+  ModelLinearization lin;
+  const bool linearizable = input_cols.size() == 1 &&
+                            model.num_inputs() == 1 &&
+                            model.Linearization(&lin);
+  const bool fast_closed = linearizable &&
+                           spec.fit_options.algorithm == FitAlgorithm::kAuto &&
+                           spec.fit_options.closed_form_fast_path;
+  const bool fast_loglinear =
+      linearizable && spec.fit_options.algorithm == FitAlgorithm::kLogLinear;
+
   // Fit groups in parallel. Each lane owns a disjoint slice of the
-  // outcome array and reuses its matrix/vector buffers across the groups
-  // it processes; FitModel is a pure function of its inputs, so outcomes
+  // outcome array and a FitScratch arena reused across the groups it
+  // processes (and threaded through FitModel down to the solvers);
+  // per-group results are pure functions of the group's rows, so outcomes
   // are independent of the partition.
   std::vector<GroupOutcome> outcomes(groups.size());
   ParallelForChunks(0, groups.size(), [&](size_t lo, size_t hi) {
-    Matrix inputs;
-    Vector outputs;
-    std::vector<double> scratch;
+    FitScratch scratch;
     for (size_t g = lo; g < hi; ++g) {
       const GroupSlice& slice = groups[g];
       GroupOutcome& slot = outcomes[g];
@@ -135,16 +151,56 @@ Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
         slot.kind = GroupOutcome::Kind::kSkipped;
         continue;
       }
-      const Status gathered = GatherObservations(
-          input_cols, *output_col, row_index.data() + slice.offset,
-          slice.length, &inputs, &outputs, &scratch);
+      const uint32_t* rows = row_index.data() + slice.offset;
+      const size_t len = slice.length;
+      if (fast_closed || fast_loglinear) {
+        scratch.tx.resize(len);
+        scratch.ty.resize(len);
+        Status st = input_cols[0]->GatherNumericTransformed(
+            rows, len, scratch.tx.data(), lin.x_transform);
+        if (st.ok()) {
+          st = output_col->GatherNumericTransformed(
+              rows, len, scratch.ty.data(), lin.y_transform);
+        }
+        const Vector* orig_y = &scratch.ty;
+        if (st.ok() && lin.y_transform != NumericTransform::kIdentity) {
+          scratch.outputs.resize(len);
+          st = output_col->GatherNumeric(rows, len, scratch.outputs.data());
+          orig_y = &scratch.outputs;
+        }
+        if (!st.ok()) {
+          slot.kind = GroupOutcome::Kind::kFailed;
+          continue;
+        }
+        auto fast = ClosedFormLinearizedFit(model, lin, scratch.tx.data(),
+                                            scratch.ty.data(), len, *orig_y,
+                                            spec.fit_options, &scratch);
+        if (fast.ok()) {
+          slot.kind = GroupOutcome::Kind::kFitted;
+          slot.fit = std::move(*fast);
+          continue;
+        }
+        if (fast_loglinear) {
+          // Explicit kLogLinear has no fallback: out-of-domain or
+          // degenerate groups are failed fits, as before.
+          slot.kind = GroupOutcome::Kind::kFailed;
+          continue;
+        }
+        // else: domain violation under kAuto — take the generic path,
+        // which warm-starts LM from whatever structure survives.
+      }
+      const Status gathered =
+          GatherObservations(input_cols, *output_col, rows, len,
+                             &scratch.inputs, &scratch.outputs,
+                             &scratch.column);
       if (!gathered.ok()) {
         // Unreachable after the type checks above; count as a failed fit
         // rather than crossing the parallel region with an error.
         slot.kind = GroupOutcome::Kind::kFailed;
         continue;
       }
-      auto fit = FitModel(model, inputs, outputs, spec.fit_options);
+      auto fit = FitModel(model, scratch.inputs, scratch.outputs,
+                          spec.fit_options, &scratch);
       if (!fit.ok()) {
         slot.kind = GroupOutcome::Kind::kFailed;
         continue;

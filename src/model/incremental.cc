@@ -23,7 +23,7 @@ Status IncrementalOls::Add(const Vector& inputs, double y) {
   if (inputs.size() != model_->num_inputs()) {
     return Status::InvalidArgument("input arity mismatch");
   }
-  Vector phi;
+  Vector& phi = phi_;
   LAWS_RETURN_IF_ERROR(model_->BasisFunctions(inputs, &phi));
   const size_t p = phi.size();
   for (size_t i = 0; i < p; ++i) {

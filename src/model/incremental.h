@@ -52,6 +52,7 @@ class IncrementalOls {
   ModelPtr model_;
   Matrix xtx_;   // Phi^T Phi
   Vector xty_;   // Phi^T y
+  Vector phi_;   // basis-function staging, reused across Add() calls
   double sum_y_ = 0.0;
   double sum_y2_ = 0.0;
   size_t n_ = 0;

@@ -97,6 +97,12 @@ Status LinearModel::BasisFunctions(const Vector& inputs, Vector* phi) const {
   return Status::OK();
 }
 
+bool LinearModel::Linearization(ModelLinearization* out) const {
+  if (num_inputs_ != 1) return false;
+  *out = ModelLinearization{};  // identity transforms, {b0, b1} directly
+  return true;
+}
+
 std::string LinearModel::ToSource() const {
   return "linear(" + std::to_string(num_inputs_) + ")";
 }
@@ -219,6 +225,13 @@ bool PowerLawModel::LogLinearEstimate(const Matrix& inputs,
   return true;
 }
 
+bool PowerLawModel::Linearization(ModelLinearization* out) const {
+  out->x_transform = NumericTransform::kLog;
+  out->y_transform = NumericTransform::kLog;
+  out->param_map = ModelLinearization::ParamMap::kExpInterceptSlope;
+  return true;
+}
+
 // --- ExponentialModel ------------------------------------------------------
 
 double ExponentialModel::Evaluate(const Vector& inputs,
@@ -260,6 +273,13 @@ bool ExponentialModel::LogLinearEstimate(const Matrix& inputs,
   params->assign(2, 0.0);
   (*params)[0] = std::exp((*beta)[0]);
   (*params)[1] = (*beta)[1];
+  return true;
+}
+
+bool ExponentialModel::Linearization(ModelLinearization* out) const {
+  out->x_transform = NumericTransform::kIdentity;
+  out->y_transform = NumericTransform::kLog;
+  out->param_map = ModelLinearization::ParamMap::kExpInterceptSlope;
   return true;
 }
 
@@ -415,6 +435,13 @@ void LogLawModel::InputGradient(const Vector& inputs, const Vector& params,
                                 Vector* grad) const {
   grad->assign(1, 0.0);
   (*grad)[0] = params[1] / inputs[0];
+}
+
+bool LogLawModel::Linearization(ModelLinearization* out) const {
+  out->x_transform = NumericTransform::kLog;
+  out->y_transform = NumericTransform::kIdentity;
+  out->param_map = ModelLinearization::ParamMap::kInterceptSlope;
+  return true;
 }
 
 Status LogLawModel::BasisFunctions(const Vector& inputs, Vector* phi) const {

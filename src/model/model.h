@@ -5,10 +5,31 @@
 #include <string>
 #include <vector>
 
+#include "common/numeric_transform.h"
 #include "common/result.h"
 #include "linalg/matrix.h"
 
 namespace laws {
+
+/// Exact linearization of a two-parameter, single-input model: after
+/// transforming x' = t_x(x) and y' = t_y(y), the fit is the closed-form
+/// simple regression y' = b0 + b1 * x'. The specialized fit kernels (see
+/// model/fit_kernels.h) use this to bypass design matrices and solvers
+/// entirely — the paper's power law I = p * nu^alpha becomes log-log OLS
+/// over five running sums.
+struct ModelLinearization {
+  NumericTransform x_transform = NumericTransform::kIdentity;
+  NumericTransform y_transform = NumericTransform::kIdentity;
+  /// How the transformed-space (b0, b1) map back onto the model's two
+  /// parameters, in parameter_names() order.
+  enum class ParamMap : uint8_t {
+    /// params = {b0, b1} (linear, log law).
+    kInterceptSlope,
+    /// params = {exp(b0), b1} (power law, exponential).
+    kExpInterceptSlope,
+  };
+  ParamMap param_map = ParamMap::kInterceptSlope;
+};
 
 /// A user-supplied statistical model, the paper's central object (§3):
 /// "an arbitrary function of the input variables and various constant but
@@ -66,6 +87,16 @@ class Model {
   virtual bool LogLinearEstimate(const Matrix& inputs, const Vector& outputs,
                                  Vector* params) const;
 
+  /// Optional exact linearization y' = b0 + b1 * x' (see
+  /// ModelLinearization). When provided, the fit kernels solve the model
+  /// in closed form with no matrix or solver; data that violates the
+  /// transform domain (log of a non-positive value) is detected at fit
+  /// time and routed to the iterative path. Returns false when the model
+  /// has no such structure.
+  virtual bool Linearization(ModelLinearization* /*out*/) const {
+    return false;
+  }
+
   /// Reasonable default starting parameters for iterative fitting.
   virtual Vector InitialParameters() const {
     return Vector(num_parameters(), 1.0);
@@ -101,6 +132,8 @@ class LinearModel : public Model {
                      Vector* grad) const override;
   bool IsLinearInParameters() const override { return true; }
   Status BasisFunctions(const Vector& inputs, Vector* phi) const override;
+  /// Single-input linear regression is its own (identity) linearization.
+  bool Linearization(ModelLinearization* out) const override;
   std::string ToSource() const override;
   std::string Formula() const override;
   std::unique_ptr<Model> Clone() const override {
@@ -158,6 +191,8 @@ class PowerLawModel : public Model {
                      Vector* grad) const override;
   bool LogLinearEstimate(const Matrix& inputs, const Vector& outputs,
                          Vector* params) const override;
+  /// log y = log p + alpha * log x: exact log-log OLS.
+  bool Linearization(ModelLinearization* out) const override;
   Vector InitialParameters() const override { return {1.0, -1.0}; }
   std::string ToSource() const override { return "power_law"; }
   std::string Formula() const override { return "y = p * x0^alpha"; }
@@ -185,6 +220,8 @@ class ExponentialModel : public Model {
                      Vector* grad) const override;
   bool LogLinearEstimate(const Matrix& inputs, const Vector& outputs,
                          Vector* params) const override;
+  /// log y = log a + b * x: exact semilog OLS.
+  bool Linearization(ModelLinearization* out) const override;
   Vector InitialParameters() const override { return {1.0, 0.1}; }
   std::string ToSource() const override { return "exponential"; }
   std::string Formula() const override { return "y = a * exp(b * x0)"; }
@@ -297,6 +334,8 @@ class LogLawModel : public Model {
                      Vector* grad) const override;
   bool IsLinearInParameters() const override { return true; }
   Status BasisFunctions(const Vector& inputs, Vector* phi) const override;
+  /// y = a + b * log x: exact OLS over the transformed input.
+  bool Linearization(ModelLinearization* out) const override;
   std::string ToSource() const override { return "log_law"; }
   std::string Formula() const override { return "y = a + b * ln(x0)"; }
   std::unique_ptr<Model> Clone() const override {

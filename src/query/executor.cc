@@ -141,11 +141,13 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
     arg_cols.push_back(std::move(c));
   }
 
-  // Hash rows into groups.
+  // Pass 1: hash rows into groups. Only the key columns are touched here;
+  // each row records its group ordinal for the columnar update pass.
   std::unordered_map<std::string, size_t> group_index;
   std::vector<size_t> representative_row;  // first row of each group
   std::vector<std::vector<AggState>> states;
   const size_t n = input.num_rows();
+  std::vector<uint32_t> group_of(n);
   for (size_t row = 0; row < n; ++row) {
     const std::string key = MakeGroupKey(key_cols, row);
     auto [it, inserted] = group_index.emplace(key, states.size());
@@ -153,26 +155,53 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
       representative_row.push_back(row);
       states.emplace_back(slots.size());
     }
-    std::vector<AggState>& gs = states[it->second];
-    for (size_t a = 0; a < slots.size(); ++a) {
-      AggState& s = gs[a];
-      if (slots[a].is_star) {
+    group_of[row] = static_cast<uint32_t>(it->second);
+  }
+
+  // Pass 2: one columnar sweep per aggregate slot. Numeric arguments are
+  // materialized with a single bulk GatherNumericMasked — one type
+  // dispatch per column instead of a Result-wrapped NumericAt per cell.
+  // Rows are processed in table order, so the Welford mean/m2 recurrences
+  // see values in exactly the same order (and produce bit-identical
+  // results) as the old row-at-a-time loop.
+  std::vector<uint32_t> all_rows(n);
+  for (size_t i = 0; i < n; ++i) all_rows[i] = static_cast<uint32_t>(i);
+  std::vector<double> arg_values(n);
+  std::vector<uint8_t> arg_nulls(n);
+  for (size_t a = 0; a < slots.size(); ++a) {
+    if (slots[a].is_star) {
+      for (size_t row = 0; row < n; ++row) {
+        AggState& s = states[group_of[row]][a];
         ++s.count;
         s.any = true;
-        continue;
       }
-      const Column& arg = arg_cols[a];
-      if (arg.IsNull(row)) continue;
-      ++s.count;
-      s.any = true;
-      if (arg.type() == DataType::kString) {
+      continue;
+    }
+    const Column& arg = arg_cols[a];
+    if (arg.type() == DataType::kString) {
+      // Strings keep the element-wise path (dictionary lookups, ordering).
+      for (size_t row = 0; row < n; ++row) {
+        if (arg.IsNull(row)) continue;
+        AggState& s = states[group_of[row]][a];
+        ++s.count;
+        s.any = true;
         s.is_string = true;
         const std::string v(arg.StringAt(row));
         if (s.count == 1 || v < s.smin) s.smin = v;
         if (s.count == 1 || v > s.smax) s.smax = v;
-        continue;
       }
-      LAWS_ASSIGN_OR_RETURN(double v, arg.NumericAt(row));
+      continue;
+    }
+    const auto gathered =
+        arg.GatherNumericMasked(all_rows.data(), n, arg_values.data(),
+                                arg_nulls.data());
+    if (!gathered.ok()) return gathered.status();
+    for (size_t row = 0; row < n; ++row) {
+      if (arg_nulls[row]) continue;
+      AggState& s = states[group_of[row]][a];
+      ++s.count;
+      s.any = true;
+      const double v = arg_values[row];
       s.sum += v;
       s.min = std::min(s.min, v);
       s.max = std::max(s.max, v);

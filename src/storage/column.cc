@@ -193,6 +193,40 @@ Status Column::GatherNumeric(const uint32_t* rows, size_t n,
   return Status::Internal("corrupt column type");
 }
 
+Status Column::GatherNumericTransformed(const uint32_t* rows, size_t n,
+                                        double* out,
+                                        NumericTransform transform) const {
+  if (transform == NumericTransform::kIdentity) {
+    return GatherNumeric(rows, n, out);
+  }
+  // kLog, fused with the type dispatch so each value is touched once.
+  switch (type_) {
+    case DataType::kInt64: {
+      const int64_t* data = int64_data_.data();
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = std::log(static_cast<double>(data[rows[i]]));
+      }
+      return Status::OK();
+    }
+    case DataType::kDouble: {
+      const double* data = double_data_.data();
+      for (size_t i = 0; i < n; ++i) out[i] = std::log(data[rows[i]]);
+      return Status::OK();
+    }
+    case DataType::kBool: {
+      const uint8_t* data = bool_data_.data();
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = data[rows[i]] ? 0.0
+                               : -std::numeric_limits<double>::infinity();
+      }
+      return Status::OK();
+    }
+    case DataType::kString:
+      return Status::TypeMismatch("string column is not numeric");
+  }
+  return Status::Internal("corrupt column type");
+}
+
 Result<size_t> Column::GatherNumericMasked(const uint32_t* rows, size_t n,
                                            double* out,
                                            uint8_t* null_mask) const {

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/numeric_transform.h"
 #include "common/result.h"
 #include "storage/types.h"
 
@@ -82,6 +83,16 @@ class Column {
   /// GatherNumericMasked when rows may contain NULLs. Error for string
   /// columns.
   Status GatherNumeric(const uint32_t* rows, size_t n, double* out) const;
+
+  /// Fused gather-transform: like GatherNumeric but applies `transform`
+  /// to each value in the same pass, so callers that fit in transformed
+  /// space (log-log OLS for power laws) materialize log(x) directly
+  /// instead of gather-then-transform. Out-of-domain values (log of zero
+  /// or a negative) land as -inf/NaN for the caller's domain check; rows
+  /// must be in range and non-NULL, as for GatherNumeric. Error for
+  /// string columns.
+  Status GatherNumericTransformed(const uint32_t* rows, size_t n, double* out,
+                                  NumericTransform transform) const;
 
   /// Null-mask-aware variant: NULL rows gather as quiet NaN and set
   /// null_mask[i] = 1 (valid rows set 0). `null_mask` may be nullptr when

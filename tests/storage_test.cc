@@ -218,6 +218,67 @@ TEST(ColumnTest, GatherNumericAllTypes) {
   EXPECT_FALSE(s.GatherNumeric(&zero, 1, out).ok());
 }
 
+TEST(ColumnTest, GatherNumericTransformedFusesLog) {
+  Column dbl(DataType::kDouble);
+  Column i64(DataType::kInt64);
+  for (int i = 1; i <= 6; ++i) {
+    dbl.AppendDouble(i * 0.5);
+    i64.AppendInt64(i * 10);
+  }
+  const std::vector<uint32_t> rows = {4, 0, 2};
+  double out[3];
+  ASSERT_TRUE(dbl.GatherNumericTransformed(rows.data(), rows.size(), out,
+                                           NumericTransform::kLog)
+                  .ok());
+  EXPECT_DOUBLE_EQ(out[0], std::log(2.5));
+  EXPECT_DOUBLE_EQ(out[1], std::log(0.5));
+  EXPECT_DOUBLE_EQ(out[2], std::log(1.5));
+  ASSERT_TRUE(i64.GatherNumericTransformed(rows.data(), rows.size(), out,
+                                           NumericTransform::kLog)
+                  .ok());
+  EXPECT_DOUBLE_EQ(out[0], std::log(50.0));
+  EXPECT_DOUBLE_EQ(out[1], std::log(10.0));
+  EXPECT_DOUBLE_EQ(out[2], std::log(30.0));
+  // Identity delegates to the plain gather.
+  ASSERT_TRUE(dbl.GatherNumericTransformed(rows.data(), rows.size(), out,
+                                           NumericTransform::kIdentity)
+                  .ok());
+  EXPECT_DOUBLE_EQ(out[0], 2.5);
+  Column s(DataType::kString);
+  s.AppendString("a");
+  const uint32_t zero = 0;
+  EXPECT_FALSE(s.GatherNumericTransformed(&zero, 1, out,
+                                          NumericTransform::kLog)
+                   .ok());
+}
+
+TEST(ColumnTest, GatherNumericTransformedOutOfDomainSentinels) {
+  // Out-of-domain values must land as -inf/NaN (the caller's domain
+  // check), not trap or silently clamp.
+  Column dbl(DataType::kDouble);
+  dbl.AppendDouble(0.0);
+  dbl.AppendDouble(-2.0);
+  dbl.AppendDouble(4.0);
+  const std::vector<uint32_t> rows = {0, 1, 2};
+  double out[3];
+  ASSERT_TRUE(dbl.GatherNumericTransformed(rows.data(), rows.size(), out,
+                                           NumericTransform::kLog)
+                  .ok());
+  EXPECT_TRUE(std::isinf(out[0]) && out[0] < 0.0);
+  EXPECT_TRUE(std::isnan(out[1]));
+  EXPECT_DOUBLE_EQ(out[2], std::log(4.0));
+  // Bool: true -> log(1) = 0, false -> -inf.
+  Column bl(DataType::kBool);
+  bl.AppendBool(true);
+  bl.AppendBool(false);
+  const std::vector<uint32_t> brows = {0, 1};
+  ASSERT_TRUE(bl.GatherNumericTransformed(brows.data(), brows.size(), out,
+                                          NumericTransform::kLog)
+                  .ok());
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_TRUE(std::isinf(out[1]) && out[1] < 0.0);
+}
+
 TEST(ColumnTest, GatherNumericMatchesNumericAt) {
   Column c(DataType::kDouble);
   for (int i = 0; i < 100; ++i) c.AppendDouble(std::sin(i));

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports and fail on perf regressions.
+
+Usage: tools/bench_compare.py BASELINE.json CANDIDATE.json
+         [--metric fit_seconds] [--threshold 0.10] [--key threads]
+
+Each BENCH json file is a flat array of records ({"experiment": ...,
+numeric fields...}) as written by bench_util.h's JsonReport. Records are
+matched between the two files by (experiment, key field) — by default
+(experiment, threads) — and the chosen lower-is-better metric is compared.
+A candidate more than `threshold` (fraction) slower than the baseline on
+any matched record fails with exit code 1, which makes this script usable
+as a CI gate:
+
+    tools/bench_compare.py BENCH_table1_lofar_pipeline.json new.json
+
+Records missing the metric or the key (e.g. the groups-sweep records when
+comparing on threads) are skipped and reported as such.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        sys.exit(f"error: {path} is not a JSON array of bench records")
+    return data
+
+
+def index_records(records, key_field, metric):
+    indexed = {}
+    skipped = 0
+    for rec in records:
+        if metric not in rec or key_field not in rec:
+            skipped += 1
+            continue
+        key = (rec.get("experiment", "?"), rec[key_field])
+        # Last record wins if a (experiment, key) pair repeats.
+        indexed[key] = float(rec[metric])
+    return indexed, skipped
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline BENCH json")
+    ap.add_argument("candidate", help="candidate BENCH json")
+    ap.add_argument("--metric", default="fit_seconds",
+                    help="lower-is-better metric to compare "
+                         "(default: fit_seconds)")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max allowed fractional slowdown (default: 0.10)")
+    ap.add_argument("--key", default="threads",
+                    help="record field that identifies a configuration "
+                         "(default: threads)")
+    args = ap.parse_args()
+
+    base, base_skipped = index_records(
+        load_records(args.baseline), args.key, args.metric)
+    cand, cand_skipped = index_records(
+        load_records(args.candidate), args.key, args.metric)
+
+    matched = sorted(set(base) & set(cand))
+    if not matched:
+        sys.exit("error: no records matched between baseline and candidate "
+                 f"on (experiment, {args.key}) with metric {args.metric}")
+
+    print(f"comparing {args.metric} (threshold: +{args.threshold:.0%}):")
+    print(f"{'experiment':<28} {args.key:>8} {'baseline':>12} "
+          f"{'candidate':>12} {'delta':>9}")
+    regressions = []
+    for key in matched:
+        experiment, config = key
+        b, c = base[key], cand[key]
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((key, b, c, delta))
+            flag = "  << REGRESSION"
+        print(f"{experiment:<28} {config!s:>8} {b:>12.6g} {c:>12.6g} "
+              f"{delta:>+8.1%}{flag}")
+
+    unmatched = len(set(base) ^ set(cand))
+    skipped = base_skipped + cand_skipped
+    if unmatched or skipped:
+        print(f"(skipped {skipped} records without {args.metric}/{args.key}, "
+              f"{unmatched} unmatched configurations)")
+
+    if regressions:
+        worst = max(r[3] for r in regressions)
+        print(f"\nFAIL: {len(regressions)} configuration(s) regressed "
+              f"beyond +{args.threshold:.0%} (worst: +{worst:.1%})")
+        return 1
+    print(f"\nOK: no {args.metric} regression beyond +{args.threshold:.0%} "
+          f"across {len(matched)} configuration(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
