@@ -15,6 +15,7 @@
 // checks). Type `help` for the full command list.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -66,7 +67,10 @@ struct Shell {
         "  refresh                        refit stale models\n"
         "  import <path> <table> <name:type[?],...>   load a CSV file\n"
         "  export <table> <path>          write a table as CSV\n"
-        "  save <path> | load <path>      persist / restore the database\n"
+        "  save <path>                    persist the database (atomic)\n"
+        "  load <path> [tolerant]         restore; 'tolerant' quarantines\n"
+        "                                 corrupt sections instead of failing\n"
+        "  inspect <path>                 image sections + checksum status\n"
         "  help | quit\n");
   }
 
@@ -341,10 +345,46 @@ struct Shell {
       auto status = SaveDatabase(data, models, path);
       std::printf("%s\n", status.ok() ? "saved" : status.ToString().c_str());
     } else if (EqualsIgnoreCase(command, "load")) {
+      std::string path, mode;
+      in >> path >> mode;
+      LoadOptions options;
+      options.tolerate_corruption = EqualsIgnoreCase(mode, "tolerant");
+      LoadReport report;
+      auto status = LoadDatabase(path, &data, &models, options, &report);
+      if (!status.ok()) {
+        std::printf("%s\n", status.ToString().c_str());
+      } else {
+        std::printf("loaded: %s\n", report.Summary().c_str());
+      }
+    } else if (EqualsIgnoreCase(command, "inspect")) {
       std::string path;
       in >> path;
-      auto status = LoadDatabase(path, &data, &models);
-      std::printf("%s\n", status.ok() ? "loaded" : status.ToString().c_str());
+      std::ifstream file(path, std::ios::binary | std::ios::ate);
+      if (!file) {
+        std::printf("error: cannot open %s\n", path.c_str());
+        return;
+      }
+      std::vector<uint8_t> bytes(static_cast<size_t>(file.tellg()));
+      file.seekg(0);
+      file.read(reinterpret_cast<char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      auto info = InspectImage(bytes);
+      if (!info.ok()) {
+        std::printf("error: %s\n", info.status().ToString().c_str());
+        return;
+      }
+      std::printf("version %u, %zu bytes, whole-image checksum %s\n",
+                  info->version, static_cast<size_t>(info->file_bytes),
+                  info->image_checksum_ok ? "OK" : "FAILED");
+      for (const ImageSection& s : info->sections) {
+        std::printf("  [%s] %-24s offset=%-10zu length=%-10zu crc %s\n",
+                    s.kind == ImageSectionKind::kTable          ? "table"
+                    : s.kind == ImageSectionKind::kModelCatalog ? "manif"
+                                                                : "model",
+                    s.name.c_str(), static_cast<size_t>(s.offset),
+                    static_cast<size_t>(s.length),
+                    s.crc_ok ? "OK" : "FAILED");
+      }
     } else {
       std::printf("unknown command '%s' (try: help)\n", command.c_str());
     }

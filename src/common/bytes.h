@@ -68,7 +68,7 @@ class ByteReader {
       : ByteReader(buf.data(), buf.size()) {}
 
   Result<uint8_t> GetU8() {
-    if (pos_ + 1 > size_) return Truncated("u8");
+    if (remaining() < 1) return Truncated("u8");
     return data_[pos_++];
   }
   Result<uint32_t> GetU32() { return GetRawAs<uint32_t>("u32"); }
@@ -96,17 +96,46 @@ class ByteReader {
 
   Result<std::string> GetString() {
     LAWS_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
-    if (pos_ + n > size_) return Truncated("string");
-    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
-    pos_ += n;
+    // `n > remaining()` rather than `pos_ + n > size_`: a corrupt varint
+    // near UINT64_MAX would wrap the addition and pass the check.
+    if (n > remaining()) return Truncated("string");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
     return s;
   }
 
   Status GetRaw(void* out, size_t n) {
-    if (pos_ + n > size_) return Truncated("raw");
+    if (n > remaining()) return Truncated("raw");
     if (n == 0) return Status::OK();  // out may be null (empty vector .data())
     std::memcpy(out, data_ + pos_, n);
     pos_ += n;
+    return Status::OK();
+  }
+
+  /// Reads a varint element count and validates it against the bytes that
+  /// are actually left: a count claiming more than
+  /// remaining() / min_bytes_per_elem elements cannot possibly be satisfied
+  /// by this buffer, so it fails fast with kParseError instead of letting
+  /// the caller allocate gigabytes from a corrupt length. Use for every
+  /// resize()/reserve() driven by deserialized data whose per-element
+  /// encoded size has a fixed lower bound.
+  Result<uint64_t> GetCount(uint64_t min_bytes_per_elem, const char* what) {
+    LAWS_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+    const uint64_t denom = min_bytes_per_elem == 0 ? 1 : min_bytes_per_elem;
+    if (n > remaining() / denom) {
+      return Status::ParseError(std::string("implausible count reading ") +
+                                what);
+    }
+    return n;
+  }
+
+  /// Overflow-safe bounds check for an upcoming `count` elements of
+  /// `elem_bytes` each (e.g. before resize()+GetRaw of a typed payload).
+  Status CheckAvailable(uint64_t count, uint64_t elem_bytes,
+                        const char* what) const {
+    const uint64_t denom = elem_bytes == 0 ? 1 : elem_bytes;
+    if (count > remaining() / denom) return Truncated(what);
     return Status::OK();
   }
 
@@ -117,7 +146,7 @@ class ByteReader {
  private:
   template <typename T>
   Result<T> GetRawAs(const char* what) {
-    if (pos_ + sizeof(T) > size_) return Truncated(what);
+    if (sizeof(T) > remaining()) return Truncated(what);
     T v;
     std::memcpy(&v, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);

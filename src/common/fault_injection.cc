@@ -1,0 +1,156 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace laws {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("LAWS_FAULTS");
+  if (env == nullptr || *env == '\0') return;
+  for (const std::string& clause : Split(env, ',')) {
+    if (Trim(clause).empty()) continue;
+    std::string site;
+    FaultSpec spec;
+    if (ParseClause(std::string(Trim(clause)), &site, &spec)) {
+      Arm(site, spec);
+    } else {
+      LAWS_LOG(Warning) << "ignoring malformed LAWS_FAULTS clause: " << clause;
+    }
+  }
+}
+
+bool FaultInjector::ParseClause(const std::string& clause, std::string* site,
+                                FaultSpec* spec) {
+  const size_t eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  *site = clause.substr(0, eq);
+  std::string rhs = clause.substr(eq + 1);
+
+  FaultSpec out;
+  const size_t at = rhs.find('@');
+  if (at != std::string::npos) {
+    const std::string seed_str = rhs.substr(at + 1);
+    if (seed_str.empty()) return false;
+    char* end = nullptr;
+    out.seed = std::strtoull(seed_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return false;
+    rhs = rhs.substr(0, at);
+  }
+  const size_t colon = rhs.find(':');
+  std::string kind = rhs.substr(0, colon);
+  if (colon != std::string::npos) {
+    const std::string arg_str = rhs.substr(colon + 1);
+    if (arg_str.empty()) return false;
+    char* end = nullptr;
+    out.arg = std::strtoull(arg_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return false;
+  }
+  if (kind == "error") {
+    out.kind = FaultSpec::Kind::kError;
+  } else if (kind == "truncate") {
+    out.kind = FaultSpec::Kind::kTruncate;
+  } else if (kind == "bitflip") {
+    out.kind = FaultSpec::Kind::kBitFlip;
+  } else {
+    return false;
+  }
+  *spec = out;
+  return true;
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[site] = Armed{spec, 0};
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.erase(site);
+  active_.store(!armed_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  active_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFireLocked(const std::string& site,
+                                     FaultSpec::Kind kind, FaultSpec* spec) {
+  ++hits_[site];
+  auto it = armed_.find(site);
+  if (it == armed_.end()) return false;
+  Armed& a = it->second;
+  if (a.spec.kind != kind) return false;
+  if (a.spec.skip_hits > 0) {
+    --a.spec.skip_hits;
+    return false;
+  }
+  if (a.spec.max_triggers >= 0 &&
+      a.triggers_fired >= static_cast<uint64_t>(a.spec.max_triggers)) {
+    return false;
+  }
+  ++a.triggers_fired;
+  *spec = a.spec;
+  return true;
+}
+
+Status FaultInjector::Check(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultSpec spec;
+  if (!ShouldFireLocked(site, FaultSpec::Kind::kError, &spec)) {
+    return Status::OK();
+  }
+  return Status::IOError(std::string("injected fault at ") + site);
+}
+
+uint64_t FaultInjector::AllowedWriteBytes(const char* site, uint64_t n,
+                                          bool* fail_after) {
+  *fail_after = false;
+  if (!active()) return n;
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultSpec spec;
+  if (!ShouldFireLocked(site, FaultSpec::Kind::kTruncate, &spec)) return n;
+  *fail_after = true;
+  return spec.arg < n ? spec.arg : n;
+}
+
+bool FaultInjector::CorruptBuffer(const char* site, uint8_t* data, size_t n) {
+  if (!active() || n == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultSpec spec;
+  if (!ShouldFireLocked(site, FaultSpec::Kind::kBitFlip, &spec)) return false;
+  Rng rng(spec.seed);
+  const uint64_t flips = spec.arg == 0 ? 1 : spec.arg;
+  for (uint64_t i = 0; i < flips; ++i) {
+    const uint64_t bit = rng.NextU64() % (n * 8);
+    data[bit >> 3] ^= static_cast<uint8_t>(1u << (bit & 7));
+  }
+  return true;
+}
+
+uint64_t FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> FaultInjector::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> sites;
+  sites.reserve(armed_.size());
+  for (const auto& [site, armed] : armed_) sites.push_back(site);
+  return sites;
+}
+
+}  // namespace laws

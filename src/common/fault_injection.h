@@ -1,0 +1,120 @@
+#ifndef LAWSDB_COMMON_FAULT_INJECTION_H_
+#define LAWSDB_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace laws {
+
+/// Deterministic fault-point registry. Code on a failure-critical path
+/// declares named sites (`LAWS_FAULT_POINT("persist/rename")`); tests (or
+/// the `LAWS_FAULTS` environment variable) arm a site with a fault kind,
+/// and the site then fails in a fully replayable way — every random choice
+/// (bit positions for flips) comes from a seeded RNG stored in the spec.
+///
+/// When nothing is armed anywhere a fault point costs one relaxed atomic
+/// load and a predictable branch, so production paths can keep their
+/// points compiled in.
+///
+/// Env syntax (comma-separated):
+///   LAWS_FAULTS="persist/rename=error,persist/write_image=truncate:512"
+///   LAWS_FAULTS="persist/write_image=bitflip:3@42"   # 3 flips, seed 42
+struct FaultSpec {
+  enum class Kind : uint8_t {
+    kError,     ///< The site returns an injected kIOError.
+    kTruncate,  ///< Write sites stop after `arg` bytes, then fail.
+    kBitFlip,   ///< Buffer sites flip `arg` seeded-random bits in place.
+  };
+
+  Kind kind = Kind::kError;
+  /// kTruncate: bytes allowed through before the failure.
+  /// kBitFlip: number of bits to flip (0 is treated as 1).
+  uint64_t arg = 0;
+  /// Seed for every random decision this spec makes (replayability).
+  uint64_t seed = 0x1AB5DBu;
+  /// Skip this many hits of the site before firing (0 = fire on first).
+  uint64_t skip_hits = 0;
+  /// Stop firing after this many triggers; -1 = unlimited.
+  int64_t max_triggers = -1;
+};
+
+class FaultInjector {
+ public:
+  /// Process-wide singleton. The first call parses `LAWS_FAULTS`.
+  static FaultInjector& Instance();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void Arm(const std::string& site, FaultSpec spec);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// True when at least one site is armed (the fault-point fast gate).
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Probes `site` for kError faults; kTruncate/kBitFlip specs do not fire
+  /// here (they fire at the matching buffer/write probe). Counts a hit.
+  Status Check(const char* site);
+
+  /// Write-path probe: returns the number of bytes (<= n) the caller may
+  /// write. Sets `*fail_after` when an armed kTruncate fault fired — the
+  /// caller writes the allowed prefix and then reports an injected error,
+  /// modelling a torn write followed by a crash.
+  uint64_t AllowedWriteBytes(const char* site, uint64_t n, bool* fail_after);
+
+  /// Buffer probe: when `site` is armed with kBitFlip, flips the spec's
+  /// seeded-random bits of data[0..n) in place and returns true.
+  bool CorruptBuffer(const char* site, uint8_t* data, size_t n);
+
+  /// Total times `site` was probed (any probe kind), for test assertions.
+  uint64_t HitCount(const std::string& site) const;
+
+  /// Sites currently armed, for diagnostics.
+  std::vector<std::string> ArmedSites() const;
+
+  /// Parses one `site=kind[:arg][@seed]` clause; exposed for tests.
+  /// Returns false (and leaves `*site`/`*spec` unspecified) on bad syntax.
+  static bool ParseClause(const std::string& clause, std::string* site,
+                          FaultSpec* spec);
+
+ private:
+  FaultInjector();
+
+  struct Armed {
+    FaultSpec spec;
+    uint64_t triggers_fired = 0;
+  };
+
+  /// Looks up `site`, applies skip/max-trigger bookkeeping, and returns
+  /// whether a fault of `kind` fires now (copying the spec out). Specs of
+  /// a different kind are left untouched so error/truncate/bitflip probes
+  /// of the same site do not consume each other's triggers. Lock held.
+  bool ShouldFireLocked(const std::string& site, FaultSpec::Kind kind,
+                        FaultSpec* spec);
+
+  mutable std::mutex mu_;
+  std::atomic<bool> active_{false};
+  std::map<std::string, Armed> armed_;
+  std::map<std::string, uint64_t> hits_;
+};
+
+}  // namespace laws
+
+/// Declares a named fault point: when the injector is active and `site` is
+/// armed with an error fault, returns the injected Status from the
+/// enclosing function. Near-zero cost when nothing is armed.
+#define LAWS_FAULT_POINT(site)                                               \
+  do {                                                                       \
+    if (::laws::FaultInjector::Instance().active()) {                        \
+      LAWS_RETURN_IF_ERROR(::laws::FaultInjector::Instance().Check(site));   \
+    }                                                                        \
+  } while (false)
+
+#endif  // LAWSDB_COMMON_FAULT_INJECTION_H_

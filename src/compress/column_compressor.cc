@@ -19,7 +19,7 @@ Result<std::vector<uint8_t>> ReadValidity(ByteReader* in) {
   LAWS_ASSIGN_OR_RETURN(uint8_t has_nulls, in->GetU8());
   std::vector<uint8_t> validity;
   if (has_nulls) {
-    LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+    LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetCount(1, "validity bitmap"));
     validity.resize(n);
     LAWS_RETURN_IF_ERROR(in->GetRaw(validity.data(), n));
   }
@@ -127,12 +127,24 @@ Status EncodeBody(const Column& column, ColumnEncoding encoding,
 
 Result<Column> DecodeBody(ByteReader* in, const Field& field,
                           ColumnEncoding encoding,
-                          const std::vector<uint8_t>& validity) {
+                          const std::vector<uint8_t>& validity,
+                          size_t expected_rows) {
   auto valid_at = [&](size_t i) {
     if (validity.empty()) return true;
     return ((validity[i >> 3] >> (i & 7)) & 1) != 0;
   };
   Column col(field.type, field.nullable || !validity.empty());
+
+  // With a known row count every deserialized length must match it exactly;
+  // otherwise expansion-capable decoders fall back to the global sanity cap.
+  const uint64_t max_elements =
+      expected_rows == kUnknownRowCount ? kMaxDecodedElements : expected_rows;
+  auto check_row_count = [&](uint64_t n) -> Status {
+    if (expected_rows != kUnknownRowCount && n != expected_rows) {
+      return Status::ParseError("column length does not match row count");
+    }
+    return Status::OK();
+  };
 
   auto append_int64s = [&](const std::vector<int64_t>& data) -> Status {
     for (size_t i = 0; i < data.size(); ++i) {
@@ -150,13 +162,14 @@ Result<Column> DecodeBody(ByteReader* in, const Field& field,
       std::vector<int64_t> data;
       switch (encoding) {
         case ColumnEncoding::kPlain: {
-          LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+          LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetCount(8, "INT64 column"));
+          LAWS_RETURN_IF_ERROR(check_row_count(n));
           data.resize(n);
           LAWS_RETURN_IF_ERROR(in->GetRaw(data.data(), n * sizeof(int64_t)));
           break;
         }
         case ColumnEncoding::kRle: {
-          LAWS_ASSIGN_OR_RETURN(data, RleDecodeInt64(in));
+          LAWS_ASSIGN_OR_RETURN(data, RleDecodeInt64(in, max_elements));
           break;
         }
         case ColumnEncoding::kDeltaVarint: {
@@ -164,11 +177,12 @@ Result<Column> DecodeBody(ByteReader* in, const Field& field,
           break;
         }
         case ColumnEncoding::kBitPack: {
-          LAWS_ASSIGN_OR_RETURN(data, BitPackDecodeInt64(in));
+          LAWS_ASSIGN_OR_RETURN(data, BitPackDecodeInt64(in, max_elements));
           break;
         }
         case ColumnEncoding::kShuffleZlib: {
-          LAWS_ASSIGN_OR_RETURN(uint64_t zsize, in->GetVarint());
+          LAWS_ASSIGN_OR_RETURN(uint64_t zsize,
+                                in->GetCount(1, "zlib blob size"));
           std::vector<uint8_t> blob(zsize);
           LAWS_RETURN_IF_ERROR(in->GetRaw(blob.data(), zsize));
           LAWS_ASSIGN_OR_RETURN(std::vector<uint8_t> plain,
@@ -180,6 +194,7 @@ Result<Column> DecodeBody(ByteReader* in, const Field& field,
         default:
           return Status::ParseError("bad INT64 encoding tag");
       }
+      LAWS_RETURN_IF_ERROR(check_row_count(data.size()));
       LAWS_RETURN_IF_ERROR(append_int64s(data));
       return col;
     }
@@ -187,13 +202,15 @@ Result<Column> DecodeBody(ByteReader* in, const Field& field,
       std::vector<double> data;
       switch (encoding) {
         case ColumnEncoding::kPlain: {
-          LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+          LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetCount(8, "DOUBLE column"));
+          LAWS_RETURN_IF_ERROR(check_row_count(n));
           data.resize(n);
           LAWS_RETURN_IF_ERROR(in->GetRaw(data.data(), n * sizeof(double)));
           break;
         }
         case ColumnEncoding::kShuffleZlib: {
-          LAWS_ASSIGN_OR_RETURN(uint64_t zsize, in->GetVarint());
+          LAWS_ASSIGN_OR_RETURN(uint64_t zsize,
+                                in->GetCount(1, "zlib blob size"));
           std::vector<uint8_t> blob(zsize);
           LAWS_RETURN_IF_ERROR(in->GetRaw(blob.data(), zsize));
           LAWS_ASSIGN_OR_RETURN(std::vector<uint8_t> plain,
@@ -205,6 +222,7 @@ Result<Column> DecodeBody(ByteReader* in, const Field& field,
         default:
           return Status::ParseError("bad DOUBLE encoding tag");
       }
+      LAWS_RETURN_IF_ERROR(check_row_count(data.size()));
       for (size_t i = 0; i < data.size(); ++i) {
         if (valid_at(i)) {
           col.AppendDouble(data[i]);
@@ -215,24 +233,27 @@ Result<Column> DecodeBody(ByteReader* in, const Field& field,
       return col;
     }
     case DataType::kString: {
-      LAWS_ASSIGN_OR_RETURN(uint64_t dict_size, in->GetVarint());
+      // Every dictionary entry encodes at least its 1-byte length prefix.
+      LAWS_ASSIGN_OR_RETURN(uint64_t dict_size,
+                            in->GetCount(1, "string dictionary"));
       std::vector<std::string> dict(dict_size);
       for (auto& s : dict) {
         LAWS_ASSIGN_OR_RETURN(s, in->GetString());
       }
       std::vector<int64_t> codes;
       if (encoding == ColumnEncoding::kRle) {
-        LAWS_ASSIGN_OR_RETURN(codes, RleDecodeInt64(in));
+        LAWS_ASSIGN_OR_RETURN(codes, RleDecodeInt64(in, max_elements));
       } else if (encoding == ColumnEncoding::kBitPack) {
-        LAWS_ASSIGN_OR_RETURN(codes, BitPackDecodeInt64(in));
+        LAWS_ASSIGN_OR_RETURN(codes, BitPackDecodeInt64(in, max_elements));
       } else if (encoding == ColumnEncoding::kPlain) {
-        LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+        LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetCount(4, "string codes"));
         std::vector<uint32_t> raw(n);
         LAWS_RETURN_IF_ERROR(in->GetRaw(raw.data(), n * sizeof(uint32_t)));
         codes.assign(raw.begin(), raw.end());
       } else {
         return Status::ParseError("bad STRING encoding tag");
       }
+      LAWS_RETURN_IF_ERROR(check_row_count(codes.size()));
       for (size_t i = 0; i < codes.size(); ++i) {
         if (!valid_at(i)) {
           LAWS_RETURN_IF_ERROR(col.AppendNull());
@@ -249,7 +270,8 @@ Result<Column> DecodeBody(ByteReader* in, const Field& field,
       if (encoding != ColumnEncoding::kPlain) {
         return Status::ParseError("bad BOOL encoding tag");
       }
-      LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+      LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetCount(1, "BOOL column"));
+      LAWS_RETURN_IF_ERROR(check_row_count(n));
       std::vector<uint8_t> data(n);
       LAWS_RETURN_IF_ERROR(in->GetRaw(data.data(), n));
       for (size_t i = 0; i < data.size(); ++i) {
@@ -371,18 +393,19 @@ Result<CompressedColumn> CompressColumn(const Column& column,
 }
 
 Result<Column> DecompressColumn(const CompressedColumn& compressed,
-                                const Field& field) {
+                                const Field& field, size_t expected_rows) {
   ByteReader in(compressed.payload);
   LAWS_ASSIGN_OR_RETURN(std::vector<uint8_t> validity, ReadValidity(&in));
   if (compressed.encoding == ColumnEncoding::kZlib) {
-    LAWS_ASSIGN_OR_RETURN(uint64_t zsize, in.GetVarint());
+    LAWS_ASSIGN_OR_RETURN(uint64_t zsize, in.GetCount(1, "zlib blob size"));
     std::vector<uint8_t> blob(zsize);
     LAWS_RETURN_IF_ERROR(in.GetRaw(blob.data(), zsize));
     LAWS_ASSIGN_OR_RETURN(std::vector<uint8_t> plain, ZlibDecompress(blob));
     ByteReader body(plain);
-    return DecodeBody(&body, field, ColumnEncoding::kPlain, validity);
+    return DecodeBody(&body, field, ColumnEncoding::kPlain, validity,
+                      expected_rows);
   }
-  return DecodeBody(&in, field, compressed.encoding, validity);
+  return DecodeBody(&in, field, compressed.encoding, validity, expected_rows);
 }
 
 Result<CompressedTable> CompressTable(const Table& table,
@@ -405,7 +428,8 @@ Result<Table> DecompressTable(const CompressedTable& compressed) {
   for (size_t c = 0; c < compressed.columns.size(); ++c) {
     LAWS_ASSIGN_OR_RETURN(
         Column col,
-        DecompressColumn(compressed.columns[c], compressed.schema.field(c)));
+        DecompressColumn(compressed.columns[c], compressed.schema.field(c),
+                         compressed.num_rows));
     if (col.size() != compressed.num_rows) {
       return Status::ParseError("row count mismatch after decompression");
     }

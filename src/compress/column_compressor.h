@@ -51,9 +51,19 @@ struct CompressedTable {
 Result<CompressedColumn> CompressColumn(const Column& column,
                                         ColumnEncoding encoding);
 
-/// Reconstructs a column; `field` supplies type/nullability.
+/// Sentinel for DecompressColumn when the caller does not know how many
+/// rows to expect; decoders then fall back to the kMaxDecodedElements
+/// sanity cap instead of an exact bound.
+inline constexpr size_t kUnknownRowCount = static_cast<size_t>(-1);
+
+/// Reconstructs a column; `field` supplies type/nullability. When
+/// `expected_rows` is known it becomes a hard bound on every allocation
+/// driven by deserialized counts (corrupt payloads fail fast with
+/// kParseError instead of over-allocating) and the decoded length is
+/// verified against it.
 Result<Column> DecompressColumn(const CompressedColumn& compressed,
-                                const Field& field);
+                                const Field& field,
+                                size_t expected_rows = kUnknownRowCount);
 
 /// Compresses all columns of a table (kAuto per column by default).
 Result<CompressedTable> CompressTable(

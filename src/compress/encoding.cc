@@ -19,10 +19,18 @@ void RleEncodeInt64(const std::vector<int64_t>& values, ByteWriter* out) {
   }
 }
 
-Result<std::vector<int64_t>> RleDecodeInt64(ByteReader* in) {
+Result<std::vector<int64_t>> RleDecodeInt64(ByteReader* in,
+                                            uint64_t max_elements) {
   LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+  // RLE legitimately expands (a constant column is one tiny run), so the
+  // count cannot be validated against remaining(); cap it instead, and
+  // reserve no more than the input could plausibly describe — growth past
+  // that is earned run by run.
+  if (n > max_elements) {
+    return Status::ParseError("implausible RLE element count");
+  }
   std::vector<int64_t> out;
-  out.reserve(n);
+  out.reserve(static_cast<size_t>(std::min<uint64_t>(n, in->remaining())));
   while (out.size() < n) {
     LAWS_ASSIGN_OR_RETURN(int64_t v, in->GetSignedVarint());
     LAWS_ASSIGN_OR_RETURN(uint64_t run, in->GetVarint());
@@ -47,7 +55,9 @@ void DeltaVarintEncodeInt64(const std::vector<int64_t>& values,
 }
 
 Result<std::vector<int64_t>> DeltaVarintDecodeInt64(ByteReader* in) {
-  LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+  // Every delta takes at least one encoded byte, so a count above
+  // remaining() is corrupt — reject before reserving.
+  LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetCount(1, "delta-varint count"));
   std::vector<int64_t> out;
   out.reserve(n);
   int64_t prev = 0;
@@ -97,10 +107,16 @@ void BitPackEncodeInt64(const std::vector<int64_t>& values, ByteWriter* out) {
   if (bits > 0) out->PutU8(static_cast<uint8_t>(acc & 0xFF));
 }
 
-Result<std::vector<int64_t>> BitPackDecodeInt64(ByteReader* in) {
+Result<std::vector<int64_t>> BitPackDecodeInt64(ByteReader* in,
+                                                uint64_t max_elements) {
   LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+  // Width 0 (constant column) packs any count into ~3 bytes, so the count
+  // cannot be bounded by remaining() up front; cap it, then validate the
+  // per-width payload size once the width is known.
+  if (n > max_elements) {
+    return Status::ParseError("implausible bit-pack element count");
+  }
   std::vector<int64_t> out;
-  out.reserve(n);
   if (n == 0) return out;
   LAWS_ASSIGN_OR_RETURN(int64_t lo, in->GetSignedVarint());
   LAWS_ASSIGN_OR_RETURN(uint8_t width, in->GetU8());
@@ -109,6 +125,8 @@ Result<std::vector<int64_t>> BitPackDecodeInt64(ByteReader* in) {
     return out;
   }
   if (width == 255) {
+    LAWS_RETURN_IF_ERROR(in->CheckAvailable(n, 8, "bit-pack raw values"));
+    out.reserve(n);
     for (uint64_t i = 0; i < n; ++i) {
       LAWS_ASSIGN_OR_RETURN(int64_t v, in->GetI64());
       out.push_back(v);
@@ -118,6 +136,11 @@ Result<std::vector<int64_t>> BitPackDecodeInt64(ByteReader* in) {
   if (width > 56) {
     return Status::ParseError("corrupt bit width");
   }
+  // n <= 2^28 and width <= 56, so n * width cannot overflow here.
+  if (in->remaining() < (n * width + 7) / 8) {
+    return Status::ParseError("truncated bit-pack payload");
+  }
+  out.reserve(n);
   uint64_t acc = 0;
   int bits = 0;
   const uint64_t mask = (width == 64) ? ~0ULL : ((1ULL << width) - 1);
@@ -151,7 +174,7 @@ void ByteShuffleEncodeDouble(const std::vector<double>& values,
 }
 
 Result<std::vector<double>> ByteShuffleDecodeDouble(ByteReader* in) {
-  LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+  LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetCount(8, "byte-shuffle count"));
   std::vector<double> out(n);
   if (n == 0) return out;
   std::vector<uint8_t> shuffled(n * 8);
@@ -181,7 +204,7 @@ void ByteShuffleEncodeInt64(const std::vector<int64_t>& values,
 }
 
 Result<std::vector<int64_t>> ByteShuffleDecodeInt64(ByteReader* in) {
-  LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+  LAWS_ASSIGN_OR_RETURN(uint64_t n, in->GetCount(8, "byte-shuffle count"));
   std::vector<int64_t> out(n);
   if (n == 0) return out;
   std::vector<uint8_t> shuffled(n * 8);

@@ -14,9 +14,18 @@ namespace laws {
 /// against, in the spirit of the paper's SPARTAN/gzip discussion (§4.1,
 /// ref [5]).
 
+/// Decoded-element sanity cap for encodings whose element count can
+/// legitimately exceed the encoded byte count (RLE runs, constant-column
+/// bit packing). A corrupt length claiming more elements than this fails
+/// with kParseError instead of attempting a multi-gigabyte allocation.
+/// Callers that know the expected element count (e.g. a table's row count)
+/// should pass it instead for an exact bound.
+inline constexpr uint64_t kMaxDecodedElements = uint64_t{1} << 28;
+
 /// Run-length encodes int64 values as (value, run) pairs with varints.
 void RleEncodeInt64(const std::vector<int64_t>& values, ByteWriter* out);
-Result<std::vector<int64_t>> RleDecodeInt64(ByteReader* in);
+Result<std::vector<int64_t>> RleDecodeInt64(
+    ByteReader* in, uint64_t max_elements = kMaxDecodedElements);
 
 /// Delta + zigzag + varint coding; excellent for sorted/clustered ids and
 /// integer timestamps.
@@ -27,7 +36,8 @@ Result<std::vector<int64_t>> DeltaVarintDecodeInt64(ByteReader* in);
 /// Frame-of-reference bit packing: subtract the minimum, pack each offset
 /// in ceil(log2(range+1)) bits.
 void BitPackEncodeInt64(const std::vector<int64_t>& values, ByteWriter* out);
-Result<std::vector<int64_t>> BitPackDecodeInt64(ByteReader* in);
+Result<std::vector<int64_t>> BitPackDecodeInt64(
+    ByteReader* in, uint64_t max_elements = kMaxDecodedElements);
 
 /// Byte-transposes IEEE doubles (all MSBs first) so entropy coders can
 /// exploit exponent redundancy, then stores raw. Pair with Zlib for actual

@@ -233,7 +233,8 @@ Result<Table> SemanticDecompress(const SemanticCompressedTable& compressed) {
     }
     LAWS_ASSIGN_OR_RETURN(
         Column col,
-        DecompressColumn(compressed.other_columns[other_idx], f));
+        DecompressColumn(compressed.other_columns[other_idx], f,
+                         compressed.num_rows));
     columns.push_back(std::move(col));
     ++other_idx;
   }
@@ -266,7 +267,8 @@ Result<Table> SemanticDecompress(const SemanticCompressedTable& compressed) {
     Field residual_field{"residual", DataType::kInt64, out_field.nullable};
     LAWS_ASSIGN_OR_RETURN(
         Column residuals,
-        DecompressColumn(compressed.residual_column, residual_field));
+        DecompressColumn(compressed.residual_column, residual_field,
+                         compressed.num_rows));
     if (residuals.size() != compressed.num_rows) {
       return Status::ParseError("residual row count mismatch");
     }
@@ -287,7 +289,8 @@ Result<Table> SemanticDecompress(const SemanticCompressedTable& compressed) {
     Field residual_field{"residual", DataType::kInt64, out_field.nullable};
     LAWS_ASSIGN_OR_RETURN(
         Column residuals,
-        DecompressColumn(compressed.residual_column, residual_field));
+        DecompressColumn(compressed.residual_column, residual_field,
+                         compressed.num_rows));
     if (residuals.size() != compressed.num_rows) {
       return Status::ParseError("residual row count mismatch");
     }

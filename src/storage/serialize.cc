@@ -38,7 +38,7 @@ Result<Column> DeserializeColumn(const Field& field, size_t num_rows,
   LAWS_ASSIGN_OR_RETURN(uint8_t has_nulls, in->GetU8());
   std::vector<uint8_t> validity;
   if (has_nulls) {
-    LAWS_ASSIGN_OR_RETURN(uint64_t vbytes, in->GetVarint());
+    LAWS_ASSIGN_OR_RETURN(uint64_t vbytes, in->GetCount(1, "validity bitmap"));
     validity.resize(vbytes);
     LAWS_RETURN_IF_ERROR(in->GetRaw(validity.data(), vbytes));
   }
@@ -50,6 +50,7 @@ Result<Column> DeserializeColumn(const Field& field, size_t num_rows,
   Column col(field.type, field.nullable || has_nulls);
   switch (field.type) {
     case DataType::kInt64: {
+      LAWS_RETURN_IF_ERROR(in->CheckAvailable(num_rows, 8, "INT64 column"));
       std::vector<int64_t> data(num_rows);
       LAWS_RETURN_IF_ERROR(
           in->GetRaw(data.data(), num_rows * sizeof(int64_t)));
@@ -63,6 +64,7 @@ Result<Column> DeserializeColumn(const Field& field, size_t num_rows,
       break;
     }
     case DataType::kDouble: {
+      LAWS_RETURN_IF_ERROR(in->CheckAvailable(num_rows, 8, "DOUBLE column"));
       std::vector<double> data(num_rows);
       LAWS_RETURN_IF_ERROR(in->GetRaw(data.data(), num_rows * sizeof(double)));
       for (size_t i = 0; i < num_rows; ++i) {
@@ -75,11 +77,14 @@ Result<Column> DeserializeColumn(const Field& field, size_t num_rows,
       break;
     }
     case DataType::kString: {
-      LAWS_ASSIGN_OR_RETURN(uint64_t dict_size, in->GetVarint());
+      // Each dictionary entry encodes at least its 1-byte length prefix.
+      LAWS_ASSIGN_OR_RETURN(uint64_t dict_size,
+                            in->GetCount(1, "string dictionary"));
       std::vector<std::string> dict(dict_size);
       for (auto& s : dict) {
         LAWS_ASSIGN_OR_RETURN(s, in->GetString());
       }
+      LAWS_RETURN_IF_ERROR(in->CheckAvailable(num_rows, 4, "string codes"));
       std::vector<uint32_t> codes(num_rows);
       LAWS_RETURN_IF_ERROR(
           in->GetRaw(codes.data(), num_rows * sizeof(uint32_t)));
@@ -96,6 +101,7 @@ Result<Column> DeserializeColumn(const Field& field, size_t num_rows,
       break;
     }
     case DataType::kBool: {
+      LAWS_RETURN_IF_ERROR(in->CheckAvailable(num_rows, 1, "BOOL column"));
       std::vector<uint8_t> data(num_rows);
       LAWS_RETURN_IF_ERROR(in->GetRaw(data.data(), num_rows));
       for (size_t i = 0; i < num_rows; ++i) {
@@ -140,7 +146,8 @@ Result<Table> DeserializeTable(ByteReader* in) {
   if (std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
     return Status::ParseError("bad magic; not a LAWS table");
   }
-  LAWS_ASSIGN_OR_RETURN(uint64_t nfields, in->GetVarint());
+  // A field encodes at least name length + type + nullable = 3 bytes.
+  LAWS_ASSIGN_OR_RETURN(uint64_t nfields, in->GetCount(3, "field count"));
   std::vector<Field> fields;
   fields.reserve(nfields);
   for (uint64_t i = 0; i < nfields; ++i) {

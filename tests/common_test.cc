@@ -330,6 +330,70 @@ TEST(BytesTest, MalformedVarintTooLong) {
   EXPECT_FALSE(r.GetVarint().ok());
 }
 
+TEST(BytesTest, HugeLengthPrefixDoesNotWrap) {
+  // A corrupt length prefix near UINT64_MAX must fail cleanly: the naive
+  // bound `pos_ + n > size_` wraps around and would admit the read.
+  for (uint64_t n : {UINT64_MAX, UINT64_MAX - 1, UINT64_MAX - 7,
+                     UINT64_MAX - 63, uint64_t{1} << 63}) {
+    ByteWriter w;
+    w.PutVarint(n);
+    w.PutRaw("payload", 7);
+    ByteReader r(w.data());
+    EXPECT_FALSE(r.GetString().ok()) << n;
+  }
+}
+
+TEST(BytesTest, HugeRawReadDoesNotWrap) {
+  std::vector<uint8_t> buf(16, 0xAB);
+  ByteReader r(buf.data(), buf.size());
+  ASSERT_TRUE(r.GetU64().ok());  // pos_ = 8, so pos_ + SIZE_MAX wraps
+  std::vector<uint8_t> out(32);
+  EXPECT_FALSE(r.GetRaw(out.data(), SIZE_MAX).ok());
+  EXPECT_FALSE(r.GetRaw(out.data(), SIZE_MAX - 4).ok());
+  EXPECT_TRUE(r.GetRaw(out.data(), 8).ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_FALSE(r.GetU8().ok());
+}
+
+TEST(BytesTest, GetCountRejectsImplausibleCounts) {
+  // 1000 claimed 8-byte elements against a 7-byte remainder.
+  ByteWriter w;
+  w.PutVarint(1000);
+  w.PutRaw("1234567", 7);
+  {
+    ByteReader r(w.data());
+    auto n = r.GetCount(8, "elems");
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.status().code(), StatusCode::kParseError);
+    EXPECT_NE(n.status().message().find("elems"), std::string::npos);
+  }
+  // The same count is fine when each element may be a single byte... but
+  // not with only 7 bytes left; 7 elements pass.
+  {
+    ByteReader r(w.data());
+    EXPECT_FALSE(r.GetCount(1, "elems").ok());
+  }
+  ByteWriter w2;
+  w2.PutVarint(7);
+  w2.PutRaw("1234567", 7);
+  ByteReader r2(w2.data());
+  auto n2 = r2.GetCount(1, "elems");
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(*n2, 7u);
+}
+
+TEST(BytesTest, CheckAvailableGuardsOverflow) {
+  std::vector<uint8_t> buf(64);
+  ByteReader r(buf.data(), buf.size());
+  EXPECT_TRUE(r.CheckAvailable(8, 8, "x").ok());
+  EXPECT_FALSE(r.CheckAvailable(9, 8, "x").ok());
+  // count * elem_bytes would overflow 64 bits; the division form must not.
+  EXPECT_FALSE(r.CheckAvailable(UINT64_MAX / 2, 8, "x").ok());
+  EXPECT_FALSE(r.CheckAvailable(UINT64_MAX, UINT64_MAX, "x").ok());
+  EXPECT_TRUE(r.CheckAvailable(64, 1, "x").ok());
+  EXPECT_TRUE(r.CheckAvailable(0, 0, "x").ok());
+}
+
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer t;
   volatile double sink = 0.0;
