@@ -116,6 +116,7 @@ int main(int argc, char** argv) {
   json.Field("crc_pass_seconds", crc_s);
   json.Field("crc_gib_per_s", crc_gbps);
   json.Field("checksum_overhead_pct", overhead_pct);
+  laws::bench::MetricsFields(json);
   json.Flush();
 
   if (overhead_pct >= 5.0) {

@@ -141,6 +141,7 @@ int RunGroupsSweep(laws::bench::JsonReport& json) {
     json.Field("allocs_per_group", apg);
   }
   ThreadPool::SetGlobalThreadCount(0);
+  laws::bench::MetricsFields(json);
   json.Flush();
   std::printf("\nSHAPE OK: all sweep groups fitted\n");
   return 0;
@@ -308,6 +309,7 @@ int main(int argc, char** argv) {
                 hw);
   }
 
+  laws::bench::MetricsFields(json);
   json.Flush();
   std::printf("\nSHAPE OK: parameter table is %.1f%% of raw data (paper: "
               "~5%%), bit-identical across 1/2/4/8 threads\n",

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -143,6 +144,27 @@ class JsonReport {
   std::string path_;
   std::vector<std::vector<std::pair<std::string, std::string>>> records_;
 };
+
+/// Appends one `metrics` record carrying every non-zero process-wide
+/// counter (as `counter.<name>`) and histogram summary (count/sum/p95)
+/// from MetricsRegistry::Global(). Call once at the end of a bench so the
+/// observability layer's tallies ride along in the --json report.
+/// Comparison tooling treats `counter.*` fields as informational, never
+/// as regressions (tools/bench_compare.py).
+inline void MetricsFields(JsonReport& report) {
+  if (!report.enabled()) return;
+  report.Begin("metrics");
+  for (const CounterSample& c : MetricsRegistry::Global().CounterSamples()) {
+    report.Field("counter." + c.name, static_cast<size_t>(c.value));
+  }
+  for (const HistogramSample& h :
+       MetricsRegistry::Global().HistogramSamples()) {
+    report.Field("counter." + h.name + ".count",
+                 static_cast<size_t>(h.count));
+    report.Field("counter." + h.name + ".sum", h.sum);
+    report.Field("counter." + h.name + ".p95", h.p95);
+  }
+}
 
 }  // namespace laws::bench
 

@@ -22,7 +22,9 @@
 #include <string>
 
 #include "aqp/domain.h"
+#include "aqp/hybrid.h"
 #include "aqp/model_aqp.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/advisor.h"
 #include "core/diagnose.h"
@@ -43,6 +45,7 @@ struct Shell {
   DomainRegistry domains;
   Session session{&data, &models};
   ModelQueryEngine aqp{&data, &models, &domains};
+  HybridQueryEngine hybrid{&data, &aqp};
 
   void PrintTable(const Table& t, size_t max_rows = 12) {
     std::printf("%s", t.ToString(max_rows).c_str());
@@ -57,7 +60,10 @@ struct Shell {
         "  tables                         list tables\n"
         "  sql <SELECT ...>               exact query\n"
         "  explain <SELECT ...>           show the execution plan\n"
+        "  explain analyze <SELECT ...>   run through the hybrid engine and\n"
+        "                                 show per-stage rows + timings\n"
         "  approx <SELECT ...>            answer from captured models only\n"
+        "  metrics [reset]                process-wide counters + histograms\n"
         "  fit <table> <model> <input> <output> [group <col>] [where <pred>]\n"
         "  models                         list captured models\n"
         "  suggest <table> <input> <output> [group <col>]   model advisor\n"
@@ -238,11 +244,38 @@ struct Shell {
     } else if (EqualsIgnoreCase(command, "explain")) {
       std::string query;
       std::getline(in, query);
+      query = std::string(Trim(query));
+      // "explain analyze <sql>" executes through the hybrid engine and
+      // renders the measured per-stage tree; plain "explain" stays a
+      // static plan.
+      std::istringstream peek(query);
+      std::string first;
+      peek >> first;
+      if (EqualsIgnoreCase(first, "analyze")) {
+        std::string rest;
+        std::getline(peek, rest);
+        auto analyzed = hybrid.ExplainAnalyze(std::string(Trim(rest)));
+        if (!analyzed.ok()) {
+          std::printf("error: %s\n", analyzed.status().ToString().c_str());
+        } else {
+          std::printf("%s", analyzed->c_str());
+        }
+        return;
+      }
       auto plan = ExplainQuery(data, query);
       if (!plan.ok()) {
         std::printf("error: %s\n", plan.status().ToString().c_str());
       } else {
         std::printf("%s", plan->c_str());
+      }
+    } else if (EqualsIgnoreCase(command, "metrics")) {
+      std::string mode;
+      in >> mode;
+      if (EqualsIgnoreCase(mode, "reset")) {
+        MetricsRegistry::Global().ResetAll();
+        std::printf("metrics reset\n");
+      } else {
+        std::printf("%s", MetricsRegistry::Global().Render().c_str());
       }
     } else if (EqualsIgnoreCase(command, "approx")) {
       std::string query;

@@ -1,6 +1,11 @@
 #include "aqp/hybrid.h"
 
+#include <cstdio>
+
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "query/executor.h"
 #include "query/parser.h"
 
@@ -33,9 +38,36 @@ bool StatementNeedsRawMultiplicity(const SelectStatement& stmt) {
   return false;
 }
 
+/// Figure 2 accounting (cached pointers; see metrics.h): how often the
+/// engine answered from a model vs. fell back to the exact scan, and why.
+struct HybridCounters {
+  Counter* model_hit;
+  Counter* exact_fallback;
+  Counter* count_star_exact;
+  Counter* low_quality_reject;
+  Counter* no_model;
+  MetricHistogram* interval_halfwidth;
+
+  static HybridCounters& Get() {
+    static HybridCounters c = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      return HybridCounters{
+          reg.GetCounter("aqp.hybrid.model_hit"),
+          reg.GetCounter("aqp.hybrid.exact_fallback"),
+          reg.GetCounter("aqp.hybrid.fallback.count_star"),
+          reg.GetCounter("aqp.hybrid.fallback.low_quality"),
+          reg.GetCounter("aqp.hybrid.fallback.no_model"),
+          reg.GetHistogram("aqp.hybrid.interval_halfwidth")};
+    }();
+    return c;
+  }
+};
+
 }  // namespace
 
 Result<HybridAnswer> HybridQueryEngine::Execute(const std::string& sql) const {
+  HybridCounters& counters = HybridCounters::Get();
+  ScopedSpan span("HybridDecision");
   HybridAnswer answer;
 
   LAWS_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
@@ -45,31 +77,49 @@ Result<HybridAnswer> HybridQueryEngine::Execute(const std::string& sql) const {
           "COUNT(*) needs raw multiplicity; the model grid cannot provide "
           "it and exact fallback is disabled");
     }
+    counters.count_star_exact->Add();
+    counters.exact_fallback->Add();
+    answer.fallback_reason =
+        "COUNT(*) multiplicity is not reproducible from the model grid";
+    span.SetDetail("exact: " + answer.fallback_reason);
+    ScopedSpan exact_span("ExactScan");
     LAWS_ASSIGN_OR_RETURN(answer.table, ExecuteSelect(*data_, stmt));
     answer.method = "exact";
     answer.approximate = false;
-    answer.fallback_reason =
-        "COUNT(*) multiplicity is not reproducible from the model grid";
     return answer;
   }
 
-  auto approx = model_engine_->ExecuteStatement(stmt);
+  Result<ApproxAnswer> approx = [&] {
+    ScopedSpan model_span("ModelPath");
+    return model_engine_->ExecuteStatement(stmt);
+  }();
   if (approx.ok()) {
     // Quality gate: only serve answers from models judged good enough.
     auto model = model_engine_->model_catalog()->Get(approx->model_id);
     const double quality =
         model.ok() ? (*model)->ArbitrationQuality() : 0.0;
     if (quality >= options_.min_quality) {
+      counters.model_hit->Add();
+      counters.interval_halfwidth->Record(approx->max_error_bound);
       answer.table = std::move(approx->table);
       answer.method = approx->method;
       answer.approximate = true;
       answer.error_bound = approx->max_error_bound;
+      span.SetDetail(answer.method + ", model " +
+                     std::to_string(approx->model_id) + ", quality " +
+                     FormatDouble(quality, 4) + ", bound +/-" +
+                     FormatDouble(answer.error_bound, 6));
       return answer;
     }
+    counters.low_quality_reject->Add();
     answer.fallback_reason =
         "model quality " + FormatDouble(quality, 4) + " below threshold " +
         FormatDouble(options_.min_quality, 4);
   } else {
+    // No covering model, stale model, or non-enumerable dimension — this
+    // is also the path taken when a persisted model was quarantined by a
+    // tolerant load (the model is simply absent from the catalog).
+    counters.no_model->Add();
     answer.fallback_reason = approx.status().ToString();
   }
 
@@ -78,10 +128,35 @@ Result<HybridAnswer> HybridQueryEngine::Execute(const std::string& sql) const {
                             answer.fallback_reason +
                             ") and exact fallback disabled");
   }
+  counters.exact_fallback->Add();
+  span.SetDetail("exact: " + answer.fallback_reason);
+  ScopedSpan exact_span("ExactScan");
   LAWS_ASSIGN_OR_RETURN(answer.table, ExecuteSelect(*data_, stmt));
   answer.method = "exact";
   answer.approximate = false;
   return answer;
+}
+
+Result<std::string> HybridQueryEngine::ExplainAnalyze(
+    const std::string& sql) const {
+  TraceSink sink;
+  Timer total;
+  LAWS_ASSIGN_OR_RETURN(HybridAnswer answer, Execute(sql));
+  std::string out = sink.Render();
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%zu row%s in %.3f ms\n",
+                answer.table.num_rows(),
+                answer.table.num_rows() == 1 ? "" : "s", total.ElapsedMillis());
+  out += buf;
+  out += "answered by: " + answer.method;
+  if (answer.approximate) {
+    out += " (approximate, error bound +/-" +
+           FormatDouble(answer.error_bound, 6) + ")";
+  } else if (!answer.fallback_reason.empty()) {
+    out += " (" + answer.fallback_reason + ")";
+  }
+  out += '\n';
+  return out;
 }
 
 }  // namespace laws

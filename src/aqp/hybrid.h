@@ -46,6 +46,13 @@ class HybridQueryEngine {
 
   Result<HybridAnswer> Execute(const std::string& sql) const;
 
+  /// EXPLAIN ANALYZE through the hybrid engine: executes the statement
+  /// under a TraceSink and renders the measured per-stage tree — the
+  /// HybridDecision span carries the arbitration outcome (model id,
+  /// quality and error bound on a hit; the fallback reason otherwise) —
+  /// followed by total time and an "answered by:" decision line.
+  Result<std::string> ExplainAnalyze(const std::string& sql) const;
+
  private:
   const Catalog* data_;
   const ModelQueryEngine* model_engine_;

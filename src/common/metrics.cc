@@ -1,0 +1,214 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace laws {
+namespace {
+
+/// Bucket index for a non-negative value: 0 holds [0, 1), bucket i >= 1
+/// holds [2^(i-1), 2^i). Negative/NaN values clamp into bucket 0.
+int BucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;
+  const int e = std::ilogb(value) + 1;
+  return std::min(e, 63);
+}
+
+/// Geometric midpoint of a bucket, the representative quantile value.
+double BucketMid(int index) {
+  if (index == 0) return 0.5;
+  const double lo = std::ldexp(1.0, index - 1);
+  return lo * 1.5;
+}
+
+}  // namespace
+
+void MetricHistogram::Record(double value) {
+  if (std::isnan(value)) return;  // a poisoned sample carries no information
+  if (value < 0.0) value = 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+uint64_t MetricHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double MetricHistogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double MetricHistogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? std::numeric_limits<double>::infinity() : min_;
+}
+
+double MetricHistogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0.0 : max_;
+}
+
+double MetricHistogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double MetricHistogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      // Clamp the bucket representative into the observed range so
+      // degenerate histograms answer exactly.
+      return std::min(std::max(BucketMid(i), min_), max_);
+    }
+  }
+  return max_;
+}
+
+void MetricHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(buckets_, buckets_ + kBuckets, 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<MetricHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<CounterSample> MetricsRegistry::CounterSamples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    const uint64_t v = counter->value();
+    if (v != 0) out.push_back(CounterSample{name, v});
+  }
+  return out;
+}
+
+std::vector<HistogramSample> MetricsRegistry::HistogramSamples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    if (h->count() == 0) continue;
+    HistogramSample s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.mean = h->Mean();
+    s.p50 = h->Quantile(0.5);
+    s.p95 = h->Quantile(0.95);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::Render() const {
+  const auto counters = CounterSamples();
+  const auto histograms = HistogramSamples();
+  std::string out;
+  char buf[256];
+  if (counters.empty() && histograms.empty()) {
+    return "(no metrics recorded)\n";
+  }
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const CounterSample& c : counters) {
+      std::snprintf(buf, sizeof(buf), "  %-44s %12llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out += buf;
+    }
+  }
+  if (!histograms.empty()) {
+    std::snprintf(buf, sizeof(buf), "histograms:%33s %10s %10s %10s %10s\n",
+                  "count", "mean", "p50", "p95", "max");
+    out += buf;
+    for (const HistogramSample& h : histograms) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-34s %8llu %10.4g %10.4g %10.4g %10.4g\n",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    h.mean, h.p50, h.p95, h.max);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const std::string& key, const std::string& value) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + key + "\": " + value;
+  };
+  for (const CounterSample& c : CounterSamples()) {
+    append("counter." + c.name, std::to_string(c.value));
+  }
+  char buf[64];
+  for (const HistogramSample& h : HistogramSamples()) {
+    append("histogram." + h.name + ".count", std::to_string(h.count));
+    std::snprintf(buf, sizeof(buf), "%.9g", h.sum);
+    append("histogram." + h.name + ".sum", buf);
+    std::snprintf(buf, sizeof(buf), "%.9g", h.p95);
+    append("histogram." + h.name + ".p95", buf);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace laws

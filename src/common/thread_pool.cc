@@ -6,6 +6,8 @@
 #include <memory>
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace laws {
 
 namespace {
@@ -53,10 +55,18 @@ void ThreadPool::Submit(std::function<void()> task) {
     tls_in_parallel_region = saved;
     return;
   }
+  static Counter* submitted =
+      MetricsRegistry::Global().GetCounter("pool.tasks_submitted");
+  static MetricHistogram* depth =
+      MetricsRegistry::Global().GetHistogram("pool.queue_depth");
+  size_t queued;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
+    queued = tasks_.size();
   }
+  submitted->Add();
+  depth->Record(static_cast<double>(queued));
   ready_.notify_one();
 }
 

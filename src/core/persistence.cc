@@ -12,6 +12,9 @@
 
 #include "common/crc32c.h"
 #include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "compress/column_compressor.h"
 #include "storage/serialize.h"
 
@@ -484,10 +487,12 @@ Result<std::vector<uint8_t>> SaveDatabaseToBytes(const Catalog& data,
                         "model/" + std::to_string(id), w.TakeData()});
   }
 
+  Timer checksum_timer;
   std::vector<uint32_t> crcs(sections.size());
   for (size_t i = 0; i < sections.size(); ++i) {
     crcs[i] = Crc32c(sections[i].payload);
   }
+  double checksum_micros = checksum_timer.ElapsedMicros();
 
   // Offsets are fixed-width, so a zero-offset pass measures the header.
   std::vector<uint64_t> offsets(sections.size(), 0);
@@ -502,11 +507,23 @@ Result<std::vector<uint8_t>> SaveDatabaseToBytes(const Catalog& data,
   ByteWriter out;
   const std::vector<uint8_t> header = BuildHeader(sections, offsets, crcs);
   out.PutRaw(header.data(), header.size());
+  checksum_timer.Restart();
   out.PutU32(Crc32c(header));
+  checksum_micros += checksum_timer.ElapsedMicros();
   for (const StagedSection& s : sections) {
     out.PutRaw(s.payload.data(), s.payload.size());
   }
+  checksum_timer.Restart();
   out.PutU32(Crc32c(out.data()));
+  checksum_micros += checksum_timer.ElapsedMicros();
+  {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static Counter* saves = reg.GetCounter("persist.saves");
+    static Counter* save_bytes = reg.GetCounter("persist.save_bytes");
+    saves->Add();
+    save_bytes->Add(out.data().size());
+    reg.GetHistogram("persist.save.checksum_micros")->Record(checksum_micros);
+  }
   return out.TakeData();
 }
 
@@ -519,6 +536,15 @@ Status LoadDatabaseFromBytes(const std::vector<uint8_t>& bytes, Catalog* data,
   LoadReport local_report;
   LoadReport* rep = report != nullptr ? report : &local_report;
   *rep = LoadReport{};
+
+  ScopedSpan load_span("LoadImage");
+  {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static Counter* loads = reg.GetCounter("persist.loads");
+    static Counter* load_bytes = reg.GetCounter("persist.load_bytes");
+    loads->Add();
+    load_bytes->Add(bytes.size());
+  }
 
   // Header corruption is not survivable in either mode: without a trusted
   // section table nothing else can be located.
@@ -657,13 +683,22 @@ Status LoadDatabaseFromBytes(const std::vector<uint8_t>& bytes, Catalog* data,
     LAWS_RETURN_IF_ERROR(models->RestoreWithId(std::move(m)));
     ++rep->models_loaded;
   }
+  if (!rep->quarantined.empty()) {
+    static Counter* quarantined =
+        MetricsRegistry::Global().GetCounter("persist.sections_quarantined");
+    quarantined->Add(rep->quarantined.size());
+  }
+  load_span.SetRows(header.sections.size(),
+                    rep->tables_loaded + rep->models_loaded);
   return Status::OK();
 }
 
 Status SaveDatabase(const Catalog& data, const ModelCatalog& models,
                     const std::string& path) {
+  ScopedSpan save_span("SaveImage");
   LAWS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
                         SaveDatabaseToBytes(data, models));
+  save_span.SetDetail(path);
   return WriteImageAtomic(bytes, path);
 }
 

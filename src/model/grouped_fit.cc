@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "model/fit_kernels.h"
 
 namespace laws {
@@ -83,10 +85,12 @@ Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
     return Status::TypeMismatch("output column is not numeric");
   }
 
+  ScopedSpan fit_span("FitGrouped");
   // Group by sorting a (key, row) index instead of hashing rows into
   // per-key vectors: one allocation, cache-friendly, and the sort on
   // (key, row) pairs both orders groups by key (the output contract) and
   // keeps rows within a group in first-seen order.
+  ScopedSpan index_span("GroupIndex");
   const size_t n = table.num_rows();
   std::vector<std::pair<int64_t, uint32_t>> keyed;
   keyed.reserve(n);
@@ -116,6 +120,8 @@ Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
   }
   keyed.clear();
   keyed.shrink_to_fit();
+  index_span.SetRows(n, groups.size());
+  index_span.End();
 
   const size_t floor_obs =
       std::max(model.num_parameters() + 1, spec.min_observations);
@@ -140,7 +146,10 @@ Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
   // outcome array and a FitScratch arena reused across the groups it
   // processes (and threaded through FitModel down to the solvers);
   // per-group results are pure functions of the group's rows, so outcomes
-  // are independent of the partition.
+  // are independent of the partition. The span is opened on the calling
+  // thread (worker lanes never see the trace sink), so it measures the
+  // whole parallel region.
+  ScopedSpan loop_span("FitLoop");
   std::vector<GroupOutcome> outcomes(groups.size());
   ParallelForChunks(0, groups.size(), [&](size_t lo, size_t hi) {
     FitScratch scratch;
@@ -210,7 +219,15 @@ Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
     }
   });
 
-  // Deterministic merge in group-key order.
+  loop_span.SetRows(row_index.size(), groups.size());
+  loop_span.End();
+
+  // Deterministic merge in group-key order. Dispatch accounting happens
+  // here, in the serial pass, so the parallel lanes never contend on
+  // shared counters: closed-form fits carry algorithm_used == kLogLinear,
+  // everything else went through the iterative dispatch.
+  ScopedSpan merge_span("MergeOutcomes");
+  uint64_t closed_form = 0, iterative = 0, iterations = 0;
   GroupedFitOutput out;
   out.rows_processed = n;
   out.groups.reserve(groups.size());
@@ -223,11 +240,34 @@ Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
         ++out.failed;
         break;
       case GroupOutcome::Kind::kFitted:
+        if (outcomes[g].fit.algorithm_used == FitAlgorithm::kLogLinear) {
+          ++closed_form;
+        } else {
+          ++iterative;
+          iterations += outcomes[g].fit.iterations;
+        }
         out.groups.push_back(
             GroupFitResult{groups[g].key, std::move(outcomes[g].fit)});
         break;
     }
   }
+  {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static Counter* fitted = reg.GetCounter("fit.groups_fitted");
+    static Counter* skipped = reg.GetCounter("fit.groups_skipped");
+    static Counter* failed = reg.GetCounter("fit.groups_failed");
+    static Counter* closed = reg.GetCounter("fit.dispatch.closed_form");
+    static Counter* iter = reg.GetCounter("fit.dispatch.iterative");
+    static Counter* iters = reg.GetCounter("fit.iterations");
+    fitted->Add(out.groups.size());
+    skipped->Add(out.skipped_too_few);
+    failed->Add(out.failed);
+    closed->Add(closed_form);
+    iter->Add(iterative);
+    iters->Add(iterations);
+  }
+  merge_span.SetRows(groups.size(), out.groups.size());
+  fit_span.SetRows(n, out.groups.size());
   return out;
 }
 

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "query/expr_eval.h"
 #include "query/parser.h"
 
@@ -76,6 +80,20 @@ std::unique_ptr<Expr> RewriteForAggregated(
   return out;
 }
 
+/// Folds a group-key value into its canonical GROUP BY identity. Doubles
+/// need two fixes before text serialization: every NaN bit pattern maps to
+/// one key (printf renders the sign bit as "nan" vs "-nan", which would
+/// split NaN rows into separate groups), and -0.0 folds into +0.0
+/// (== equal values must share a group, but their rendered texts differ).
+Value CanonicalGroupValue(Value v) {
+  if (v.is_double()) {
+    const double d = v.dbl();
+    if (std::isnan(d)) return Value::Double(std::numeric_limits<double>::quiet_NaN());
+    if (d == 0.0) return Value::Double(0.0);
+  }
+  return v;
+}
+
 /// Serializes a row's group-key values into a hashable string.
 std::string MakeGroupKey(const std::vector<Column>& key_cols, size_t row) {
   std::string key;
@@ -84,7 +102,7 @@ std::string MakeGroupKey(const std::vector<Column>& key_cols, size_t row) {
       key += "\x01N|";
       continue;
     }
-    key += c.GetValue(row).ToString();
+    key += CanonicalGroupValue(c.GetValue(row)).ToString();
     key += '|';
   }
   return key;
@@ -241,10 +259,15 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
   for (size_t g = 0; g < states.size(); ++g) {
     row_values.clear();
     for (size_t k = 0; k < key_cols.size(); ++k) {
-      // For the synthetic empty-input global group there are no keys.
-      row_values.push_back(key_cols.empty() || input.num_rows() == 0
-                               ? Value::Null()
-                               : key_cols[k].GetValue(representative_row[g]));
+      // For the synthetic empty-input global group there are no keys. Key
+      // values pass through the same canonicalization as the hash key, so
+      // a group whose first row held -0.0 (or a sign-flipped NaN) emits
+      // the canonical key, not a first-seen artifact.
+      row_values.push_back(
+          key_cols.empty() || input.num_rows() == 0
+              ? Value::Null()
+              : CanonicalGroupValue(
+                    key_cols[k].GetValue(representative_row[g])));
     }
     for (size_t a = 0; a < slots.size(); ++a) {
       row_values.push_back(AggFinalValue(*slots[a].node, states[g][a]));
@@ -252,21 +275,6 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
     LAWS_RETURN_IF_ERROR(out.AppendRow(row_values));
   }
   return out;
-}
-
-int CompareValues(const Value& a, const Value& b) {
-  const bool an = a.is_null();
-  const bool bn = b.is_null();
-  if (an && bn) return 0;
-  if (an) return 1;  // NULLs last ascending
-  if (bn) return -1;
-  if (a.is_string() && b.is_string()) {
-    return a.str() < b.str() ? -1 : (a.str() == b.str() ? 0 : 1);
-  }
-  const auto av = a.AsDouble();
-  const auto bv = b.AsDouble();
-  if (!av.ok() || !bv.ok()) return 0;
-  return *av < *bv ? -1 : (*av == *bv ? 0 : 1);
 }
 
 Result<Table> SortRows(Table table, const SelectStatement& stmt,
@@ -279,15 +287,23 @@ Result<Table> SortRows(Table table, const SelectStatement& stmt,
   }
   std::vector<uint32_t> perm(table.num_rows());
   for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<uint32_t>(i);
+  bool incomparable = false;
   std::stable_sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
     for (size_t k = 0; k < key_cols.size(); ++k) {
-      int c = CompareValues(key_cols[k].GetValue(x),
-                            key_cols[k].GetValue(y));
+      int c = CompareOrderValues(key_cols[k].GetValue(x),
+                                 key_cols[k].GetValue(y), &incomparable);
       if (!stmt.order_by[k].ascending) c = -c;
       if (c != 0) return c < 0;
     }
     return false;
   });
+  if (incomparable) {
+    // The comparator stayed a valid total order (type-ranked), so the
+    // sort itself was well-defined — but silently interleaving strings
+    // with numbers would hide a type bug, so surface it instead.
+    return Status::TypeMismatch(
+        "ORDER BY key mixes string and numeric values");
+  }
   return table.GatherRows(perm);
 }
 
@@ -420,19 +436,59 @@ std::unique_ptr<Expr> SubstituteAliases(const Expr& expr,
 
 }  // namespace
 
+int CompareOrderValues(const Value& a, const Value& b, bool* incomparable) {
+  const bool an = a.is_null();
+  const bool bn = b.is_null();
+  if (an || bn) {
+    if (an && bn) return 0;
+    return an ? 1 : -1;  // NULLs last ascending
+  }
+  const bool as = a.is_string();
+  const bool bs = b.is_string();
+  if (as && bs) {
+    return a.str() < b.str() ? -1 : (a.str() == b.str() ? 0 : 1);
+  }
+  if (as != bs) {
+    // Mixed string/number: rank numbers (and NaN) before strings so the
+    // order stays total, and flag the pair as incomparable.
+    if (incomparable != nullptr) *incomparable = true;
+    return as ? 1 : -1;
+  }
+  // Both numeric: AsDouble cannot fail for non-null, non-string values.
+  const double x = *a.AsDouble();
+  const double y = *b.AsDouble();
+  const bool xn = std::isnan(x);
+  const bool yn = std::isnan(y);
+  if (xn || yn) {
+    if (xn && yn) return 0;  // all NaNs are one equivalence class
+    return xn ? 1 : -1;      // numbers < NaN
+  }
+  return x < y ? -1 : (x == y ? 0 : 1);
+}
+
 // Note: `source` must already incorporate the statement's JOIN when one is
 // present — ExecuteSelect materializes it; callers passing explicit tables
 // (the AQP layer) use joinless statements.
 Result<Table> ExecuteSelectOnTable(const Table& source,
                                    const SelectStatement& stmt) {
+  {
+    // Synthetic zero-cost span recording the source cardinality, so the
+    // EXPLAIN ANALYZE tree starts at the scan like the static plan does.
+    ScopedSpan scan("Scan");
+    scan.SetRows(source.num_rows(), source.num_rows());
+  }
+
   // 1. WHERE.
   Table filtered{Schema{}};
   const Table* current = &source;
   if (stmt.where != nullptr) {
+    ScopedSpan span("Filter");
+    if (span.active()) span.SetDetail(stmt.where->ToString());
     LAWS_ASSIGN_OR_RETURN(std::vector<uint32_t> selection,
                           FilterRows(*stmt.where, source));
     filtered = source.GatherRows(selection);
     current = &filtered;
+    span.SetRows(source.num_rows(), filtered.num_rows());
   }
 
   // 2. Aggregation if needed.
@@ -468,8 +524,21 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
     }
 
     std::vector<std::string> key_names;
-    LAWS_ASSIGN_OR_RETURN(aggregated,
-                          Aggregate(*current, stmt, slots, &key_names));
+    {
+      ScopedSpan span("HashAggregate");
+      if (span.active()) {
+        std::string keys;
+        for (const auto& g : stmt.group_by) {
+          if (!keys.empty()) keys += ", ";
+          keys += g->ToString();
+        }
+        span.SetDetail(keys.empty() ? "<global>" : keys);
+      }
+      const size_t rows_in = current->num_rows();
+      LAWS_ASSIGN_OR_RETURN(aggregated,
+                            Aggregate(*current, stmt, slots, &key_names));
+      span.SetRows(rows_in, aggregated.num_rows());
+    }
     current = &aggregated;
 
     std::vector<std::string> key_reprs;
@@ -516,52 +585,114 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
   // 3. HAVING.
   Table post_having{Schema{}};
   if (having != nullptr) {
+    ScopedSpan span("Filter[having]");
+    if (span.active()) span.SetDetail(having->ToString());
+    const size_t rows_in = current->num_rows();
     LAWS_ASSIGN_OR_RETURN(std::vector<uint32_t> selection,
                           FilterRows(*having, *current));
     post_having = current->GatherRows(selection);
     current = &post_having;
+    span.SetRows(rows_in, post_having.num_rows());
   }
 
   // 4. ORDER BY is applied before projection (it may reference
   // non-projected columns); LIMIT waits until after DISTINCT.
   Table sorted{Schema{}};
   if (!order_exprs.empty()) {
+    ScopedSpan span("Sort");
+    if (span.active()) {
+      std::string keys;
+      for (size_t k = 0; k < stmt.order_by.size(); ++k) {
+        if (k > 0) keys += ", ";
+        keys += order_exprs[k]->ToString();
+        keys += stmt.order_by[k].ascending ? " ASC" : " DESC";
+      }
+      span.SetDetail(keys);
+    }
+    const size_t rows_in = current->num_rows();
     LAWS_ASSIGN_OR_RETURN(sorted, SortRows(*current, stmt, order_exprs));
     current = &sorted;
+    span.SetRows(rows_in, sorted.num_rows());
   }
 
   // 5. Projection.
-  std::vector<Field> out_fields;
-  std::vector<Column> out_cols;
-  for (const SelectItem& item : projected_items) {
-    LAWS_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*item.expr, *current));
-    out_fields.push_back(Field{item.alias, c.type(), true});
-    out_cols.push_back(std::move(c));
+  Table projected{Schema{}};
+  {
+    ScopedSpan span("Project");
+    if (span.active()) {
+      std::string items;
+      for (const SelectItem& item : projected_items) {
+        if (!items.empty()) items += ", ";
+        items += item.alias;
+      }
+      span.SetDetail(items);
+    }
+    const size_t rows_in = current->num_rows();
+    std::vector<Field> out_fields;
+    std::vector<Column> out_cols;
+    for (const SelectItem& item : projected_items) {
+      LAWS_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*item.expr, *current));
+      out_fields.push_back(Field{item.alias, c.type(), true});
+      out_cols.push_back(std::move(c));
+    }
+    auto built =
+        Table::FromColumns(Schema(std::move(out_fields)), std::move(out_cols));
+    if (!built.ok()) return built.status();
+    projected = std::move(*built);
+    span.SetRows(rows_in, projected.num_rows());
   }
-  LAWS_ASSIGN_OR_RETURN(
-      Table projected,
-      Table::FromColumns(Schema(std::move(out_fields)), std::move(out_cols)));
 
   // 6. DISTINCT, then LIMIT.
-  if (stmt.distinct) projected = DistinctRows(projected);
-  return LimitRows(std::move(projected), stmt.limit);
+  if (stmt.distinct) {
+    ScopedSpan span("Distinct");
+    const size_t rows_in = projected.num_rows();
+    projected = DistinctRows(projected);
+    span.SetRows(rows_in, projected.num_rows());
+  }
+  if (stmt.limit >= 0) {
+    ScopedSpan span("Limit");
+    if (span.active()) span.SetDetail(std::to_string(stmt.limit));
+    const size_t rows_in = projected.num_rows();
+    projected = LimitRows(std::move(projected), stmt.limit);
+    span.SetRows(rows_in, projected.num_rows());
+    return projected;
+  }
+  return projected;
 }
 
 Result<Table> ExecuteSelect(const Catalog& catalog,
                             const SelectStatement& stmt) {
+  static Counter* executed =
+      MetricsRegistry::Global().GetCounter("query.executed");
+  executed->Add();
   LAWS_ASSIGN_OR_RETURN(TablePtr table, catalog.Get(stmt.from_table));
   if (stmt.join_table.empty()) {
     return ExecuteSelectOnTable(*table, stmt);
   }
   LAWS_ASSIGN_OR_RETURN(TablePtr right, catalog.Get(stmt.join_table));
-  LAWS_ASSIGN_OR_RETURN(
-      Table joined,
-      HashJoin(*table, *right, stmt.join_keys, stmt.join_table));
+  Table joined{Schema{}};
+  {
+    ScopedSpan span("HashJoin");
+    if (span.active()) {
+      std::string keys = stmt.from_table + " \xE2\x8B\x88 " + stmt.join_table;
+      for (const JoinKey& k : stmt.join_keys) {
+        keys += " on " + k.left_column + " = " + k.right_column;
+      }
+      span.SetDetail(keys);
+    }
+    LAWS_ASSIGN_OR_RETURN(
+        joined, HashJoin(*table, *right, stmt.join_keys, stmt.join_table));
+    span.SetRows(table->num_rows() + right->num_rows(), joined.num_rows());
+  }
   return ExecuteSelectOnTable(joined, stmt);
 }
 
 Result<Table> ExecuteQuery(const Catalog& catalog, const std::string& sql) {
-  LAWS_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  SelectStatement stmt;
+  {
+    ScopedSpan span("Parse");
+    LAWS_ASSIGN_OR_RETURN(stmt, ParseSelect(sql));
+  }
   return ExecuteSelect(catalog, stmt);
 }
 
@@ -639,6 +770,29 @@ Result<std::string> ExplainQuery(const Catalog& catalog,
                                  const std::string& sql) {
   LAWS_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
   return ExplainSelect(catalog, stmt);
+}
+
+Result<std::string> ExplainAnalyzeQuery(const Catalog& catalog,
+                                        const std::string& sql) {
+  TraceSink sink;
+  Timer total;
+  size_t result_rows = 0;
+  {
+    ScopedSpan span("Query");
+    SelectStatement stmt;
+    {
+      ScopedSpan parse_span("Parse");
+      LAWS_ASSIGN_OR_RETURN(stmt, ParseSelect(sql));
+    }
+    LAWS_ASSIGN_OR_RETURN(Table result, ExecuteSelect(catalog, stmt));
+    result_rows = result.num_rows();
+  }
+  std::string out = sink.Render();
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%zu row%s in %.3f ms\n", result_rows,
+                result_rows == 1 ? "" : "s", total.ElapsedMillis());
+  out += buf;
+  return out;
 }
 
 }  // namespace laws

@@ -23,6 +23,22 @@ Result<Table> ExecuteQuery(const Catalog& catalog, const std::string& sql);
 Result<Table> ExecuteSelectOnTable(const Table& table,
                                    const SelectStatement& stmt);
 
+/// Three-way comparison defining the total order used by ORDER BY:
+/// numbers (int64/double/bool, compared as doubles) < NaN < strings <
+/// NULL, ascending. Every NaN compares equal to every other NaN, so the
+/// order is a valid strict weak ordering even over NaN-bearing keys
+/// (std::stable_sort requires this; the previous comparator returned the
+/// same sign for NaN compared in either direction, which is UB).
+///
+/// A number-vs-string pair has no meaningful order; it is still ranked
+/// deterministically (numbers first) to keep the comparator total, and
+/// reported through `incomparable` (set to true, never cleared) so
+/// callers can surface a type error instead of silently sorting — per-
+/// column typing makes this unreachable from SQL today, but the executor
+/// sorts Values, not columns, so the comparator must stay defensive.
+int CompareOrderValues(const Value& a, const Value& b,
+                       bool* incomparable = nullptr);
+
 /// Renders the execution plan for a statement as indented text, one
 /// operator per line, innermost (scan) last — a minimal EXPLAIN for
 /// diagnostics and tests.
@@ -30,6 +46,15 @@ Result<std::string> ExplainSelect(const Catalog& catalog,
                                   const SelectStatement& stmt);
 Result<std::string> ExplainQuery(const Catalog& catalog,
                                  const std::string& sql);
+
+/// EXPLAIN ANALYZE over the exact engine: actually executes the query
+/// under a TraceSink and renders the measured per-stage plan tree — each
+/// operator with rows in/out and wall time — followed by a result-
+/// cardinality/total-time line. The hybrid (model-vs-exact) variant lives
+/// on HybridQueryEngine::ExplainAnalyze, which adds the arbitration
+/// decision to the tree.
+Result<std::string> ExplainAnalyzeQuery(const Catalog& catalog,
+                                        const std::string& sql);
 
 }  // namespace laws
 

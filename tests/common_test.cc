@@ -4,11 +4,13 @@
 #include <set>
 
 #include "common/bytes.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace laws {
 namespace {
@@ -392,6 +394,169 @@ TEST(BytesTest, CheckAvailableGuardsOverflow) {
   EXPECT_FALSE(r.CheckAvailable(UINT64_MAX, UINT64_MAX, "x").ok());
   EXPECT_TRUE(r.CheckAvailable(64, 1, "x").ok());
   EXPECT_TRUE(r.CheckAvailable(0, 0, "x").ok());
+}
+
+// --- Metrics -----------------------------------------------------------
+
+TEST(MetricsTest, CounterAccumulatesAndResets) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("test.counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+  // Same name returns the same (stable) pointer.
+  EXPECT_EQ(reg.GetCounter("test.counter"), c);
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST(MetricsTest, HistogramSummaryStatsAreExact) {
+  MetricsRegistry reg;
+  MetricHistogram* h = reg.GetHistogram("test.hist");
+  EXPECT_EQ(h->count(), 0u);
+  for (double v : {1.0, 2.0, 3.0, 10.0}) h->Record(v);
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 16.0);
+  EXPECT_DOUBLE_EQ(h->min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->max(), 10.0);
+  EXPECT_DOUBLE_EQ(h->Mean(), 4.0);
+}
+
+TEST(MetricsTest, HistogramQuantileIsWithinBucketResolution) {
+  MetricsRegistry reg;
+  MetricHistogram* h = reg.GetHistogram("test.q");
+  for (int i = 0; i < 100; ++i) h->Record(100.0);
+  h->Record(100000.0);
+  // p50 sits in the bucket holding 100; the log2 midpoint is within 2x.
+  const double p50 = h->Quantile(0.5);
+  EXPECT_GE(p50, 50.0);
+  EXPECT_LE(p50, 200.0);
+  // Quantiles are clamped into [min, max].
+  EXPECT_GE(h->Quantile(0.0), 100.0);
+  EXPECT_LE(h->Quantile(1.0), 100000.0);
+}
+
+TEST(MetricsTest, SamplesSkipZeroEntriesAndSortByName) {
+  MetricsRegistry reg;
+  reg.GetCounter("b.nonzero")->Add(2);
+  reg.GetCounter("a.zero");  // never incremented -> omitted
+  reg.GetCounter("a.nonzero")->Add(1);
+  auto counters = reg.CounterSamples();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].name, "a.nonzero");
+  EXPECT_EQ(counters[1].name, "b.nonzero");
+  reg.GetHistogram("empty.hist");  // empty -> omitted
+  reg.GetHistogram("h")->Record(5.0);
+  auto hists = reg.HistogramSamples();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].name, "h");
+  EXPECT_EQ(hists[0].count, 1u);
+}
+
+TEST(MetricsTest, RenderAndJsonListNonZeroMetrics) {
+  MetricsRegistry reg;
+  reg.GetCounter("query.executed")->Add(3);
+  reg.GetHistogram("lat.micros")->Record(42.0);
+  const std::string text = reg.Render();
+  EXPECT_NE(text.find("query.executed"), std::string::npos);
+  EXPECT_NE(text.find("lat.micros"), std::string::npos);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counter.query.executed\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"histogram.lat.micros.count\": 1"),
+            std::string::npos);
+}
+
+// --- Trace -------------------------------------------------------------
+
+TEST(TraceTest, SpansRecordIntoThreadLocalSink) {
+  TraceSink sink;
+  {
+    ScopedSpan outer("Outer");
+    outer.SetRows(100, 10);
+    {
+      ScopedSpan inner("Inner");
+      inner.SetDetail("x > 1");
+    }
+  }
+  ASSERT_EQ(sink.spans().size(), 2u);
+  const SpanRecord& outer = sink.spans()[0];
+  const SpanRecord& inner = sink.spans()[1];
+  EXPECT_STREQ(outer.name, "Outer");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_TRUE(outer.has_rows);
+  EXPECT_EQ(outer.rows_in, 100u);
+  EXPECT_EQ(outer.rows_out, 10u);
+  EXPECT_STREQ(inner.name, "Inner");
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(inner.detail, "x > 1");
+  // The outer span covers the inner one.
+  EXPECT_GE(outer.micros, inner.micros);
+}
+
+TEST(TraceTest, EndIsIdempotentAndStopsUpdates) {
+  TraceSink sink;
+  ScopedSpan span("Phase");
+  span.SetRows(1, 1);
+  span.End();
+  span.SetRows(99, 99);  // no-op after End
+  span.End();            // double End is a no-op
+  ASSERT_EQ(sink.spans().size(), 1u);
+  EXPECT_EQ(sink.spans()[0].rows_in, 1u);
+}
+
+TEST(TraceTest, SinkStackRestoresPreviousSink) {
+  EXPECT_EQ(TraceSink::Current(), nullptr);
+  {
+    TraceSink outer_sink;
+    EXPECT_EQ(TraceSink::Current(), &outer_sink);
+    {
+      TraceSink inner_sink;
+      EXPECT_EQ(TraceSink::Current(), &inner_sink);
+      ScopedSpan span("OnlyInner");
+      span.End();
+      EXPECT_EQ(inner_sink.spans().size(), 1u);
+      EXPECT_EQ(outer_sink.spans().size(), 0u);
+    }
+    EXPECT_EQ(TraceSink::Current(), &outer_sink);
+  }
+  EXPECT_EQ(TraceSink::Current(), nullptr);
+}
+
+TEST(TraceTest, InactiveSpanIsANoOp) {
+  ASSERT_EQ(TraceSink::Current(), nullptr);
+  ASSERT_FALSE(TraceEnabled());
+  ScopedSpan span("Idle");
+  EXPECT_FALSE(span.active());
+  span.SetRows(1, 1);  // must not crash
+  span.End();
+}
+
+TEST(TraceTest, TraceGateFeedsSpanHistograms) {
+  // The global gate routes span durations into span.<name>.micros.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  MetricHistogram* h = reg.GetHistogram("span.GatedPhase.micros");
+  const uint64_t before = h->count();
+  SetTraceEnabled(true);
+  { ScopedSpan span("GatedPhase"); }
+  SetTraceEnabled(false);
+  EXPECT_EQ(h->count(), before + 1);
+  { ScopedSpan span("GatedPhase"); }  // gate off, no sink -> not recorded
+  EXPECT_EQ(h->count(), before + 1);
+}
+
+TEST(TraceTest, RenderShowsTreeRowsAndDetail) {
+  TraceSink sink;
+  {
+    ScopedSpan outer("Query");
+    ScopedSpan inner("Filter");
+    inner.SetDetail("(x > 1)");
+    inner.SetRows(10, 3);
+  }
+  const std::string text = sink.Render();
+  EXPECT_NE(text.find("Query"), std::string::npos);
+  EXPECT_NE(text.find("  Filter((x > 1))  rows=10->3"), std::string::npos);
+  EXPECT_NE(text.find("time="), std::string::npos);
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "query/executor.h"
@@ -707,6 +708,244 @@ TEST(ExecutorTest, CountStarOnEmptyGroupedInputYieldsNoRows) {
       cat, "SELECT tag, COUNT(*) FROM t WHERE id > 99 GROUP BY tag");
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->num_rows(), 0u);
+}
+
+// --- NaN ordering, grouping and aggregation ----------------------------
+//
+// NaN values are reachable through CSV import and the fused gather's NaN
+// domain sentinels, so the executor must give them a total order (numbers
+// < NaN < NULL ascending) and a single GROUP BY identity. These tests pin
+// that contract; the ordering ones fail on a comparator that returns the
+// same sign for NaN compared in either direction.
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// id | v                      (v nullable double, NaN in two sign forms)
+Catalog MakeNanCatalog() {
+  Catalog cat;
+  auto t = std::make_shared<Table>(
+      Schema({Field{"id", DataType::kInt64, false},
+              Field{"v", DataType::kDouble, true}}));
+  auto add = [&](int64_t id, Value v) {
+    ASSERT_TRUE(t->AppendRow({Value::Int64(id), std::move(v)}).ok());
+  };
+  const double neg_nan = std::copysign(kNan, -1.0);
+  add(1, Value::Double(3.0));
+  add(2, Value::Double(kNan));
+  add(3, Value::Double(1.0));
+  add(4, Value::Null());
+  add(5, Value::Double(2.0));
+  add(6, Value::Double(neg_nan));
+  cat.RegisterOrReplace("n", t);
+  return cat;
+}
+
+TEST(NanOrderTest, AscendingNumbersThenNanThenNull) {
+  Catalog cat = MakeNanCatalog();
+  auto result = ExecuteQuery(cat, "SELECT id, v FROM n ORDER BY v");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 6u);
+  // 1.0, 2.0, 3.0, NaN, NaN (stable: id 2 before id 6), NULL.
+  EXPECT_EQ(result->GetValue(0, 0).int64(), 3);
+  EXPECT_EQ(result->GetValue(1, 0).int64(), 5);
+  EXPECT_EQ(result->GetValue(2, 0).int64(), 1);
+  EXPECT_EQ(result->GetValue(3, 0).int64(), 2);
+  EXPECT_EQ(result->GetValue(4, 0).int64(), 6);
+  EXPECT_EQ(result->GetValue(5, 0).int64(), 4);
+  EXPECT_TRUE(std::isnan(result->GetValue(3, 1).dbl()));
+  EXPECT_TRUE(result->GetValue(5, 1).is_null());
+}
+
+TEST(NanOrderTest, DescendingNullThenNanThenNumbers) {
+  Catalog cat = MakeNanCatalog();
+  auto result = ExecuteQuery(cat, "SELECT id FROM n ORDER BY v DESC");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 6u);
+  // DESC is the exact reversal of the total order, except ties keep their
+  // stable (table) order: NULL, NaN (id 2 then 6), 3.0, 2.0, 1.0.
+  EXPECT_EQ(result->GetValue(0, 0).int64(), 4);
+  EXPECT_EQ(result->GetValue(1, 0).int64(), 2);
+  EXPECT_EQ(result->GetValue(2, 0).int64(), 6);
+  EXPECT_EQ(result->GetValue(3, 0).int64(), 1);
+  EXPECT_EQ(result->GetValue(4, 0).int64(), 5);
+  EXPECT_EQ(result->GetValue(5, 0).int64(), 3);
+}
+
+TEST(NanOrderTest, MultiKeySortWithNanInSecondaryKey) {
+  Catalog cat;
+  auto t = std::make_shared<Table>(
+      Schema({Field{"g", DataType::kInt64, false},
+              Field{"v", DataType::kDouble, true},
+              Field{"id", DataType::kInt64, false}}));
+  auto add = [&](int64_t g, Value v, int64_t id) {
+    ASSERT_TRUE(
+        t->AppendRow({Value::Int64(g), std::move(v), Value::Int64(id)}).ok());
+  };
+  add(2, Value::Double(kNan), 1);
+  add(1, Value::Double(5.0), 2);
+  add(2, Value::Double(4.0), 3);
+  add(1, Value::Double(kNan), 4);
+  add(1, Value::Null(), 5);
+  add(2, Value::Double(6.0), 6);
+  cat.RegisterOrReplace("m", t);
+  auto result =
+      ExecuteQuery(cat, "SELECT id FROM m ORDER BY g ASC, v DESC, id ASC");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // g=1: NULL, NaN, 5.0 -> ids 5, 4, 2; g=2: NaN, 6.0, 4.0 -> ids 1, 6, 3.
+  const int64_t expect[] = {5, 4, 2, 1, 6, 3};
+  ASSERT_EQ(result->num_rows(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(result->GetValue(i, 0).int64(), expect[i]) << "row " << i;
+  }
+}
+
+TEST(NanOrderTest, ComparatorIsATotalOrder) {
+  const Value nan = Value::Double(kNan);
+  const Value neg_nan = Value::Double(std::copysign(kNan, -1.0));
+  const Value one = Value::Double(1.0);
+  const Value null = Value::Null();
+  // numbers < NaN < NULL, NaN == NaN regardless of bit pattern.
+  EXPECT_EQ(CompareOrderValues(one, nan), -1);
+  EXPECT_EQ(CompareOrderValues(nan, one), 1);
+  EXPECT_EQ(CompareOrderValues(nan, neg_nan), 0);
+  EXPECT_EQ(CompareOrderValues(nan, null), -1);
+  EXPECT_EQ(CompareOrderValues(null, nan), 1);
+  EXPECT_EQ(CompareOrderValues(null, null), 0);
+  // int64/bool coerce to double for cross-type numeric comparison.
+  EXPECT_EQ(CompareOrderValues(Value::Int64(2), Value::Double(1.5)), 1);
+  EXPECT_EQ(CompareOrderValues(Value::Bool(true), Value::Int64(1)), 0);
+}
+
+TEST(NanOrderTest, MixedStringNumberKeysAreFlaggedIncomparable) {
+  // A string never has a numeric order against a number. The comparator
+  // used to return 0 ("equal") when AsDouble() failed, silently sorting
+  // incomparable keys as ties; now it ranks deterministically and sets
+  // the flag so SortRows can propagate a type error.
+  bool incomparable = false;
+  EXPECT_EQ(CompareOrderValues(Value::Double(1.0), Value::String("a"),
+                               &incomparable),
+            -1);
+  EXPECT_TRUE(incomparable);
+  incomparable = false;
+  EXPECT_EQ(CompareOrderValues(Value::String("a"), Value::Double(1.0),
+                               &incomparable),
+            1);
+  EXPECT_TRUE(incomparable);
+  // Comparable pairs never touch the flag.
+  incomparable = false;
+  EXPECT_EQ(CompareOrderValues(Value::String("a"), Value::String("b"),
+                               &incomparable),
+            -1);
+  EXPECT_EQ(CompareOrderValues(Value::String("a"), Value::Null(),
+                               &incomparable),
+            -1);
+  EXPECT_FALSE(incomparable);
+  // NaN still ranks before strings so the order stays transitive even in
+  // the flagged case.
+  EXPECT_EQ(CompareOrderValues(Value::Double(kNan), Value::String("a")), -1);
+}
+
+TEST(GroupByNanTest, AllNanBitPatternsFormOneGroup) {
+  Catalog cat = MakeNanCatalog();  // two NaNs with opposite sign bits
+  auto result =
+      ExecuteQuery(cat, "SELECT v, COUNT(v) AS c FROM n GROUP BY v");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Groups: 3.0, 1.0, 2.0, NaN (both rows), NULL — never one group per
+  // NaN row and never split by the sign bit ("nan" vs "-nan").
+  EXPECT_EQ(result->num_rows(), 5u);
+  size_t nan_groups = 0;
+  for (size_t r = 0; r < result->num_rows(); ++r) {
+    const Value key = result->GetValue(r, 0);
+    if (key.is_double() && std::isnan(key.dbl())) {
+      ++nan_groups;
+      EXPECT_EQ(result->GetValue(r, 1).int64(), 2);
+    }
+  }
+  EXPECT_EQ(nan_groups, 1u);
+}
+
+TEST(GroupByNanTest, NegativeZeroFoldsIntoPositiveZero) {
+  Catalog cat;
+  auto t = std::make_shared<Table>(
+      Schema({Field{"v", DataType::kDouble, false}}));
+  ASSERT_TRUE(t->AppendRow({Value::Double(-0.0)}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::Double(0.0)}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::Double(1.0)}).ok());
+  cat.RegisterOrReplace("z", t);
+  auto result =
+      ExecuteQuery(cat, "SELECT v, COUNT(v) AS c FROM z GROUP BY v");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // -0.0 == 0.0, so they must share a group (and the emitted key must be
+  // the canonical +0.0, not a first-seen "-0").
+  ASSERT_EQ(result->num_rows(), 2u);
+  bool saw_zero = false;
+  for (size_t r = 0; r < result->num_rows(); ++r) {
+    const double key = result->GetValue(r, 0).dbl();
+    if (key == 0.0) {
+      saw_zero = true;
+      EXPECT_FALSE(std::signbit(key));
+      EXPECT_EQ(result->GetValue(r, 1).int64(), 2);
+    }
+  }
+  EXPECT_TRUE(saw_zero);
+}
+
+TEST(NanAggregateTest, MinMaxSkipNanWhileSumAvgVariancePoison) {
+  // Pinned semantics (documented in DESIGN.md "Observability" / README):
+  // MIN/MAX ignore NaN — a NaN never wins an ordered comparison, so the
+  // extrema of the non-NaN values are returned; SUM/AVG/VARIANCE/STDDEV
+  // propagate NaN (the arithmetic poisons), and COUNT counts NaN as a
+  // present (non-NULL) value.
+  Catalog cat = MakeNanCatalog();
+  auto result = ExecuteQuery(
+      cat,
+      "SELECT MIN(v), MAX(v), AVG(v), SUM(v), COUNT(v), STDDEV(v) FROM n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 0).dbl(), 1.0);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 1).dbl(), 3.0);
+  EXPECT_TRUE(std::isnan(result->GetValue(0, 2).dbl()));
+  EXPECT_TRUE(std::isnan(result->GetValue(0, 3).dbl()));
+  EXPECT_EQ(result->GetValue(0, 4).int64(), 5);  // 5 non-NULL, 2 of them NaN
+  EXPECT_TRUE(std::isnan(result->GetValue(0, 5).dbl()));
+}
+
+TEST(NanAggregateTest, NanFirstDoesNotPoisonMinMax) {
+  Catalog cat;
+  auto t = std::make_shared<Table>(
+      Schema({Field{"v", DataType::kDouble, false}}));
+  ASSERT_TRUE(t->AppendRow({Value::Double(kNan)}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::Double(5.0)}).ok());
+  cat.RegisterOrReplace("w", t);
+  auto result = ExecuteQuery(cat, "SELECT MIN(v), MAX(v) FROM w");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 0).dbl(), 5.0);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 1).dbl(), 5.0);
+}
+
+// --- EXPLAIN ANALYZE ---------------------------------------------------
+
+TEST(ExplainAnalyzeTest, RendersStageTreeWithRowsAndTimings) {
+  Catalog cat = MakeNanCatalog();
+  auto text = ExplainAnalyzeQuery(
+      cat, "SELECT v, COUNT(id) FROM n WHERE id > 1 GROUP BY v ORDER BY v");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // Every executed stage appears with measured rows and wall time. The
+  // two NaN rows (ids 2 and 6) canonicalize into one group: 5 input rows
+  // -> groups {1.0, 2.0, NaN, NULL}.
+  EXPECT_NE(text->find("Parse"), std::string::npos);
+  EXPECT_NE(text->find("Scan  rows=6->6"), std::string::npos);
+  EXPECT_NE(text->find("Filter((id > 1))  rows=6->5"), std::string::npos);
+  EXPECT_NE(text->find("HashAggregate(v)  rows=5->4"), std::string::npos);
+  EXPECT_NE(text->find("Sort(__key0 ASC)  rows=4->4"), std::string::npos);
+  EXPECT_NE(text->find("time="), std::string::npos);
+  EXPECT_NE(text->find("4 rows in"), std::string::npos);
+}
+
+TEST(ExplainAnalyzeTest, ReportsErrorsInsteadOfATree) {
+  Catalog cat = MakeNanCatalog();
+  auto text = ExplainAnalyzeQuery(cat, "SELECT v FROM missing_table");
+  EXPECT_FALSE(text.ok());
 }
 
 }  // namespace

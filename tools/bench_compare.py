@@ -16,6 +16,13 @@ as a CI gate:
 
 Records missing the metric or the key (e.g. the groups-sweep records when
 comparing on threads) are skipped and reported as such.
+
+Benches also append one `metrics` record of observability counters
+(`counter.*` fields, from bench_util.h's MetricsFields). Those are
+informational: the `metrics` record carries no key field so it never
+matches a configuration, and comparing `--metric counter.*` explicitly
+reports deltas without ever failing — counters are tallies, not
+lower-is-better timings.
 """
 
 import argparse
@@ -58,6 +65,10 @@ def main():
                          "(default: threads)")
     args = ap.parse_args()
 
+    # counter.* fields are observability tallies (model hits, groups
+    # fitted, bytes persisted) — direction-less, so never a regression.
+    informational = args.metric.startswith("counter.")
+
     base, base_skipped = index_records(
         load_records(args.baseline), args.key, args.metric)
     cand, cand_skipped = index_records(
@@ -77,7 +88,7 @@ def main():
         b, c = base[key], cand[key]
         delta = (c - b) / b if b > 0 else 0.0
         flag = ""
-        if delta > args.threshold:
+        if not informational and delta > args.threshold:
             regressions.append((key, b, c, delta))
             flag = "  << REGRESSION"
         print(f"{experiment:<28} {config!s:>8} {b:>12.6g} {c:>12.6g} "
@@ -89,6 +100,10 @@ def main():
         print(f"(skipped {skipped} records without {args.metric}/{args.key}, "
               f"{unmatched} unmatched configurations)")
 
+    if informational:
+        print(f"\nOK: {args.metric} is an observability counter — deltas "
+              "reported, never failed")
+        return 0
     if regressions:
         worst = max(r[3] for r in regressions)
         print(f"\nFAIL: {len(regressions)} configuration(s) regressed "

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Observability smoke gate: drives the shell end to end and asserts the
+# EXPLAIN ANALYZE / metrics surface works for both arbitration outcomes:
+#
+#  1. a model-answered query renders a HybridDecision(model-point ...)
+#     span tree with per-stage rows and timings plus the "answered by:"
+#     decision line;
+#  2. an exact-fallback query (COUNT(*)) renders the ExactScan subtree
+#     with its fallback reason;
+#  3. `metrics` reports the hybrid arbitration counters that those two
+#     queries must have bumped, and `metrics reset` zeroes them.
+#
+# Usage: tools/check_observability.sh
+#   LAWS_OBS_BUILD_DIR  override the build tree (default: build)
+#   LAWS_OBS_JOBS       parallel build jobs (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${LAWS_OBS_BUILD_DIR:-build}"
+JOBS="${LAWS_OBS_JOBS:-$(nproc)}"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j "$JOBS" --target lawsdb_shell
+
+out="$(printf '%s\n' \
+  'gen lofar 100 4000' \
+  'fit measurements power_law wavelength intensity group source' \
+  'explain analyze SELECT intensity FROM measurements WHERE source = 42 AND wavelength = 0.15' \
+  'explain analyze SELECT COUNT(*) FROM measurements' \
+  'metrics' \
+  'metrics reset' \
+  'metrics' \
+  'quit' | "$BUILD_DIR/examples/lawsdb_shell")"
+
+fail() {
+  echo "FAIL: $1" >&2
+  echo "--- shell transcript ---" >&2
+  echo "$out" >&2
+  exit 1
+}
+
+# 1. Model-answered plan: arbitration span with the captured model's id,
+#    the reconstructed pipeline stages, rows, timings, and the decision.
+grep -q 'HybridDecision(model-point, model 1' <<<"$out" \
+  || fail "no model-point HybridDecision span"
+grep -q 'ModelPath' <<<"$out" || fail "no ModelPath span"
+grep -Eq 'Filter\(.*source = 42.*\)  rows=[0-9]+->[0-9]+' <<<"$out" \
+  || fail "no Filter stage with row counts"
+grep -Eq 'time=[0-9.]+ ms' <<<"$out" || fail "no per-stage timings"
+grep -q 'answered by: model-point (approximate, error bound' <<<"$out" \
+  || fail "no approximate decision line"
+
+# 2. Exact fallback: COUNT(*) must take the exact path and say why.
+grep -q 'HybridDecision(exact: COUNT(\*)' <<<"$out" \
+  || fail "no exact-fallback HybridDecision span"
+grep -q 'ExactScan' <<<"$out" || fail "no ExactScan span"
+grep -Eq 'HashAggregate\(<global>\)  rows=4000->1' <<<"$out" \
+  || fail "no aggregate stage in the exact plan"
+grep -q 'answered by: exact (COUNT(\*)' <<<"$out" \
+  || fail "no exact decision line"
+
+# 3. Counters: the two queries above bumped both arbitration outcomes,
+#    and the fit phase reported its dispatch tally.
+grep -Eq 'aqp\.hybrid\.model_hit +1' <<<"$out" \
+  || fail "aqp.hybrid.model_hit != 1"
+grep -Eq 'aqp\.hybrid\.exact_fallback +1' <<<"$out" \
+  || fail "aqp.hybrid.exact_fallback != 1"
+grep -Eq 'fit\.groups_fitted +100' <<<"$out" \
+  || fail "fit.groups_fitted != 100"
+grep -q 'metrics reset' <<<"$out" || fail "metrics reset not acknowledged"
+
+# After the reset the second `metrics` dump must not list the hybrid
+# counters again (non-zero entries only).
+post_reset="${out##*metrics reset}"
+if grep -q 'aqp.hybrid.model_hit' <<<"$post_reset"; then
+  fail "counters survived metrics reset"
+fi
+
+echo "Observability gate passed: EXPLAIN ANALYZE (model + exact) and metrics OK."
