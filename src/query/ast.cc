@@ -57,7 +57,16 @@ std::string_view AggregateFuncToString(AggregateFunc f) {
 std::string Expr::ToString() const {
   switch (kind) {
     case ExprKind::kLiteral:
-      if (literal.is_string()) return "'" + literal.str() + "'";
+      if (literal.is_string()) {
+        // Escape embedded quotes by doubling so the rendered literal
+        // re-parses to the same value.
+        std::string out = "'";
+        for (const char ch : literal.str()) {
+          if (ch == '\'') out += "''";
+          else out += ch;
+        }
+        return out + "'";
+      }
       return literal.ToString();
     case ExprKind::kColumnRef:
       return column_name;

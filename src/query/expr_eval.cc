@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
 
 #include "common/string_util.h"
 
@@ -83,7 +84,11 @@ Result<EvalResult> EvaluateUnary(const Expr& expr, const Table& table) {
         if (operand.IsNullAt(i)) {
           LAWS_RETURN_IF_ERROR(out.column.AppendNull());
         } else {
-          out.column.AppendInt64(-operand.IntAt(i));
+          int64_t v = 0;
+          if (__builtin_sub_overflow(int64_t{0}, operand.IntAt(i), &v)) {
+            return Status::NumericError("integer overflow in negation");
+          }
+          out.column.AppendInt64(v);
         }
       }
     } else {
@@ -133,22 +138,28 @@ Result<EvalResult> EvaluateArithmetic(const Expr& expr, EvalResult lhs,
       const int64_t a = lhs.IntAt(i);
       const int64_t b = rhs.IntAt(i);
       int64_t v = 0;
+      bool overflow = false;
       switch (expr.binary_op) {
         case BinaryOp::kAdd:
-          v = a + b;
+          overflow = __builtin_add_overflow(a, b, &v);
           break;
         case BinaryOp::kSubtract:
-          v = a - b;
+          overflow = __builtin_sub_overflow(a, b, &v);
           break;
         case BinaryOp::kMultiply:
-          v = a * b;
+          overflow = __builtin_mul_overflow(a, b, &v);
           break;
         case BinaryOp::kModulo:
           if (b == 0) return Status::NumericError("modulo by zero");
-          v = a % b;
+          // INT64_MIN % -1 overflows in hardware even though the
+          // mathematical remainder is 0.
+          v = b == -1 ? 0 : a % b;
           break;
         default:
           return Status::Internal("bad int arithmetic op");
+      }
+      if (overflow) {
+        return Status::NumericError("integer overflow in arithmetic");
       }
       out.column.AppendInt64(v);
     }
@@ -312,7 +323,11 @@ Result<EvalResult> EvaluateFunction(const Expr& expr, const Table& table) {
         if (a.IsNullAt(i)) {
           LAWS_RETURN_IF_ERROR(out.column.AppendNull());
         } else {
-          out.column.AppendInt64(std::llabs(a.IntAt(i)));
+          const int64_t v = a.IntAt(i);
+          if (v == std::numeric_limits<int64_t>::min()) {
+            return Status::NumericError("integer overflow in abs()");
+          }
+          out.column.AppendInt64(v < 0 ? -v : v);
         }
       }
     } else {
@@ -343,22 +358,27 @@ Result<EvalResult> EvaluateFunction(const Expr& expr, const Table& table) {
     std::vector<EvalResult> args;
     args.reserve(expr.children.size());
     bool any_string = false, all_string = true;
-    bool any_double = false;
+    bool all_int = true, all_bool = true;
     for (const auto& child : expr.children) {
       LAWS_ASSIGN_OR_RETURN(EvalResult a, Evaluate(*child, table));
       any_string |= a.type() == DataType::kString;
       all_string &= a.type() == DataType::kString;
-      any_double |= a.type() == DataType::kDouble;
+      all_int &= a.type() == DataType::kInt64;
+      all_bool &= a.type() == DataType::kBool;
       args.push_back(std::move(a));
     }
     if (any_string && !all_string) {
       return Status::TypeMismatch("coalesce() mixes strings and numerics");
     }
+    // Numeric family unification: only a uniform INT64 or BOOL argument
+    // list keeps its type; any mix promotes to DOUBLE. (Picking the first
+    // argument's type here would read the wrong backing vector for the
+    // other arguments.)
     EvalResult out;
-    const DataType t = all_string
-                           ? DataType::kString
-                           : (any_double ? DataType::kDouble
-                                         : args[0].type());
+    const DataType t = all_string ? DataType::kString
+                       : all_int  ? DataType::kInt64
+                       : all_bool ? DataType::kBool
+                                  : DataType::kDouble;
     out.column = Column(t);
     for (size_t i = 0; i < n; ++i) {
       const EvalResult* hit = nullptr;
@@ -501,24 +521,25 @@ Result<EvalResult> Evaluate(const Expr& expr, const Table& table) {
         LAWS_ASSIGN_OR_RETURN(else_r, Evaluate(*expr.children.back(), table));
         thens.push_back(std::move(else_r));
       }
-      // Result type: all branch values must share a family; numerics
-      // promote to DOUBLE unless all INT64.
-      bool any_string = false, all_string = true, any_double = false,
-           all_int = true;
+      // Result type: all branch values must share a family; within the
+      // numeric family only a uniform INT64 or BOOL branch list keeps its
+      // type, any mix promotes to DOUBLE. (Falling back to the first
+      // branch's type would read the wrong backing vector for the others.)
+      bool any_string = false, all_string = true, all_int = true,
+           all_bool = true;
       for (const EvalResult& t : thens) {
         any_string |= t.type() == DataType::kString;
         all_string &= t.type() == DataType::kString;
-        any_double |= t.type() == DataType::kDouble;
         all_int &= t.type() == DataType::kInt64;
+        all_bool &= t.type() == DataType::kBool;
       }
       if (any_string && !all_string) {
         return Status::TypeMismatch("CASE mixes strings and numerics");
       }
-      const DataType out_type =
-          all_string ? DataType::kString
-                     : (all_int ? DataType::kInt64
-                                : (any_double ? DataType::kDouble
-                                              : thens[0].type()));
+      const DataType out_type = all_string ? DataType::kString
+                                : all_int  ? DataType::kInt64
+                                : all_bool ? DataType::kBool
+                                           : DataType::kDouble;
       EvalResult out;
       out.column = Column(out_type);
       const size_t n = table.num_rows();

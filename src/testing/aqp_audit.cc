@@ -1,0 +1,231 @@
+#include "testing/aqp_audit.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "aqp/hybrid.h"
+#include "common/random.h"
+#include "core/session.h"
+#include "query/executor.h"
+#include "storage/catalog.h"
+#include "testing/differential.h"
+
+namespace laws {
+namespace testing {
+namespace {
+
+std::string FormatG(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Captured-model fixture: a balanced grid of 20 power-law sources
+/// observed 6 times in each of 4 wavelength bands with small
+/// multiplicative noise, fitted per group; plus an "uncaptured" table no
+/// model covers, to exercise the no-model fallback.
+struct AuditFixture {
+  Catalog data;
+  ModelCatalog models;
+  DomainRegistry domains;
+  std::unique_ptr<Session> session;
+  std::unique_ptr<ModelQueryEngine> engine;
+  std::vector<double> bands = {0.12, 0.15, 0.16, 0.18};
+
+  Status Build(uint64_t seed) {
+    Rng rng(seed);
+    auto t = std::make_shared<Table>(
+        Schema({Field{"source", DataType::kInt64, false},
+                Field{"wavelength", DataType::kDouble, false},
+                Field{"intensity", DataType::kDouble, false}}));
+    for (int s = 1; s <= 20; ++s) {
+      const double p = 0.5 + 0.05 * s;
+      for (double nu : bands) {
+        for (int rep = 0; rep < 6; ++rep) {
+          LAWS_RETURN_IF_ERROR(
+              t->AppendRow({Value::Int64(s), Value::Double(nu),
+                            Value::Double(p * std::pow(nu, -0.7) *
+                                          std::exp(rng.Normal(0, 0.004)))}));
+        }
+      }
+    }
+    data.RegisterOrReplace("measurements", t);
+
+    auto plain = std::make_shared<Table>(
+        Schema({Field{"k", DataType::kInt64, false},
+                Field{"v", DataType::kDouble, false}}));
+    for (int k = 0; k < 12; ++k) {
+      LAWS_RETURN_IF_ERROR(plain->AppendRow(
+          {Value::Int64(k % 4), Value::Double(0.25 * k - 1.0)}));
+    }
+    data.RegisterOrReplace("uncaptured", plain);
+
+    session = std::make_unique<Session>(&data, &models);
+    FitRequest r;
+    r.table = "measurements";
+    r.model_source = "power_law";
+    r.input_columns = {"wavelength"};
+    r.output_column = "intensity";
+    r.group_column = "source";
+    auto report = session->Fit(r);
+    if (!report.ok()) return report.status();
+
+    domains.Register("measurements", "wavelength",
+                     ColumnDomain::Explicit(bands));
+    engine = std::make_unique<ModelQueryEngine>(&data, &models, &domains);
+    return Status::OK();
+  }
+};
+
+/// Checks a fallback answer: exact method, stated reason, bit-identical
+/// result.
+void CheckFallback(const HybridAnswer& answer, const Table& exact,
+                   const std::string& sql, AqpAuditReport* report) {
+  ++report->exact_fallbacks;
+  if (answer.approximate || answer.method != "exact") {
+    report->violations.push_back("expected exact fallback for: " + sql +
+                                 " (method " + answer.method + ")");
+    return;
+  }
+  if (answer.fallback_reason.empty()) {
+    report->violations.push_back("fallback without a reason for: " + sql);
+    return;
+  }
+  std::string why;
+  if (!TablesEquivalent(answer.table, exact, /*order_sensitive=*/true,
+                        &why)) {
+    report->violations.push_back(
+        "fallback not bit-identical to exact for: " + sql + ": " + why);
+  }
+}
+
+/// Checks an approximate single-value answer against the exact one: the
+/// reported 95% prediction-interval half-width (times `slack`) must cover
+/// the difference.
+void CheckBound(const HybridAnswer& answer, const Table& exact, double slack,
+                const std::string& sql, AqpAuditReport* report) {
+  ++report->approximate;
+  if (answer.error_bound <= 0.0) {
+    report->violations.push_back("approximate answer with bound <= 0 for: " +
+                                 sql);
+    return;
+  }
+  if (answer.table.num_rows() != 1 || exact.num_rows() != 1 ||
+      answer.table.num_columns() != 1 || exact.num_columns() != 1) {
+    report->violations.push_back("unexpected shape for: " + sql);
+    return;
+  }
+  const Value approx = answer.table.GetValue(0, 0);
+  const Value truth = exact.GetValue(0, 0);
+  if (approx.is_null() || truth.is_null()) {
+    report->violations.push_back("NULL aggregate in audit for: " + sql);
+    return;
+  }
+  const double diff = std::fabs(approx.dbl() - truth.dbl());
+  if (!(diff <= slack * answer.error_bound)) {
+    report->violations.push_back(
+        "bound violated for: " + sql + ": |" + FormatG(approx.dbl()) +
+        " - " + FormatG(truth.dbl()) + "| = " + FormatG(diff) + " > " +
+        FormatG(slack) + " * " + FormatG(answer.error_bound));
+  }
+}
+
+}  // namespace
+
+std::string AqpAuditReport::Summary() const {
+  std::string out = std::to_string(queries) + " queries: " +
+                    std::to_string(approximate) +
+                    " approximate answers audited, " +
+                    std::to_string(exact_fallbacks) +
+                    " exact fallbacks verified, " +
+                    std::to_string(violations.size()) + " violations";
+  for (const std::string& v : violations) out += "\n  " + v;
+  return out;
+}
+
+Result<AqpAuditReport> RunAqpAudit(uint64_t seed, size_t num_queries) {
+  AuditFixture fx;
+  LAWS_RETURN_IF_ERROR(fx.Build(seed ^ 0xA0D17ULL));
+
+  const HybridQueryEngine hybrid(&fx.data, fx.engine.get());
+  HybridOptions strict_opts;
+  strict_opts.min_quality = 2.0;  // unattainable: forces the quality gate
+  const HybridQueryEngine strict(&fx.data, fx.engine.get(), strict_opts);
+
+  Rng rng(seed);
+  AqpAuditReport report;
+  for (size_t q = 0; q < num_queries; ++q) {
+    const double band =
+        fx.bands[static_cast<size_t>(rng.UniformInt(0, 3))];
+    const std::string band_text = FormatG(band);
+    const int choice = static_cast<int>(rng.UniformInt(0, 5));
+    std::string sql;
+    const HybridQueryEngine* eng = &hybrid;
+    double slack = 1.0;
+    bool expect_fallback = false;
+    switch (choice) {
+      case 0:
+        sql = "SELECT AVG(intensity) FROM measurements WHERE wavelength = " +
+              band_text;
+        break;
+      case 1:
+        sql = "SELECT MIN(intensity) FROM measurements WHERE wavelength = " +
+              band_text;
+        slack = 2.0;
+        break;
+      case 2:
+        sql = "SELECT MAX(intensity) FROM measurements WHERE wavelength = " +
+              band_text;
+        slack = 2.0;
+        break;
+      case 3:
+        // Raw multiplicity: must fall back (grid has one tuple per
+        // combination).
+        sql = "SELECT COUNT(*) FROM measurements WHERE wavelength = " +
+              band_text;
+        expect_fallback = true;
+        break;
+      case 4:
+        // No covering model.
+        sql = "SELECT AVG(v) FROM uncaptured WHERE k = " +
+              std::to_string(rng.UniformInt(0, 3));
+        expect_fallback = true;
+        break;
+      default:
+        // Quality gate rejects every model.
+        sql = "SELECT AVG(intensity) FROM measurements WHERE wavelength = " +
+              band_text;
+        eng = &strict;
+        expect_fallback = true;
+        break;
+    }
+    ++report.queries;
+
+    Result<HybridAnswer> answer = eng->Execute(sql);
+    if (!answer.ok()) {
+      report.violations.push_back("hybrid error for: " + sql + ": " +
+                                  answer.status().ToString());
+      continue;
+    }
+    Result<Table> exact = ExecuteQuery(fx.data, sql);
+    if (!exact.ok()) {
+      report.violations.push_back("exact error for: " + sql + ": " +
+                                  exact.status().ToString());
+      continue;
+    }
+    if (expect_fallback) {
+      CheckFallback(*answer, *exact, sql, &report);
+    } else if (answer->approximate) {
+      CheckBound(*answer, *exact, slack, sql, &report);
+    } else {
+      // The model path declined an eligible query; the answer must then
+      // honor the fallback contract.
+      CheckFallback(*answer, *exact, sql, &report);
+    }
+  }
+  return report;
+}
+
+}  // namespace testing
+}  // namespace laws

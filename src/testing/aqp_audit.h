@@ -1,0 +1,45 @@
+#ifndef LAWSDB_TESTING_AQP_AUDIT_H_
+#define LAWSDB_TESTING_AQP_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace laws {
+namespace testing {
+
+struct AqpAuditReport {
+  size_t queries = 0;
+  /// Model-path answers checked against their reported error bounds.
+  size_t approximate = 0;
+  /// Fallback answers checked bit-identical to the exact engine.
+  size_t exact_fallbacks = 0;
+  /// One entry per violated contract (empty on success).
+  std::vector<std::string> violations;
+
+  std::string Summary() const;
+};
+
+/// Audits the AQP error-bound contract on a captured-model fixture
+/// (grouped power-law measurements; cf. the paper's Figure 2 flow):
+///
+///  * every approximate answer must carry a positive error bound, and its
+///    values must lie within that bound of the exact engine's answer
+///    (slack 1x for AVG, 2x for MIN/MAX whose extremes ride on the
+///    noisiest single observations);
+///  * every fallback path — COUNT(*) raw-multiplicity, no covering model,
+///    quality below threshold — must return the exact engine's result
+///    bit-identically, with method "exact" and a non-empty
+///    fallback_reason.
+///
+/// SUM is deliberately excluded: the reconstructed grid has one tuple per
+/// enumerated combination, so additive totals scale with raw multiplicity
+/// the model cannot know. `seed` drives the query mix; `num_queries` sizes
+/// the sweep.
+Result<AqpAuditReport> RunAqpAudit(uint64_t seed, size_t num_queries);
+
+}  // namespace testing
+}  // namespace laws
+
+#endif  // LAWSDB_TESTING_AQP_AUDIT_H_

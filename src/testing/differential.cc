@@ -1,0 +1,246 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "testing/reference_oracle.h"
+#include "testing/shrink.h"
+
+namespace laws {
+namespace testing {
+namespace {
+
+std::string RenderCell(const Value& v) {
+  if (v.is_double()) {
+    const double d = v.dbl();
+    if (std::isnan(d)) return std::signbit(d) ? "-NaN" : "NaN";
+    if (d == 0.0 && std::signbit(d)) return "-0.0";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    return buf;
+  }
+  if (v.is_string()) return "'" + v.str() + "'";
+  return v.ToString();
+}
+
+std::string RenderRow(const Table& t, size_t row) {
+  std::string out = "(";
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    if (c > 0) out += ", ";
+    out += RenderCell(t.GetValue(row, c));
+  }
+  return out + ")";
+}
+
+/// Bit-identity encoding of one row: every NaN folds to one class,
+/// -0.0 keeps its sign bit (§11 output identity).
+std::string EncodeRow(const Table& t, size_t row) {
+  std::string key;
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    const Value v = t.GetValue(row, c);
+    if (v.is_null()) {
+      key.push_back('N');
+    } else if (v.is_int64()) {
+      const int64_t x = v.int64();
+      key.push_back('i');
+      key.append(reinterpret_cast<const char*>(&x), sizeof(x));
+    } else if (v.is_double()) {
+      double x = v.dbl();
+      if (std::isnan(x)) x = std::numeric_limits<double>::quiet_NaN();
+      key.push_back('d');
+      key.append(reinterpret_cast<const char*>(&x), sizeof(x));
+    } else if (v.is_bool()) {
+      key.push_back(v.boolean() ? 'T' : 'F');
+    } else {
+      const std::string& s = v.str();
+      const uint32_t len = static_cast<uint32_t>(s.size());
+      key.push_back('s');
+      key.append(reinterpret_cast<const char*>(&len), sizeof(len));
+      key.append(s);
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+bool TablesEquivalent(const Table& a, const Table& b, bool order_sensitive,
+                      std::string* why) {
+  if (a.num_columns() != b.num_columns()) {
+    *why = "column count " + std::to_string(a.num_columns()) + " vs " +
+           std::to_string(b.num_columns());
+    return false;
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    const Field& fa = a.schema().field(c);
+    const Field& fb = b.schema().field(c);
+    if (fa.name != fb.name || fa.type != fb.type) {
+      *why = "schema differs at column " + std::to_string(c) + ": " +
+             fa.name + " " + std::string(DataTypeToString(fa.type)) +
+             " vs " + fb.name + " " +
+             std::string(DataTypeToString(fb.type));
+      return false;
+    }
+  }
+  if (a.num_rows() != b.num_rows()) {
+    *why = "row count " + std::to_string(a.num_rows()) + " vs " +
+           std::to_string(b.num_rows());
+    return false;
+  }
+  std::vector<std::pair<std::string, size_t>> ka, kb;
+  ka.reserve(a.num_rows());
+  kb.reserve(b.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    ka.emplace_back(EncodeRow(a, r), r);
+    kb.emplace_back(EncodeRow(b, r), r);
+  }
+  if (!order_sensitive) {
+    std::stable_sort(ka.begin(), ka.end());
+    std::stable_sort(kb.begin(), kb.end());
+  }
+  for (size_t i = 0; i < ka.size(); ++i) {
+    if (ka[i].first != kb[i].first) {
+      *why = std::string(order_sensitive ? "row " : "multiset row ") +
+             std::to_string(i) + " differs: " + RenderRow(a, ka[i].second) +
+             " vs " + RenderRow(b, kb[i].second);
+      return false;
+    }
+  }
+  return true;
+}
+
+CaseDiff DiffCase(const std::vector<GenTable>& tables,
+                  const SelectStatement& stmt) {
+  CaseDiff out;
+  Result<Catalog> catalog = MaterializeCatalog(tables);
+  if (!catalog.ok()) {
+    out.reason = "harness: materialize failed: " + catalog.status().ToString();
+    return out;
+  }
+
+  const OracleResult oracle = OracleExecuteSelect(*catalog, stmt);
+
+  ThreadPool::SetGlobalThreadCount(1);
+  const Result<Table> exec1 = ExecuteSelect(*catalog, stmt);
+  ThreadPool::SetGlobalThreadCount(0);
+  const Result<Table> execn = ExecuteSelect(*catalog, stmt);
+
+  if (exec1.ok() != execn.ok()) {
+    out.reason = "executor thread-count divergence: 1-thread " +
+                 (exec1.ok() ? std::string("OK") : exec1.status().ToString()) +
+                 " vs default " +
+                 (execn.ok() ? std::string("OK") : execn.status().ToString());
+    return out;
+  }
+  if (exec1.ok()) {
+    std::string why;
+    if (!TablesEquivalent(*exec1, *execn, /*order_sensitive=*/true, &why)) {
+      out.reason = "executor thread-count divergence: " + why;
+      return out;
+    }
+  }
+
+  if (!oracle.status.ok() && !exec1.ok()) {
+    // Error-ness agrees; messages may legitimately differ.
+    out.agreed_error = true;
+    return out;
+  }
+  if (oracle.status.ok() != exec1.ok()) {
+    out.reason = "error-ness mismatch: oracle " +
+                 (oracle.status.ok() ? std::string("OK")
+                                     : oracle.status.ToString()) +
+                 " vs executor " +
+                 (exec1.ok() ? std::string("OK") : exec1.status().ToString());
+    return out;
+  }
+
+  std::string why;
+  if (!TablesEquivalent(oracle.table, *exec1, oracle.order_total, &why)) {
+    out.reason = std::string("result mismatch (") +
+                 (oracle.order_total ? "ordered" : "multiset") +
+                 "): oracle vs executor: " + why;
+    return out;
+  }
+  return out;
+}
+
+std::string DiffReport::Summary() const {
+  std::string out = std::to_string(queries) + " queries: " +
+                    std::to_string(agree_rows) + " agreed on rows, " +
+                    std::to_string(agree_errors) + " agreed on errors, " +
+                    std::to_string(parse_failures) + " parse failures, " +
+                    std::to_string(mismatches.size()) + " mismatches";
+  for (const DiffMismatch& m : mismatches) {
+    out += "\n--- mismatch (replay with LAWS_FUZZ_SEED=" +
+           std::to_string(m.case_seed) + " LAWS_FUZZ_QUERIES=1) ---\n";
+    out += "sql:    " + m.sql + "\n";
+    out += "reason: " + m.reason + "\n";
+    if (!m.shrunk_sql.empty()) out += "shrunk: " + m.shrunk_sql + "\n";
+    if (!m.shrunk_tables.empty()) out += m.shrunk_tables;
+  }
+  return out;
+}
+
+DiffReport RunDifferential(const DiffOptions& opts) {
+  DiffReport report;
+  for (size_t i = 0; i < opts.num_queries; ++i) {
+    const uint64_t case_seed = opts.seed + i;
+    GeneratedCase gc = GenerateCase(case_seed);
+    ++report.queries;
+
+    Result<SelectStatement> stmt = ParseSelect(gc.sql);
+    if (!stmt.ok()) {
+      ++report.parse_failures;
+      DiffMismatch m;
+      m.case_seed = case_seed;
+      m.sql = gc.sql;
+      m.reason = "generator emitted unparsable SQL: " +
+                 stmt.status().ToString();
+      report.mismatches.push_back(std::move(m));
+      if (report.mismatches.size() >= opts.max_reported) break;
+      continue;
+    }
+
+    CaseDiff diff = DiffCase(gc.tables, *stmt);
+    if (diff.reason.empty()) {
+      if (diff.agreed_error) {
+        ++report.agree_errors;
+      } else {
+        ++report.agree_rows;
+      }
+      continue;
+    }
+
+    DiffMismatch m;
+    m.case_seed = case_seed;
+    m.sql = gc.sql;
+    m.reason = diff.reason;
+
+    std::vector<GenTable> shrunk_tables = gc.tables;
+    SelectStatement shrunk_stmt = CloneStatement(*stmt);
+    ShrinkCase(
+        &shrunk_tables, &shrunk_stmt,
+        [](const std::vector<GenTable>& t, const SelectStatement& s) {
+          return !DiffCase(t, s).reason.empty();
+        },
+        opts.shrink_budget);
+    m.shrunk_sql = shrunk_stmt.ToString();
+    for (const GenTable& t : shrunk_tables) m.shrunk_tables += t.ToString();
+
+    report.mismatches.push_back(std::move(m));
+    if (report.mismatches.size() >= opts.max_reported) break;
+  }
+  // Leave the global pool at its default width for whatever runs next.
+  ThreadPool::SetGlobalThreadCount(0);
+  return report;
+}
+
+}  // namespace testing
+}  // namespace laws

@@ -1,0 +1,75 @@
+#ifndef LAWSDB_TESTING_DIFFERENTIAL_H_
+#define LAWSDB_TESTING_DIFFERENTIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "storage/table.h"
+#include "testing/query_gen.h"
+
+namespace laws {
+namespace testing {
+
+/// Configuration for a differential sweep.
+struct DiffOptions {
+  uint64_t seed = 0x1AB5;
+  size_t num_queries = 2000;
+  /// Repro evaluations the shrinker may spend per mismatch.
+  size_t shrink_budget = 400;
+  /// Stop sweeping after this many mismatches (each is expensive to
+  /// shrink and one is already a failure).
+  size_t max_reported = 8;
+};
+
+/// One diagnosed disagreement, replayable by seed.
+struct DiffMismatch {
+  uint64_t case_seed = 0;
+  std::string sql;
+  std::string reason;
+  std::string shrunk_sql;
+  std::string shrunk_tables;
+};
+
+struct DiffReport {
+  size_t queries = 0;
+  /// Cases where oracle and executor agreed on result rows.
+  size_t agree_rows = 0;
+  /// Cases where both sides errored (error-ness is compared, messages are
+  /// not).
+  size_t agree_errors = 0;
+  /// Generator emitted SQL the parser rejected — a harness bug, counted
+  /// separately so it can be asserted to zero.
+  size_t parse_failures = 0;
+  std::vector<DiffMismatch> mismatches;
+
+  std::string Summary() const;
+};
+
+/// Compares two result tables: schema (names + types) and values must be
+/// bit-identical — every NaN is one equivalence class, but -0.0 and +0.0
+/// are distinct. With `order_sensitive` rows are compared in order,
+/// otherwise as multisets. On mismatch fills *why.
+bool TablesEquivalent(const Table& a, const Table& b, bool order_sensitive,
+                      std::string* why);
+
+/// Outcome of diffing one statement across oracle, executor@1-thread and
+/// executor@default-threads.
+struct CaseDiff {
+  /// Both sides raised an error (counted as agreement).
+  bool agreed_error = false;
+  /// Empty = agreement; otherwise a human-readable divergence.
+  std::string reason;
+};
+
+CaseDiff DiffCase(const std::vector<GenTable>& tables,
+                  const SelectStatement& stmt);
+
+/// The differential sweep: generate → parse → run on both engines → diff,
+/// shrinking every mismatch before reporting it.
+DiffReport RunDifferential(const DiffOptions& opts);
+
+}  // namespace testing
+}  // namespace laws
+
+#endif  // LAWSDB_TESTING_DIFFERENTIAL_H_

@@ -1,0 +1,58 @@
+#ifndef LAWSDB_TESTING_QUERY_GEN_H_
+#define LAWSDB_TESTING_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+#include "storage/types.h"
+
+namespace laws {
+namespace testing {
+
+/// One column of a generated table.
+struct GenColumn {
+  std::string name;
+  DataType type = DataType::kDouble;
+  bool nullable = true;
+};
+
+/// A generated table kept in boxed-row form (not a laws::Table) so the
+/// shrinker can drop rows and columns cheaply before re-materializing.
+struct GenTable {
+  std::string name;
+  std::vector<GenColumn> columns;
+  std::vector<std::vector<Value>> rows;
+
+  Result<TablePtr> Materialize() const;
+
+  /// Dump for failure reports: schema line plus one row per line, with
+  /// NaN / -0.0 / quotes rendered unambiguously.
+  std::string ToString() const;
+};
+
+/// Registers every generated table into a fresh catalog.
+Result<Catalog> MaterializeCatalog(const std::vector<GenTable>& tables);
+
+/// One differential test case: the tables it runs over plus the SQL text.
+/// The SQL is grammar-valid by construction (a parse failure is a harness
+/// bug); a deliberate ~5% of cases are type-invalid so that the error
+/// paths of both engines are diffed too.
+struct GeneratedCase {
+  std::vector<GenTable> tables;
+  std::string sql;
+};
+
+/// Generates the salted tables (NULL, NaN, -0.0, empty strings, strings
+/// that look like NULL or contain separators, duplicate keys) and one
+/// random query covering the parser grammar: projections, expressions,
+/// WHERE with three-valued logic, GROUP BY/HAVING, aggregates, multi-key
+/// ORDER BY ASC/DESC, DISTINCT, LIMIT, BETWEEN/IN, CASE, and joins.
+/// Fully determined by `seed`.
+GeneratedCase GenerateCase(uint64_t seed);
+
+}  // namespace testing
+}  // namespace laws
+
+#endif  // LAWSDB_TESTING_QUERY_GEN_H_

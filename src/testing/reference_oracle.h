@@ -1,0 +1,40 @@
+#ifndef LAWSDB_TESTING_REFERENCE_ORACLE_H_
+#define LAWSDB_TESTING_REFERENCE_ORACLE_H_
+
+#include "common/result.h"
+#include "query/ast.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace laws {
+namespace testing {
+
+/// Outcome of running a statement through the reference interpreter.
+struct OracleResult {
+  /// Error-ness is what the differential runner compares; messages may
+  /// legitimately differ from the executor's.
+  Status status = Status::OK();
+  Table table{Schema{}};
+  /// True when the statement had ORDER BY and the sort keys imposed a
+  /// total order on the surviving rows (no ties) — the runner then
+  /// compares row order too, not just the multiset.
+  bool order_total = false;
+};
+
+/// Deliberately naive row-at-a-time reference interpreter implementing the
+/// semantics pinned in DESIGN.md §11. It shares no code with the
+/// vectorized executor: expressions are evaluated per row over boxed
+/// Values, grouping is a first-seen ordered list keyed on canonical
+/// values, sorting is a stable sort over the §11 total order. It mirrors
+/// the engine's contract exactly — eager (non-short-circuit) evaluation
+/// error sets, static typing rules (INT64 arithmetic, 2^53 double
+/// coercion in comparisons), NULL/NaN ordering and grouping classes,
+/// Welford accumulation in table row order — so results are compared for
+/// bit identity, not approximately.
+OracleResult OracleExecuteSelect(const Catalog& catalog,
+                                 const SelectStatement& stmt);
+
+}  // namespace testing
+}  // namespace laws
+
+#endif  // LAWSDB_TESTING_REFERENCE_ORACLE_H_

@@ -1,0 +1,266 @@
+#include "testing/shrink.h"
+
+#include <utility>
+
+namespace laws {
+namespace testing {
+
+SelectStatement CloneStatement(const SelectStatement& stmt) {
+  SelectStatement out;
+  out.distinct = stmt.distinct;
+  for (const SelectItem& item : stmt.select_list) {
+    SelectItem c;
+    c.alias = item.alias;
+    c.is_star = item.is_star;
+    if (item.expr != nullptr) c.expr = item.expr->Clone();
+    out.select_list.push_back(std::move(c));
+  }
+  out.from_table = stmt.from_table;
+  out.join_table = stmt.join_table;
+  out.join_keys = stmt.join_keys;
+  if (stmt.where != nullptr) out.where = stmt.where->Clone();
+  for (const auto& g : stmt.group_by) out.group_by.push_back(g->Clone());
+  if (stmt.having != nullptr) out.having = stmt.having->Clone();
+  for (const OrderKey& k : stmt.order_by) {
+    OrderKey c;
+    c.expr = k.expr->Clone();
+    c.ascending = k.ascending;
+    out.order_by.push_back(std::move(c));
+  }
+  out.limit = stmt.limit;
+  return out;
+}
+
+namespace {
+
+/// Tracks the repro budget; once spent, every further candidate is
+/// rejected, which freezes the case in its current (committed) state.
+struct Budget {
+  size_t remaining;
+  const ReproFn& repro;
+
+  bool Check(const std::vector<GenTable>& tables,
+             const SelectStatement& stmt) {
+    if (remaining == 0) return false;
+    --remaining;
+    return repro(tables, stmt);
+  }
+};
+
+/// ddmin-style row removal: delete chunks of halving size while the
+/// failure persists.
+bool ShrinkRows(std::vector<GenTable>* tables, const SelectStatement& stmt,
+                Budget* budget) {
+  bool changed = false;
+  for (size_t ti = 0; ti < tables->size(); ++ti) {
+    size_t chunk = ((*tables)[ti].rows.size() + 1) / 2;
+    while (chunk >= 1 && budget->remaining > 0) {
+      bool removed_any = false;
+      size_t start = 0;
+      while (start < (*tables)[ti].rows.size()) {
+        std::vector<GenTable> candidate = *tables;
+        auto& rows = candidate[ti].rows;
+        const size_t end = std::min(start + chunk, rows.size());
+        rows.erase(rows.begin() + static_cast<ptrdiff_t>(start),
+                   rows.begin() + static_cast<ptrdiff_t>(end));
+        if (budget->Check(candidate, stmt)) {
+          *tables = std::move(candidate);
+          changed = true;
+          removed_any = true;
+          // Same start now addresses the next chunk.
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+      if (!removed_any) chunk /= 2;
+    }
+  }
+  return changed;
+}
+
+bool ShrinkColumns(std::vector<GenTable>* tables, const SelectStatement& stmt,
+                   Budget* budget) {
+  bool changed = false;
+  for (size_t ti = 0; ti < tables->size(); ++ti) {
+    for (size_t ci = (*tables)[ti].columns.size(); ci-- > 0;) {
+      if ((*tables)[ti].columns.size() <= 1) break;
+      std::vector<GenTable> candidate = *tables;
+      candidate[ti].columns.erase(candidate[ti].columns.begin() +
+                                  static_cast<ptrdiff_t>(ci));
+      for (auto& row : candidate[ti].rows) {
+        row.erase(row.begin() + static_cast<ptrdiff_t>(ci));
+      }
+      if (budget->Check(candidate, stmt)) {
+        *tables = std::move(candidate);
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+/// Applies `edit` to a fresh clone and commits it if the failure persists.
+bool TryEdit(const std::vector<GenTable>& tables, SelectStatement* stmt,
+             Budget* budget,
+             const std::function<bool(SelectStatement*)>& edit) {
+  SelectStatement candidate = CloneStatement(*stmt);
+  if (!edit(&candidate)) return false;  // edit not applicable
+  if (!budget->Check(tables, candidate)) return false;
+  *stmt = std::move(candidate);
+  return true;
+}
+
+bool ShrinkClauses(const std::vector<GenTable>& tables, SelectStatement* stmt,
+                   Budget* budget) {
+  bool changed = false;
+  changed |= TryEdit(tables, stmt, budget, [](SelectStatement* s) {
+    if (s->limit < 0) return false;
+    s->limit = -1;
+    return true;
+  });
+  changed |= TryEdit(tables, stmt, budget, [](SelectStatement* s) {
+    if (!s->distinct) return false;
+    s->distinct = false;
+    return true;
+  });
+  changed |= TryEdit(tables, stmt, budget, [](SelectStatement* s) {
+    if (s->having == nullptr) return false;
+    s->having = nullptr;
+    return true;
+  });
+  changed |= TryEdit(tables, stmt, budget, [](SelectStatement* s) {
+    if (s->where == nullptr) return false;
+    s->where = nullptr;
+    return true;
+  });
+  changed |= TryEdit(tables, stmt, budget, [](SelectStatement* s) {
+    if (s->join_table.empty()) return false;
+    s->join_table.clear();
+    s->join_keys.clear();
+    return true;
+  });
+  for (size_t i = stmt->order_by.size(); i-- > 0;) {
+    changed |= TryEdit(tables, stmt, budget, [i](SelectStatement* s) {
+      if (i >= s->order_by.size()) return false;
+      s->order_by.erase(s->order_by.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    });
+  }
+  for (size_t i = stmt->group_by.size(); i-- > 0;) {
+    changed |= TryEdit(tables, stmt, budget, [i](SelectStatement* s) {
+      if (i >= s->group_by.size()) return false;
+      s->group_by.erase(s->group_by.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    });
+  }
+  for (size_t i = stmt->select_list.size(); i-- > 0;) {
+    changed |= TryEdit(tables, stmt, budget, [i](SelectStatement* s) {
+      if (s->select_list.size() <= 1 || i >= s->select_list.size()) {
+        return false;
+      }
+      s->select_list.erase(s->select_list.begin() +
+                           static_cast<ptrdiff_t>(i));
+      return true;
+    });
+  }
+  return changed;
+}
+
+/// Replaces one expression slot with one of its children (a single
+/// hoisting step); repeated sweeps flatten deep trees.
+bool ShrinkExprs(const std::vector<GenTable>& tables, SelectStatement* stmt,
+                 Budget* budget) {
+  // Enumerate slots structurally so the lambda can find the same slot in
+  // the cloned statement: kind (0=where, 1=having, 2=select, 3=group,
+  // 4=order) plus index.
+  struct Slot {
+    int kind;
+    size_t index;
+  };
+  auto slot_of = [](SelectStatement* s, const Slot& slot) -> Expr* {
+    switch (slot.kind) {
+      case 0:
+        return s->where.get();
+      case 1:
+        return s->having.get();
+      case 2:
+        return slot.index < s->select_list.size() &&
+                       !s->select_list[slot.index].is_star
+                   ? s->select_list[slot.index].expr.get()
+                   : nullptr;
+      case 3:
+        return slot.index < s->group_by.size()
+                   ? s->group_by[slot.index].get()
+                   : nullptr;
+      default:
+        return slot.index < s->order_by.size()
+                   ? s->order_by[slot.index].expr.get()
+                   : nullptr;
+    }
+  };
+  auto replace_slot = [](SelectStatement* s, const Slot& slot,
+                         std::unique_ptr<Expr> e) {
+    switch (slot.kind) {
+      case 0:
+        s->where = std::move(e);
+        break;
+      case 1:
+        s->having = std::move(e);
+        break;
+      case 2:
+        s->select_list[slot.index].expr = std::move(e);
+        break;
+      case 3:
+        s->group_by[slot.index] = std::move(e);
+        break;
+      default:
+        s->order_by[slot.index].expr = std::move(e);
+        break;
+    }
+  };
+
+  std::vector<Slot> slots;
+  slots.push_back({0, 0});
+  slots.push_back({1, 0});
+  for (size_t i = 0; i < stmt->select_list.size(); ++i) slots.push_back({2, i});
+  for (size_t i = 0; i < stmt->group_by.size(); ++i) slots.push_back({3, i});
+  for (size_t i = 0; i < stmt->order_by.size(); ++i) slots.push_back({4, i});
+
+  bool changed = false;
+  for (const Slot& slot : slots) {
+    const Expr* current = slot_of(stmt, slot);
+    if (current == nullptr) continue;
+    for (size_t c = 0; c < current->children.size(); ++c) {
+      changed |= TryEdit(tables, stmt, budget, [&](SelectStatement* s) {
+        Expr* e = slot_of(s, slot);
+        if (e == nullptr || c >= e->children.size()) return false;
+        replace_slot(s, slot, e->children[c]->Clone());
+        return true;
+      });
+      // The slot may now hold the hoisted child; re-read for further
+      // candidates.
+      current = slot_of(stmt, slot);
+      if (current == nullptr) break;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+void ShrinkCase(std::vector<GenTable>* tables, SelectStatement* stmt,
+                const ReproFn& repro, size_t budget) {
+  Budget b{budget, repro};
+  bool changed = true;
+  while (changed && b.remaining > 0) {
+    changed = false;
+    changed |= ShrinkClauses(*tables, stmt, &b);
+    changed |= ShrinkExprs(*tables, stmt, &b);
+    changed |= ShrinkRows(tables, *stmt, &b);
+    changed |= ShrinkColumns(tables, *stmt, &b);
+  }
+}
+
+}  // namespace testing
+}  // namespace laws

@@ -1,0 +1,37 @@
+#ifndef LAWSDB_TESTING_SHRINK_H_
+#define LAWSDB_TESTING_SHRINK_H_
+
+#include <functional>
+#include <vector>
+
+#include "query/ast.h"
+#include "testing/query_gen.h"
+
+namespace laws {
+namespace testing {
+
+/// Deep copy of a parsed statement (SelectStatement holds unique_ptr
+/// expression trees and is not copyable).
+SelectStatement CloneStatement(const SelectStatement& stmt);
+
+/// True when the (tables, statement) pair still reproduces the failure
+/// being shrunk.
+using ReproFn =
+    std::function<bool(const std::vector<GenTable>&, const SelectStatement&)>;
+
+/// Greedy minimizer for a failing differential case. Repeatedly tries
+/// structure-removing edits — dropping row chunks (ddmin-style), dropping
+/// columns, clearing LIMIT/DISTINCT/HAVING/WHERE/JOIN, removing ORDER BY /
+/// GROUP BY keys and select items, and hoisting expression subtrees over
+/// their parents — keeping each edit only if `repro` still fires. Runs to
+/// a fixpoint or until `budget` repro evaluations are spent. The result
+/// stays a valid case: edits that turn the failure into agreement (e.g.
+/// dropping a referenced column makes both engines error identically) are
+/// rejected by the predicate itself.
+void ShrinkCase(std::vector<GenTable>* tables, SelectStatement* stmt,
+                const ReproFn& repro, size_t budget);
+
+}  // namespace testing
+}  // namespace laws
+
+#endif  // LAWSDB_TESTING_SHRINK_H_

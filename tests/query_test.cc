@@ -948,5 +948,208 @@ TEST(ExplainAnalyzeTest, ReportsErrorsInsteadOfATree) {
   EXPECT_FALSE(text.ok());
 }
 
+// --- Integer edges (differential-harness satellites) --------------------
+
+TEST(IntegerEdgeTest, ArithmeticOverflowErrorsInsteadOfWrapping) {
+  Catalog cat = MakeCatalog();
+  for (const char* sql : {
+           "SELECT 9223372036854775807 + 1 FROM t",
+           "SELECT -(9223372036854775807) - 2 FROM t",
+           "SELECT 4611686018427387904 * 2 FROM t",
+           "SELECT -(-(9223372036854775807) - 1) FROM t",            // -MIN
+           "SELECT abs(-(9223372036854775807) - 1) FROM t",          // |MIN|
+       }) {
+    auto result = ExecuteQuery(cat, sql);
+    ASSERT_FALSE(result.ok()) << sql;
+    EXPECT_EQ(result.status().code(), StatusCode::kNumericError) << sql;
+  }
+  // Non-overflowing neighbors still work, and stay INT64.
+  auto ok = ExecuteQuery(
+      cat, "SELECT 9223372036854775806 + 1 FROM t LIMIT 1");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->GetValue(0, 0).int64(),
+            std::numeric_limits<int64_t>::max());
+  // INT64_MIN % -1 is defined as 0 (the mathematical remainder), not a
+  // hardware trap.
+  auto rem = ExecuteQuery(
+      cat, "SELECT (-(9223372036854775807) - 1) % -(1) FROM t LIMIT 1");
+  ASSERT_TRUE(rem.ok()) << rem.status().ToString();
+  EXPECT_EQ(rem->GetValue(0, 0).int64(), 0);
+}
+
+TEST(IntegerEdgeTest, IntDoubleComparisonCoercesThroughDoubleAt2Pow53) {
+  Catalog cat = MakeCatalog();
+  // 2^53 + 1 is not representable as a double; the coercion rounds it to
+  // 2^53, so the comparison sees equal values. Pinned semantics: mixed
+  // INT64/DOUBLE comparisons go through double, precision loss included.
+  auto result = ExecuteQuery(
+      cat,
+      "SELECT 9007199254740993 = 9007199254740992.0, "
+      "9007199254740993 > 9007199254740992.0 FROM t LIMIT 1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->GetValue(0, 0).boolean());
+  EXPECT_FALSE(result->GetValue(0, 1).boolean());
+  // INT64-INT64 comparisons take the same coercion path, so they share
+  // the 2^53 horizon — pinned so the reference oracle can mirror it.
+  auto exact = ExecuteQuery(
+      cat, "SELECT 9007199254740993 = 9007199254740992 FROM t LIMIT 1");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->GetValue(0, 0).boolean());
+  // Below the horizon, INT64 comparisons are exact.
+  auto below = ExecuteQuery(
+      cat, "SELECT 9007199254740991 = 9007199254740990 FROM t LIMIT 1");
+  ASSERT_TRUE(below.ok());
+  EXPECT_FALSE(below->GetValue(0, 0).boolean());
+}
+
+// --- NaN through conditional functions ----------------------------------
+
+TEST(NanConditionalTest, CoalesceAndNullifTreatNanAsAValue) {
+  Catalog cat;
+  auto t = std::make_shared<Table>(
+      Schema({Field{"d", DataType::kDouble, true}}));
+  ASSERT_TRUE(t->AppendRow({Value::Double(kNan)}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::Null()}).ok());
+  cat.RegisterOrReplace("c", t);
+  // NaN is non-NULL: COALESCE keeps it. NULLIF(NaN, NaN) compares with
+  // =, where NaN equals nothing — so the NaN survives.
+  auto result = ExecuteQuery(
+      cat, "SELECT COALESCE(d, 7.0), NULLIF(d, d), NULLIF(d, 0.0) FROM c");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_TRUE(std::isnan(result->GetValue(0, 0).dbl()));
+  EXPECT_TRUE(std::isnan(result->GetValue(0, 1).dbl()));
+  EXPECT_TRUE(std::isnan(result->GetValue(0, 2).dbl()));
+  EXPECT_DOUBLE_EQ(result->GetValue(1, 0).dbl(), 7.0);
+  EXPECT_TRUE(result->GetValue(1, 1).is_null());
+  EXPECT_TRUE(result->GetValue(1, 2).is_null());
+}
+
+TEST(HavingTest, UnaggregatedColumnInHavingErrorsNotCrashes) {
+  Catalog cat = MakeCatalog();
+  // `score` is neither a group key nor inside an aggregate; after the
+  // aggregate rewrite it names no intermediate column. Must be a clean
+  // error, never UB or a crash.
+  auto result = ExecuteQuery(
+      cat, "SELECT tag, COUNT(*) FROM t GROUP BY tag HAVING score > 10");
+  EXPECT_FALSE(result.ok());
+}
+
+// --- Regressions found by the differential harness ----------------------
+
+/// Before the canonical binary key encoding, group/distinct/join keys were
+/// built by joining cell texts with '|' — so ('x|', 'y') and ('x', '|y')
+/// collided into one group, and a string cell "NULL" collided with SQL
+/// NULL.
+TEST(KeyEncodingRegressionTest, SeparatorInStringsDoesNotMergeGroups) {
+  Catalog cat;
+  auto t = std::make_shared<Table>(
+      Schema({Field{"a", DataType::kString, false},
+              Field{"b", DataType::kString, false}}));
+  ASSERT_TRUE(t->AppendRow({Value::String("x|"), Value::String("y")}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::String("x"), Value::String("|y")}).ok());
+  cat.RegisterOrReplace("s", t);
+  auto grouped =
+      ExecuteQuery(cat, "SELECT a, b, COUNT(*) FROM s GROUP BY a, b");
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  EXPECT_EQ(grouped->num_rows(), 2u);
+  auto distinct = ExecuteQuery(cat, "SELECT DISTINCT a, b FROM s");
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(distinct->num_rows(), 2u);
+}
+
+TEST(KeyEncodingRegressionTest, StringNullLiteralIsNotSqlNull) {
+  Catalog cat;
+  auto t = std::make_shared<Table>(
+      Schema({Field{"s", DataType::kString, true}}));
+  ASSERT_TRUE(t->AppendRow({Value::String("NULL")}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::Null()}).ok());
+  cat.RegisterOrReplace("q", t);
+  auto result = ExecuteQuery(cat, "SELECT s, COUNT(*) FROM q GROUP BY s");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 2u);
+}
+
+/// Join keys used the same text encoding: two NaN cells rendered as "nan"
+/// and (incorrectly) matched, while -0.0 vs +0.0 rendered differently and
+/// (incorrectly) failed to match. SQL `=` semantics: NaN matches nothing,
+/// signed zeros are equal.
+TEST(JoinKeyRegressionTest, NanNeverMatchesAndSignedZerosDo) {
+  Catalog cat;
+  auto l = std::make_shared<Table>(
+      Schema({Field{"k", DataType::kDouble, true}}));
+  auto r = std::make_shared<Table>(
+      Schema({Field{"j", DataType::kDouble, true}}));
+  ASSERT_TRUE(l->AppendRow({Value::Double(kNan)}).ok());
+  ASSERT_TRUE(l->AppendRow({Value::Double(0.0)}).ok());
+  ASSERT_TRUE(l->AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(r->AppendRow({Value::Double(kNan)}).ok());
+  ASSERT_TRUE(r->AppendRow({Value::Double(-0.0)}).ok());
+  ASSERT_TRUE(r->AppendRow({Value::Null()}).ok());
+  cat.RegisterOrReplace("l", l);
+  cat.RegisterOrReplace("r", r);
+  auto result = ExecuteQuery(cat, "SELECT k, j FROM l JOIN r ON k = j");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Only 0.0 = -0.0 joins; NaN and NULL keys never match anything.
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 0).dbl(), 0.0);
+}
+
+/// MIN/MAX skip NaN, but a group containing *only* NaN used to leak the
+/// +/-infinity accumulator seeds into the result.
+TEST(NanAggregateTest, AllNanGroupYieldsNanNotInfinity) {
+  Catalog cat;
+  auto t = std::make_shared<Table>(
+      Schema({Field{"v", DataType::kDouble, false}}));
+  ASSERT_TRUE(t->AppendRow({Value::Double(kNan)}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::Double(kNan)}).ok());
+  cat.RegisterOrReplace("g", t);
+  auto result = ExecuteQuery(cat, "SELECT MIN(v), MAX(v) FROM g");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(std::isnan(result->GetValue(0, 0).dbl()));
+  EXPECT_TRUE(std::isnan(result->GetValue(0, 1).dbl()));
+}
+
+/// COALESCE/CASE with a BOOL/INT64 branch mix used to type the output
+/// after the first branch while reading another branch's backing vector —
+/// an out-of-bounds read under ASan. The family mix now unifies to
+/// DOUBLE like every other numeric promotion.
+TEST(TypeUnificationRegressionTest, CoalesceAndCaseUnifyBoolIntToDouble) {
+  Catalog cat = MakeCatalog();
+  auto result = ExecuteQuery(
+      cat,
+      "SELECT COALESCE(ok, id), CASE WHEN ok THEN id ELSE ok END "
+      "FROM t ORDER BY id LIMIT 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Row 1: ok=true -> 1.0; CASE takes id -> 1.0.
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 0).dbl(), 1.0);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 1).dbl(), 1.0);
+  // Row 2: ok=false -> 0.0; CASE takes ELSE ok -> 0.0.
+  EXPECT_DOUBLE_EQ(result->GetValue(1, 0).dbl(), 0.0);
+  EXPECT_DOUBLE_EQ(result->GetValue(1, 1).dbl(), 0.0);
+}
+
+/// SUM/AVG/VARIANCE/STDDEV over a string column used to fail only when a
+/// non-NULL row was actually swept (data-dependent). The check is now a
+/// deterministic planning-time type error, matching the oracle.
+TEST(TypeUnificationRegressionTest, NumericAggregateOverStringAlwaysErrors) {
+  Catalog cat;
+  auto t = std::make_shared<Table>(
+      Schema({Field{"s", DataType::kString, true}}));
+  // All-NULL column: no string value is ever swept.
+  ASSERT_TRUE(t->AppendRow({Value::Null()}).ok());
+  cat.RegisterOrReplace("e", t);
+  for (const char* sql :
+       {"SELECT SUM(s) FROM e", "SELECT AVG(s) FROM e",
+        "SELECT VARIANCE(s) FROM e", "SELECT STDDEV(s) FROM e"}) {
+    auto result = ExecuteQuery(cat, sql);
+    ASSERT_FALSE(result.ok()) << sql;
+    EXPECT_EQ(result.status().code(), StatusCode::kTypeMismatch) << sql;
+  }
+  // MIN/MAX over strings stay legal.
+  auto ok = ExecuteQuery(cat, "SELECT MIN(s), MAX(s) FROM e");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
 }  // namespace
 }  // namespace laws

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Line-coverage report: builds with -DLAWS_COVERAGE=ON (gcov
+# instrumentation), runs the full test suite, then aggregates gcov's JSON
+# output into per-directory line coverage for src/. A source line counts as
+# covered when any test binary executed it; headers included from several
+# translation units are unioned, not double-counted.
+#
+# Usage: tools/check_coverage.sh [ctest-args...]
+#   LAWS_COV_BUILD_DIR  override the build tree (default: build-cov)
+#   LAWS_COV_JOBS       parallel build jobs (default: nproc)
+#   LAWS_COV_MIN        fail if total line coverage (%) falls below this
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+BUILD_DIR="${LAWS_COV_BUILD_DIR:-build-cov}"
+JOBS="${LAWS_COV_JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . -DLAWS_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+
+GCOV_DIR="$BUILD_DIR/gcov-out"
+rm -rf "$GCOV_DIR"
+mkdir -p "$GCOV_DIR"
+(
+  cd "$GCOV_DIR"
+  find "$ROOT/$BUILD_DIR" -name '*.gcda' -print0 |
+    xargs -0 -r gcov --json-format --preserve-paths >/dev/null 2>&1 || true
+)
+
+python3 - "$GCOV_DIR" "$ROOT" "${LAWS_COV_MIN:-0}" <<'PY'
+import glob, gzip, json, os, sys
+from collections import defaultdict
+
+gcov_dir, root, cov_min = sys.argv[1], sys.argv[2], float(sys.argv[3])
+src_prefix = os.path.join(root, "src") + os.sep
+
+# file -> line -> hit (unioned across translation units)
+lines = defaultdict(dict)
+for path in glob.glob(os.path.join(gcov_dir, "*.gcov.json.gz")):
+    with gzip.open(path, "rt") as f:
+        data = json.load(f)
+    for entry in data.get("files", []):
+        name = os.path.normpath(os.path.join(root, entry["file"]))
+        if not name.startswith(src_prefix):
+            continue
+        rel = os.path.relpath(name, root)
+        for ln in entry.get("lines", []):
+            no = ln["line_number"]
+            lines[rel][no] = lines[rel].get(no, False) or ln["count"] > 0
+
+by_dir = defaultdict(lambda: [0, 0])  # dir -> [covered, total]
+for rel, linemap in lines.items():
+    d = os.path.dirname(rel)
+    by_dir[d][0] += sum(1 for hit in linemap.values() if hit)
+    by_dir[d][1] += len(linemap)
+
+if not by_dir:
+    print("no gcov data found — did the instrumented tests run?")
+    sys.exit(1)
+
+print(f"{'directory':<24} {'covered':>9} {'lines':>9} {'pct':>7}")
+tot_cov = tot_all = 0
+for d in sorted(by_dir):
+    cov, total = by_dir[d]
+    tot_cov += cov
+    tot_all += total
+    print(f"{d:<24} {cov:>9} {total:>9} {100.0 * cov / total:>6.1f}%")
+pct = 100.0 * tot_cov / tot_all
+print(f"{'TOTAL':<24} {tot_cov:>9} {tot_all:>9} {pct:>6.1f}%")
+if cov_min > 0 and pct < cov_min:
+    print(f"coverage {pct:.1f}% is below LAWS_COV_MIN={cov_min}%")
+    sys.exit(1)
+PY

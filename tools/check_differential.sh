@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Differential query-correctness gate. Two phases:
+#
+#  1. Sweep: builds the suite under ASan+UBSan and runs the seeded
+#     generator sweep — every query executed by the vectorized engine (1
+#     thread and default width) and by the row-at-a-time reference oracle,
+#     diffed for bit identity, plus the AQP error-bound audit. Any
+#     divergence is shrunk and printed with its replay seed.
+#  2. Mutation smoke: rebuilds with -DLAWS_TESTING_INJECT_BUG=ON (a
+#     guarded off-by-one in the hash-aggregate sweep) and asserts the
+#     harness flags it — proof the oracle comparison can actually fail.
+#
+# Usage: tools/check_differential.sh
+#   LAWS_FUZZ_QUERIES      queries in the sweep (default 2000)
+#   LAWS_FUZZ_SEED         base seed (default harness-chosen)
+#   LAWS_DIFF_BUILD_DIR    sanitizer build tree (default build-diff)
+#   LAWS_DIFF_MUTANT_DIR   mutant build tree (default build-diff-mutant)
+#   LAWS_DIFF_JOBS         parallel build jobs (default nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${LAWS_DIFF_BUILD_DIR:-build-diff}"
+MUTANT_DIR="${LAWS_DIFF_MUTANT_DIR:-build-diff-mutant}"
+JOBS="${LAWS_DIFF_JOBS:-$(nproc)}"
+QUERIES="${LAWS_FUZZ_QUERIES:-2000}"
+
+cmake -B "$BUILD_DIR" -S . -DLAWS_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS" --target differential_test
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+
+echo "== differential sweep: $QUERIES queries under ASan/UBSan =="
+LAWS_FUZZ_QUERIES="$QUERIES" "$BUILD_DIR/tests/differential_test"
+
+echo "== mutation smoke: injected hash-aggregate bug must be caught =="
+cmake -B "$MUTANT_DIR" -S . -DLAWS_TESTING_INJECT_BUG=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$MUTANT_DIR" -j "$JOBS" --target differential_test
+"$MUTANT_DIR/tests/differential_test" \
+  --gtest_filter='DifferentialTest.MutationSmokeCatchesInjectedBug'
+
+echo "Differential gate passed: $QUERIES queries agreed with the oracle" \
+     "(zero mismatches, zero AQP bound violations) and the harness" \
+     "detected the injected executor bug."
