@@ -140,7 +140,7 @@ int main(int argc, char** argv) {
     json.Begin("figure1_grouped_fit");
     json.Field("rows", data.observations.num_rows());
     json.Field("sources", cfg.num_sources);
-    json.Field("threads", threads);
+    ThreadSweepFields(json, threads);
     json.Field("seconds", seconds);
     json.Field("speedup", speedup);
   }

@@ -134,7 +134,7 @@ int RunGroupsSweep(laws::bench::JsonReport& json) {
     json.Field("group_size", group_size);
     json.Field("groups", fits.groups.size());
     json.Field("rows", rows);
-    json.Field("threads", static_cast<size_t>(1));
+    ThreadSweepFields(json, 1);
     json.Field("fit_seconds", fit_s);
     json.Field("groups_per_second", gps);
     json.Field("alloc_counter_enabled", AllocCounterEnabled());
@@ -244,7 +244,7 @@ int main(int argc, char** argv) {
     json.Begin("table1_lofar_pipeline");
     json.Field("rows", obs.num_rows());
     json.Field("sources", cfg.num_sources);
-    json.Field("threads", static_cast<size_t>(1));
+    ThreadSweepFields(json, 1);
     json.Field("seconds", serial_s);
     json.Field("generate_seconds", result.generate_seconds);
     json.Field("fit_seconds", result.fit_seconds);
@@ -292,7 +292,7 @@ int main(int argc, char** argv) {
     json.Begin("table1_lofar_pipeline");
     json.Field("rows", obs.num_rows());
     json.Field("sources", cfg.num_sources);
-    json.Field("threads", threads);
+    ThreadSweepFields(json, threads);
     json.Field("seconds", sweep_s);
     json.Field("generate_seconds", sweep.generate_seconds);
     json.Field("fit_seconds", sweep.fit_seconds);

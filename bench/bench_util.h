@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -144,6 +145,19 @@ class JsonReport {
   std::string path_;
   std::vector<std::vector<std::pair<std::string, std::string>>> records_;
 };
+
+/// Emits the `threads` field of a thread-sweep record together with the
+/// machine's `hardware_concurrency` and an `oversubscribed` marker set
+/// when more threads were requested than cores exist. Thread-sweep
+/// points MUST go through this helper: a sweep that silently records
+/// "8 threads, ~1x speedup" on a 1-core box reads as a scaling plateau
+/// when it is actually measuring time-slicing of a single core.
+inline void ThreadSweepFields(JsonReport& report, size_t threads) {
+  const size_t hw = std::thread::hardware_concurrency();
+  report.Field("threads", threads);
+  report.Field("hardware_concurrency", hw);
+  report.Field("oversubscribed", hw != 0 && threads > hw);
+}
 
 /// Appends one `metrics` record carrying every non-zero process-wide
 /// counter (as `counter.<name>`) and histogram summary (count/sum/p95)

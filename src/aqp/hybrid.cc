@@ -8,6 +8,7 @@
 #include "common/trace.h"
 #include "query/executor.h"
 #include "query/parser.h"
+#include "query/vector_eval.h"
 
 namespace laws {
 namespace {
@@ -141,9 +142,27 @@ Result<std::string> HybridQueryEngine::ExplainAnalyze(
     const std::string& sql) const {
   TraceSink sink;
   Timer total;
+  // Expression-tier accounting for this query (process-global counters,
+  // so report the delta) — same line ExplainAnalyzeQuery prints.
+  Counter* compiled = MetricsRegistry::Global().GetCounter("expr.compiled");
+  Counter* fallback =
+      MetricsRegistry::Global().GetCounter("expr.fallback_treewalk");
+  Counter* batches = MetricsRegistry::Global().GetCounter("expr.batches");
+  const uint64_t compiled0 = compiled->value();
+  const uint64_t fallback0 = fallback->value();
+  const uint64_t batches0 = batches->value();
   LAWS_ASSIGN_OR_RETURN(HybridAnswer answer, Execute(sql));
   std::string out = sink.Render();
-  char buf[128];
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "expr: engine=%s compiled=%llu fallback_treewalk=%llu "
+                "batches=%llu\n",
+                GlobalExprEngine() == ExprEngine::kBytecode ? "bytecode"
+                                                            : "treewalk",
+                static_cast<unsigned long long>(compiled->value() - compiled0),
+                static_cast<unsigned long long>(fallback->value() - fallback0),
+                static_cast<unsigned long long>(batches->value() - batches0));
+  out += buf;
   std::snprintf(buf, sizeof(buf), "%zu row%s in %.3f ms\n",
                 answer.table.num_rows(),
                 answer.table.num_rows() == 1 ? "" : "s", total.ElapsedMillis());

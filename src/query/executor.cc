@@ -12,6 +12,7 @@
 #include "common/timer.h"
 #include "common/trace.h"
 #include "query/expr_eval.h"
+#include "query/vector_eval.h"
 #include "query/parser.h"
 
 namespace laws {
@@ -191,7 +192,7 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
   std::vector<Column> key_cols;
   key_cols.reserve(stmt.group_by.size());
   for (const auto& g : stmt.group_by) {
-    LAWS_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*g, input));
+    LAWS_ASSIGN_OR_RETURN(Column c, EvaluateExprAuto(*g, input));
     key_cols.push_back(std::move(c));
   }
   // Evaluate aggregate argument columns (once each).
@@ -203,7 +204,7 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
       continue;
     }
     LAWS_ASSIGN_OR_RETURN(Column c,
-                          EvaluateExpr(*s.node->children[0], input));
+                          EvaluateExprAuto(*s.node->children[0], input));
     // SUM/AVG/VARIANCE/STDDEV over a string argument is a planning-time
     // type error, not a data-dependent one (the old behavior errored only
     // when some group actually held a non-null string).
@@ -350,7 +351,7 @@ Result<Table> SortRows(Table table, const SelectStatement& stmt,
   if (keys.empty()) return table;
   std::vector<Column> key_cols;
   for (const auto& k : keys) {
-    LAWS_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*k, table));
+    LAWS_ASSIGN_OR_RETURN(Column c, EvaluateExprAuto(*k, table));
     key_cols.push_back(std::move(c));
   }
   std::vector<uint32_t> perm(table.num_rows());
@@ -558,9 +559,16 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
   const Table* current = &source;
   if (stmt.where != nullptr) {
     ScopedSpan span("Filter");
-    if (span.active()) span.SetDetail(stmt.where->ToString());
-    LAWS_ASSIGN_OR_RETURN(std::vector<uint32_t> selection,
-                          FilterRows(*stmt.where, source));
+    std::string disasm;
+    LAWS_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> selection,
+        FilterRowsAuto(*stmt.where, source,
+                       span.active() ? &disasm : nullptr));
+    if (span.active()) {
+      span.SetDetail(disasm.empty()
+                         ? stmt.where->ToString()
+                         : stmt.where->ToString() + " | bytecode: " + disasm);
+    }
     filtered = source.GatherRows(selection);
     current = &filtered;
     span.SetRows(source.num_rows(), filtered.num_rows());
@@ -661,10 +669,17 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
   Table post_having{Schema{}};
   if (having != nullptr) {
     ScopedSpan span("Filter[having]");
-    if (span.active()) span.SetDetail(having->ToString());
     const size_t rows_in = current->num_rows();
-    LAWS_ASSIGN_OR_RETURN(std::vector<uint32_t> selection,
-                          FilterRows(*having, *current));
+    std::string disasm;
+    LAWS_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> selection,
+        FilterRowsAuto(*having, *current,
+                       span.active() ? &disasm : nullptr));
+    if (span.active()) {
+      span.SetDetail(disasm.empty()
+                         ? having->ToString()
+                         : having->ToString() + " | bytecode: " + disasm);
+    }
     post_having = current->GatherRows(selection);
     current = &post_having;
     span.SetRows(rows_in, post_having.num_rows());
@@ -694,22 +709,24 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
   Table projected{Schema{}};
   {
     ScopedSpan span("Project");
-    if (span.active()) {
-      std::string items;
-      for (const SelectItem& item : projected_items) {
-        if (!items.empty()) items += ", ";
-        items += item.alias;
-      }
-      span.SetDetail(items);
-    }
     const size_t rows_in = current->num_rows();
     std::vector<Field> out_fields;
     std::vector<Column> out_cols;
+    std::string detail;
     for (const SelectItem& item : projected_items) {
-      LAWS_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*item.expr, *current));
+      std::string disasm;
+      LAWS_ASSIGN_OR_RETURN(
+          Column c, EvaluateExprAuto(*item.expr, *current,
+                                     span.active() ? &disasm : nullptr));
+      if (span.active()) {
+        if (!detail.empty()) detail += ", ";
+        detail += item.alias;
+        if (!disasm.empty()) detail += " | bytecode: " + disasm;
+      }
       out_fields.push_back(Field{item.alias, c.type(), true});
       out_cols.push_back(std::move(c));
     }
+    if (span.active()) span.SetDetail(detail);
     auto built =
         Table::FromColumns(Schema(std::move(out_fields)), std::move(out_cols));
     if (!built.ok()) return built.status();
@@ -851,6 +868,15 @@ Result<std::string> ExplainAnalyzeQuery(const Catalog& catalog,
                                         const std::string& sql) {
   TraceSink sink;
   Timer total;
+  // Expression-tier accounting for this query: the counters are process-
+  // global, so snapshot before and report the delta.
+  Counter* compiled = MetricsRegistry::Global().GetCounter("expr.compiled");
+  Counter* fallback =
+      MetricsRegistry::Global().GetCounter("expr.fallback_treewalk");
+  Counter* batches = MetricsRegistry::Global().GetCounter("expr.batches");
+  const uint64_t compiled0 = compiled->value();
+  const uint64_t fallback0 = fallback->value();
+  const uint64_t batches0 = batches->value();
   size_t result_rows = 0;
   {
     ScopedSpan span("Query");
@@ -863,7 +889,16 @@ Result<std::string> ExplainAnalyzeQuery(const Catalog& catalog,
     result_rows = result.num_rows();
   }
   std::string out = sink.Render();
-  char buf[96];
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "expr: engine=%s compiled=%llu fallback_treewalk=%llu "
+                "batches=%llu\n",
+                GlobalExprEngine() == ExprEngine::kBytecode ? "bytecode"
+                                                            : "treewalk",
+                static_cast<unsigned long long>(compiled->value() - compiled0),
+                static_cast<unsigned long long>(fallback->value() - fallback0),
+                static_cast<unsigned long long>(batches->value() - batches0));
+  out += buf;
   std::snprintf(buf, sizeof(buf), "%zu row%s in %.3f ms\n", result_rows,
                 result_rows == 1 ? "" : "s", total.ElapsedMillis());
   out += buf;

@@ -112,6 +112,68 @@ Status Column::AppendNull() {
   return Status::OK();
 }
 
+void Column::AppendInt64Batch(const int64_t* values, const uint8_t* null8,
+                              size_t n) {
+  assert(type_ == DataType::kInt64);
+  // No reserve(size+n) here: an exact-size reserve on every batch defeats
+  // the vector's geometric growth and turns repeated appends quadratic.
+  if (null8 == nullptr) {
+    int64_data_.insert(int64_data_.end(), values, values + n);
+    for (size_t i = 0; i < n; ++i) {
+      PushValidity(true);
+      ++size_;
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const bool valid = null8[i] == 0;
+    assert(nullable_ || valid);
+    PushValidity(valid);
+    int64_data_.push_back(valid ? values[i] : 0);
+    ++size_;
+  }
+}
+
+void Column::AppendDoubleBatch(const double* values, const uint8_t* null8,
+                               size_t n) {
+  assert(type_ == DataType::kDouble);
+  if (null8 == nullptr) {
+    double_data_.insert(double_data_.end(), values, values + n);
+    for (size_t i = 0; i < n; ++i) {
+      PushValidity(true);
+      ++size_;
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const bool valid = null8[i] == 0;
+    assert(nullable_ || valid);
+    PushValidity(valid);
+    double_data_.push_back(valid ? values[i] : 0.0);
+    ++size_;
+  }
+}
+
+void Column::AppendBoolBatch(const uint8_t* values, const uint8_t* null8,
+                             size_t n) {
+  assert(type_ == DataType::kBool);
+  if (null8 == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      PushValidity(true);
+      bool_data_.push_back(values[i] != 0 ? 1 : 0);
+      ++size_;
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const bool valid = null8[i] == 0;
+    assert(nullable_ || valid);
+    PushValidity(valid);
+    bool_data_.push_back(valid && values[i] != 0 ? 1 : 0);
+    ++size_;
+  }
+}
+
 Value Column::GetValue(size_t i) const {
   if (IsNull(i)) return Value::Null();
   switch (type_) {

@@ -44,6 +44,16 @@ class Column {
   /// Appends NULL; returns InvalidArgument for non-nullable columns.
   Status AppendNull();
 
+  /// Batch appends: the bulk materialization path for the vectorized
+  /// expression evaluator. `null8` is one byte per lane (1 = NULL, the
+  /// GatherNumericMasked convention) or nullptr when no lane is NULL;
+  /// NULL lanes append a zeroed backing slot exactly like AppendNull, so
+  /// the resulting column is byte-identical to per-element appends. The
+  /// column must be nullable when `null8` contains a set bit.
+  void AppendInt64Batch(const int64_t* values, const uint8_t* null8, size_t n);
+  void AppendDoubleBatch(const double* values, const uint8_t* null8, size_t n);
+  void AppendBoolBatch(const uint8_t* values, const uint8_t* null8, size_t n);
+
   // --- Element access ----------------------------------------------------
 
   bool IsNull(size_t i) const { return !ValidAt(i); }

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "query/executor.h"
 #include "query/parser.h"
+#include "query/vector_eval.h"
 #include "testing/reference_oracle.h"
 #include "testing/shrink.h"
 
@@ -127,25 +128,43 @@ CaseDiff DiffCase(const std::vector<GenTable>& tables,
 
   const OracleResult oracle = OracleExecuteSelect(*catalog, stmt);
 
+  // Per-tier matrix: the row-at-a-time tree-walker is the semantic
+  // reference for the compiled bytecode tier, which must match it
+  // bit-for-bit at 1 thread and at the default pool width. Every
+  // comparison is against tree-walk@1 so a single diverging tier is
+  // named directly.
+  const ExprEngine prev_engine = GlobalExprEngine();
   ThreadPool::SetGlobalThreadCount(1);
+  SetGlobalExprEngine(ExprEngine::kTreewalk);
   const Result<Table> exec1 = ExecuteSelect(*catalog, stmt);
+  SetGlobalExprEngine(ExprEngine::kBytecode);
+  const Result<Table> byte1 = ExecuteSelect(*catalog, stmt);
   ThreadPool::SetGlobalThreadCount(0);
-  const Result<Table> execn = ExecuteSelect(*catalog, stmt);
+  const Result<Table> byten = ExecuteSelect(*catalog, stmt);
+  SetGlobalExprEngine(prev_engine);
 
-  if (exec1.ok() != execn.ok()) {
-    out.reason = "executor thread-count divergence: 1-thread " +
-                 (exec1.ok() ? std::string("OK") : exec1.status().ToString()) +
-                 " vs default " +
-                 (execn.ok() ? std::string("OK") : execn.status().ToString());
-    return out;
-  }
-  if (exec1.ok()) {
-    std::string why;
-    if (!TablesEquivalent(*exec1, *execn, /*order_sensitive=*/true, &why)) {
-      out.reason = "executor thread-count divergence: " + why;
-      return out;
+  const auto tier_divergence =
+      [&](const char* name, const Result<Table>& other) -> std::string {
+    if (exec1.ok() != other.ok()) {
+      return std::string("executor tier divergence (treewalk@1 vs ") + name +
+             "): treewalk@1 " +
+             (exec1.ok() ? std::string("OK") : exec1.status().ToString()) +
+             " vs " +
+             (other.ok() ? std::string("OK") : other.status().ToString());
     }
-  }
+    if (exec1.ok()) {
+      std::string why;
+      if (!TablesEquivalent(*exec1, *other, /*order_sensitive=*/true, &why)) {
+        return std::string("executor tier divergence (treewalk@1 vs ") +
+               name + "): " + why;
+      }
+    }
+    return std::string();
+  };
+  out.reason = tier_divergence("bytecode@1", byte1);
+  if (!out.reason.empty()) return out;
+  out.reason = tier_divergence("bytecode@N", byten);
+  if (!out.reason.empty()) return out;
 
   if (!oracle.status.ok() && !exec1.ok()) {
     // Error-ness agrees; messages may legitimately differ.

@@ -53,8 +53,9 @@ struct DiffReport {
 bool TablesEquivalent(const Table& a, const Table& b, bool order_sensitive,
                       std::string* why);
 
-/// Outcome of diffing one statement across oracle, executor@1-thread and
-/// executor@default-threads.
+/// Outcome of diffing one statement across the oracle and the executor
+/// tier matrix: tree-walker@1-thread, bytecode@1-thread and
+/// bytecode@default-threads, all bit-identical or the case fails.
 struct CaseDiff {
   /// Both sides raised an error (counted as agreement).
   bool agreed_error = false;

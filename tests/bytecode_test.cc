@@ -1,0 +1,453 @@
+// Unit tests for the compiled expression tier (DESIGN.md §13): golden
+// programs out of the compiler, constant folding / CSE / type
+// specialization, §11 semantics parity against the tree-walker, and the
+// batch/scratch mechanics of the VM.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/bytecode.h"
+#include "query/expr_eval.h"
+#include "query/parser.h"
+#include "query/vector_eval.h"
+#include "storage/table.h"
+
+namespace laws {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field{"ia", DataType::kInt64, true},
+                 Field{"ib", DataType::kInt64, true},
+                 Field{"da", DataType::kDouble, true},
+                 Field{"db", DataType::kDouble, true},
+                 Field{"ba", DataType::kBool, true},
+                 Field{"sa", DataType::kString, true}});
+}
+
+// Parses the expression of `SELECT <expr> FROM t` (parser has no
+// standalone expression entry point).
+std::unique_ptr<Expr> ParseExpr(const std::string& text) {
+  auto stmt = ParseSelect("SELECT " + text + " FROM t");
+  EXPECT_TRUE(stmt.ok()) << text << ": " << stmt.status().ToString();
+  if (!stmt.ok()) return nullptr;
+  return std::move(stmt->select_list[0].expr);
+}
+
+std::optional<CompiledExpr> Compile(const std::string& text) {
+  auto expr = ParseExpr(text);
+  if (expr == nullptr) return std::nullopt;
+  return CompileExpr(*expr, TestSchema());
+}
+
+Table SmallTable() {
+  Table t{TestSchema()};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto row = [&](Value ia, Value ib, Value da, Value db, Value ba) {
+    EXPECT_TRUE(
+        t.AppendRow({std::move(ia), std::move(ib), std::move(da),
+                     std::move(db), std::move(ba), Value::String("s")})
+            .ok());
+  };
+  row(Value::Int64(1), Value::Int64(10), Value::Double(1.5),
+      Value::Double(2.0), Value::Bool(true));
+  row(Value::Int64(-7), Value::Int64(3), Value::Double(-0.0),
+      Value::Double(0.5), Value::Bool(false));
+  row(Value::Null(), Value::Int64(5), Value::Double(nan),
+      Value::Double(-3.25), Value::Null());
+  row(Value::Int64(9007199254740993LL),  // 2^53 + 1: comparison horizon
+      Value::Int64(9007199254740992LL), Value::Double(9007199254740992.0),
+      Value::Double(100.0), Value::Bool(true));
+  row(Value::Int64(0), Value::Null(), Value::Null(), Value::Double(0.25),
+      Value::Bool(false));
+  return t;
+}
+
+// Both engines over the same expression and table must agree bit-for-bit
+// (NaNs one class) including NULL-ness, or raise errors with identical
+// messages.
+void ExpectParity(const std::string& text, const Table& table) {
+  auto expr = ParseExpr(text);
+  ASSERT_NE(expr, nullptr);
+  auto compiled = CompileExpr(*expr, table.schema());
+  ASSERT_TRUE(compiled.has_value()) << text << " did not compile";
+  Result<Column> tw = EvaluateExpr(*expr, table);
+  BatchEvaluator eval;
+  Result<Column> bc = eval.Run(*compiled, table);
+  ASSERT_EQ(tw.ok(), bc.ok())
+      << text << ": treewalk " << (tw.ok() ? "ok" : tw.status().ToString())
+      << " vs bytecode " << (bc.ok() ? "ok" : bc.status().ToString());
+  if (!tw.ok()) {
+    EXPECT_EQ(tw.status().ToString(), bc.status().ToString()) << text;
+    return;
+  }
+  ASSERT_EQ(tw->size(), bc->size()) << text;
+  ASSERT_EQ(tw->type(), bc->type()) << text;
+  for (size_t i = 0; i < tw->size(); ++i) {
+    ASSERT_EQ(tw->IsNull(i), bc->IsNull(i)) << text << " row " << i;
+    if (tw->IsNull(i)) continue;
+    switch (tw->type()) {
+      case DataType::kDouble: {
+        const double a = tw->DoubleAt(i), b = bc->DoubleAt(i);
+        if (std::isnan(a) || std::isnan(b)) {
+          EXPECT_TRUE(std::isnan(a) && std::isnan(b)) << text << " row " << i;
+        } else {
+          uint64_t ba, bb;
+          std::memcpy(&ba, &a, 8);
+          std::memcpy(&bb, &b, 8);
+          EXPECT_EQ(ba, bb) << text << " row " << i << ": " << a << " vs "
+                            << b;
+        }
+        break;
+      }
+      case DataType::kInt64:
+        EXPECT_EQ(tw->Int64At(i), bc->Int64At(i)) << text << " row " << i;
+        break;
+      case DataType::kBool:
+        EXPECT_EQ(tw->BoolAt(i), bc->BoolAt(i)) << text << " row " << i;
+        break;
+      default:
+        FAIL() << "unexpected result type for " << text;
+    }
+  }
+}
+
+// --- Golden programs ------------------------------------------------------
+
+TEST(BytecodeCompilerTest, GoldenIntAdd) {
+  auto p = Compile("ia + 1");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ToString(),
+            "s0=loadcol.i64(ia); s1=const.i64(1); s1=add.i64(s0,s1)");
+  EXPECT_EQ(p->result_type, DataType::kInt64);
+  EXPECT_EQ(p->num_slots, 2);
+}
+
+TEST(BytecodeCompilerTest, GoldenMixedPromotesToDouble) {
+  auto p = Compile("ia * da");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ToString(),
+            "s0=loadcol.i64(ia); s1=loadcol.f64(da); s0=cast.i64.f64(s0); "
+            "s1=mul.f64(s0,s1)");
+  EXPECT_EQ(p->result_type, DataType::kDouble);
+}
+
+TEST(BytecodeCompilerTest, GoldenComparisonIsDoubleTyped) {
+  // §11: every numeric comparison goes through double coercion, even
+  // int64-vs-int64 (the 2^53 horizon is intentional, shared semantics).
+  auto p = Compile("ia < ib");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ToString(),
+            "s0=loadcol.i64(ia); s1=loadcol.i64(ib); s0=cast.i64.f64(s0); "
+            "s1=cast.i64.f64(s1); s1=cmplt.f64(s0,s1)");
+  EXPECT_EQ(p->result_type, DataType::kBool);
+}
+
+// --- Constant folding and CSE ---------------------------------------------
+
+TEST(BytecodeCompilerTest, ConstantSubtreeFoldsToOneLoad) {
+  auto p = Compile("da + (1 + 2 * 3)");
+  ASSERT_TRUE(p.has_value());
+  // The column-free subtree becomes a single constant instruction.
+  size_t consts = 0;
+  for (const auto& ins : p->code) {
+    consts += ins.op == OpCode::kConstI64 || ins.op == OpCode::kConstF64;
+  }
+  EXPECT_EQ(consts, 1u) << p->ToString();
+  EXPECT_EQ(p->constants.size(), 1u);
+  EXPECT_TRUE(p->constants[0].is_int64());
+  EXPECT_EQ(p->constants[0].int64(), 7);
+}
+
+TEST(BytecodeCompilerTest, FoldTimeErrorVetoesTheFold) {
+  // 1/0 errors at evaluation time in the tree-walker. Folding it at
+  // compile time would move the error; the compiler must leave the
+  // division in the program instead.
+  auto p = Compile("da + 1 / 0");
+  ASSERT_TRUE(p.has_value());
+  bool has_div = false;
+  for (const auto& ins : p->code) has_div |= ins.op == OpCode::kDivF64;
+  EXPECT_TRUE(has_div) << p->ToString();
+}
+
+TEST(BytecodeCompilerTest, SharedSubexpressionCompilesOnce) {
+  auto p = Compile("(da * db) + (da * db)");
+  ASSERT_TRUE(p.has_value());
+  size_t muls = 0;
+  for (const auto& ins : p->code) muls += ins.op == OpCode::kMulF64;
+  EXPECT_EQ(muls, 1u) << p->ToString();
+  // Without CSE this is 2 loads + mul twice; with it, the add reads the
+  // pinned mul slot for both operands.
+  const Instruction& last = p->code.back();
+  EXPECT_EQ(last.op, OpCode::kAddF64);
+  EXPECT_EQ(last.a, last.b);
+}
+
+TEST(BytecodeCompilerTest, NearEqualLiteralsDoNotShareARegister) {
+  // Regression (30k-sweep seeds 13278/19263): %.10g renders
+  // 1.0000000000001 as "1", so a CSE key built from Expr::ToString()
+  // conflated it with the integer literal 1 and rewired the second
+  // occurrence onto the first one's register — the comparison then ran
+  // against the wrong constant.
+  const Table t = SmallTable();
+  ExpectParity("((-1.0000000000001 * db) >= coalesce(-1, db, ib))", t);
+  ExpectParity(
+      "(ba = 1) OR (((ib / 1.0000000000001) >= ib) AND "
+      "((ib / 1.0000000000001) <= ib))",
+      t);
+}
+
+TEST(BytecodeCompilerTest, LiteralTypeCollisionKeepsCaseInt64) {
+  // int64 0 and double 0.0 both print "0"; under a text-keyed CSE the
+  // ELSE 0 inherited the double constant's register and type, promoting
+  // the CASE to DOUBLE where the tree-walker stays INT64 (seed 21765).
+  const std::string text = "CASE WHEN da >= 0.0 THEN ia ELSE 0 END";
+  auto p = Compile(text);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->result_type, DataType::kInt64) << p->ToString();
+  ExpectParity(text, SmallTable());
+}
+
+// --- Fallback boundary ----------------------------------------------------
+
+TEST(BytecodeCompilerTest, DeclinesNonCompilableShapes) {
+  EXPECT_FALSE(Compile("sa").has_value());              // string column
+  EXPECT_FALSE(Compile("'x'").has_value());             // string literal
+  EXPECT_FALSE(Compile("sa = 'x'").has_value());        // string compare
+  EXPECT_FALSE(Compile("SUM(ia)").has_value());         // aggregate
+  EXPECT_FALSE(Compile("frobnicate(da)").has_value());  // unknown function
+  EXPECT_FALSE(Compile("nosuchcol + 1").has_value());   // unknown column
+  EXPECT_FALSE(Compile("ia AND ba").has_value());       // type error
+}
+
+// --- §11 semantics parity -------------------------------------------------
+
+TEST(BytecodeSemanticsTest, ArithmeticParity) {
+  const Table t = SmallTable();
+  ExpectParity("ia + ib", t);
+  ExpectParity("da * db - ia", t);
+  ExpectParity("da / db", t);
+  ExpectParity("ia % ib", t);
+  ExpectParity("-da", t);
+  ExpectParity("-ia", t);
+  ExpectParity("abs(ia)", t);
+  ExpectParity("abs(da)", t);
+  ExpectParity("ln(db)", t);       // negative db rows produce NaN
+  ExpectParity("sqrt(da)", t);     // negative/-0.0 rows
+  ExpectParity("pow(da, 2)", t);
+}
+
+TEST(BytecodeSemanticsTest, NaNComparisonClasses) {
+  // The NaN row must land in the same truth bucket on both engines:
+  // NaN > x and NaN >= x are TRUE, ==/</<= FALSE (three-way compare puts
+  // NaN in the "greater" class).
+  const Table t = SmallTable();
+  for (const char* cmp : {"=", "<>", "<", "<=", ">", ">="}) {
+    ExpectParity(std::string("da ") + cmp + " db", t);
+    ExpectParity(std::string("da ") + cmp + " 0.0", t);
+  }
+}
+
+TEST(BytecodeSemanticsTest, SignedZeroSurvivesBothEngines) {
+  const Table t = SmallTable();
+  // Row 1 has da = -0.0; the bit pattern must round-trip both engines
+  // (ExpectParity compares raw bits, not ==).
+  ExpectParity("da", t);
+  ExpectParity("da * 1.0", t);
+  ExpectParity("-da", t);
+}
+
+TEST(BytecodeSemanticsTest, CheckedInt64OverflowParity) {
+  Table t{Schema({Field{"ia", DataType::kInt64, true}})};
+  ASSERT_TRUE(t.AppendRow({Value::Int64(INT64_MAX)}).ok());
+  auto expr = ParseExpr("ia + 1");
+  ASSERT_NE(expr, nullptr);
+  auto compiled = CompileExpr(*expr, t.schema());
+  ASSERT_TRUE(compiled.has_value());
+  Result<Column> tw = EvaluateExpr(*expr, t);
+  BatchEvaluator eval;
+  Result<Column> bc = eval.Run(*compiled, t);
+  ASSERT_FALSE(tw.ok());
+  ASSERT_FALSE(bc.ok());
+  EXPECT_EQ(tw.status().ToString(), bc.status().ToString());
+  EXPECT_NE(bc.status().ToString().find("integer overflow in arithmetic"),
+            std::string::npos);
+}
+
+TEST(BytecodeSemanticsTest, Int64MinEdgeCasesParity) {
+  Table t{Schema({Field{"ia", DataType::kInt64, true},
+                  Field{"ib", DataType::kInt64, true}})};
+  ASSERT_TRUE(
+      t.AppendRow({Value::Int64(INT64_MIN), Value::Int64(-1)}).ok());
+  // INT64_MIN % -1 is defined as 0 (not a trap) on both engines.
+  ExpectParity("ia % ib", t);
+  // -INT64_MIN and abs(INT64_MIN) must error identically.
+  for (const char* text : {"-ia", "abs(ia)"}) {
+    auto expr = ParseExpr(text);
+    ASSERT_NE(expr, nullptr);
+    auto compiled = CompileExpr(*expr, t.schema());
+    ASSERT_TRUE(compiled.has_value());
+    Result<Column> tw = EvaluateExpr(*expr, t);
+    BatchEvaluator eval;
+    Result<Column> bc = eval.Run(*compiled, t);
+    ASSERT_FALSE(tw.ok()) << text;
+    ASSERT_FALSE(bc.ok()) << text;
+    EXPECT_EQ(tw.status().ToString(), bc.status().ToString()) << text;
+  }
+}
+
+TEST(BytecodeSemanticsTest, DivisionByZeroSkipsNullLanes) {
+  // The divisor is NULL on one row and 0.0 on none; no error may fire
+  // for the NULL lane's scratch contents.
+  Table t{Schema({Field{"da", DataType::kDouble, true},
+                  Field{"db", DataType::kDouble, true}})};
+  ASSERT_TRUE(t.AppendRow({Value::Double(1.0), Value::Double(2.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Double(1.0), Value::Null()}).ok());
+  ExpectParity("da / db", t);
+  ExpectParity("da % db", t);
+  // And a real 0.0 divisor on a non-NULL lane errors on both engines.
+  ASSERT_TRUE(t.AppendRow({Value::Double(1.0), Value::Double(0.0)}).ok());
+  auto expr = ParseExpr("da / db");
+  auto compiled = CompileExpr(*expr, t.schema());
+  ASSERT_TRUE(compiled.has_value());
+  Result<Column> tw = EvaluateExpr(*expr, t);
+  BatchEvaluator eval;
+  Result<Column> bc = eval.Run(*compiled, t);
+  ASSERT_FALSE(tw.ok());
+  ASSERT_FALSE(bc.ok());
+  EXPECT_EQ(tw.status().ToString(), bc.status().ToString());
+}
+
+TEST(BytecodeSemanticsTest, ThreeValuedLogicParity) {
+  const Table t = SmallTable();
+  ExpectParity("ba AND da > 0", t);
+  ExpectParity("ba OR da > 0", t);
+  ExpectParity("NOT ba", t);
+  ExpectParity("(da > 0 AND db > 0) OR ba", t);
+}
+
+TEST(BytecodeSemanticsTest, CaseCoalesceNullifParity) {
+  const Table t = SmallTable();
+  ExpectParity("CASE WHEN da > 0 THEN ia ELSE ib END", t);
+  ExpectParity("CASE WHEN da > 0 THEN 1 WHEN db > 0 THEN 2 END", t);
+  ExpectParity("CASE WHEN ba THEN da ELSE ia END", t);  // mixed -> double
+  ExpectParity("coalesce(da, db)", t);
+  ExpectParity("coalesce(ia, ib)", t);
+  ExpectParity("coalesce(da, ia, 0)", t);
+  ExpectParity("nullif(ia, 1)", t);
+  ExpectParity("nullif(da, db)", t);
+}
+
+TEST(BytecodeSemanticsTest, ComparisonHorizonAt2Pow53) {
+  // 2^53 + 1 == 2^53 compares TRUE through double coercion on both
+  // engines — the shared (documented) horizon, not a divergence.
+  const Table t = SmallTable();
+  ExpectParity("ia = ib", t);
+  ExpectParity("ia = da", t);
+}
+
+// --- VM mechanics ---------------------------------------------------------
+
+TEST(BytecodeVmTest, TinyBatchesCrossBoundariesCorrectly) {
+  // batch_size 3 over 5 rows: 2 batches, the second partial. Results must
+  // be identical to the default batch size and the tree-walker.
+  const Table t = SmallTable();
+  auto expr = ParseExpr("da * 2.0 + ia");
+  ASSERT_NE(expr, nullptr);
+  auto compiled = CompileExpr(*expr, t.schema());
+  ASSERT_TRUE(compiled.has_value());
+  BatchEvaluator tiny(3);
+  Result<Column> small = tiny.Run(*compiled, t);
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  Result<Column> tw = EvaluateExpr(*expr, t);
+  ASSERT_TRUE(tw.ok());
+  ASSERT_EQ(small->size(), tw->size());
+  for (size_t i = 0; i < tw->size(); ++i) {
+    ASSERT_EQ(small->IsNull(i), tw->IsNull(i)) << i;
+    if (tw->IsNull(i)) continue;
+    const double a = small->DoubleAt(i), b = tw->DoubleAt(i);
+    if (std::isnan(b)) {
+      EXPECT_TRUE(std::isnan(a)) << i;
+    } else {
+      EXPECT_EQ(a, b) << i;
+    }
+  }
+}
+
+TEST(BytecodeVmTest, ScratchReuseIsBitIdenticalAcrossRuns) {
+  // One evaluator, many runs over different programs and tables: stale
+  // scratch from run N must never leak into run N+1.
+  const Table t = SmallTable();
+  BatchEvaluator eval;
+  auto run = [&](const std::string& text) {
+    auto expr = ParseExpr(text);
+    auto compiled = CompileExpr(*expr, t.schema());
+    EXPECT_TRUE(compiled.has_value()) << text;
+    Result<Column> c = eval.Run(*compiled, t);
+    EXPECT_TRUE(c.ok()) << text;
+    return std::move(c).value();
+  };
+  const Column first = run("da + db");
+  run("coalesce(da, ia, -1)");  // different program dirties the slots
+  run("ia - ib");  // (ia * ib would overflow on the 2^53 row)
+  const Column again = run("da + db");
+  ASSERT_EQ(first.size(), again.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first.IsNull(i), again.IsNull(i)) << i;
+    if (first.IsNull(i)) continue;
+    uint64_t ba, bb;
+    const double a = first.DoubleAt(i), b = again.DoubleAt(i);
+    std::memcpy(&ba, &a, 8);
+    std::memcpy(&bb, &b, 8);
+    EXPECT_EQ(ba, bb) << i;
+  }
+}
+
+TEST(BytecodeVmTest, FilterMatchesTreewalkSelection) {
+  const Table t = SmallTable();
+  auto expr = ParseExpr("da > 0 AND ia < 100");
+  ASSERT_NE(expr, nullptr);
+  Result<std::vector<uint32_t>> tw = FilterRows(*expr, t);
+  ASSERT_TRUE(tw.ok());
+  SetGlobalExprEngine(ExprEngine::kBytecode);
+  Result<std::vector<uint32_t>> bc = FilterRowsAuto(*expr, t);
+  ASSERT_TRUE(bc.ok());
+  EXPECT_EQ(*tw, *bc);
+}
+
+TEST(BytecodeVmTest, NonBooleanFilterDiagnosesLikeTreewalk) {
+  const Table t = SmallTable();
+  auto expr = ParseExpr("da + db");
+  ASSERT_NE(expr, nullptr);
+  Result<std::vector<uint32_t>> tw = FilterRows(*expr, t);
+  SetGlobalExprEngine(ExprEngine::kBytecode);
+  Result<std::vector<uint32_t>> bc = FilterRowsAuto(*expr, t);
+  ASSERT_FALSE(tw.ok());
+  ASSERT_FALSE(bc.ok());
+  EXPECT_EQ(tw.status().ToString(), bc.status().ToString());
+}
+
+TEST(BytecodeVmTest, TreewalkToggleForcesFallback) {
+  const Table t = SmallTable();
+  auto expr = ParseExpr("da + 1.0");
+  ASSERT_NE(expr, nullptr);
+  SetGlobalExprEngine(ExprEngine::kTreewalk);
+  std::string disasm = "unset";
+  Result<Column> r = EvaluateExprAuto(*expr, t, &disasm);
+  SetGlobalExprEngine(ExprEngine::kBytecode);
+  ASSERT_TRUE(r.ok());
+  // Forced treewalk never compiles, so the disassembly stays empty.
+  EXPECT_EQ(disasm, "");
+  std::string disasm2;
+  Result<Column> r2 = EvaluateExprAuto(*expr, t, &disasm2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(disasm2.find("add.f64"), std::string::npos) << disasm2;
+}
+
+}  // namespace
+}  // namespace laws

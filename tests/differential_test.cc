@@ -145,6 +145,22 @@ TEST(DifferentialTest, MutationSmokeCatchesInjectedBug) {
   EXPECT_FALSE(diff.reason.empty())
       << "injected aggregate bug was not detected";
 }
+
+// The bytecode tier carries its own planted mutant (the compiled f64
+// adder drops the last lane of every batch), which only the tree-walk vs
+// bytecode leg of the matrix can see — proving the new tier is actually
+// under differential test, not shadowed by the tree-walker.
+TEST(DifferentialTest, MutationSmokeCatchesInjectedBytecodeBug) {
+  GenTable t;
+  t.name = "t0";
+  t.columns = {GenColumn{"da", DataType::kDouble, false}};
+  t.rows = {{Value::Double(1.5)}, {Value::Double(2.5)}, {Value::Double(4.0)}};
+  auto stmt = ParseSelect("SELECT da + 100.25 FROM t0");
+  ASSERT_TRUE(stmt.ok());
+  const CaseDiff diff = DiffCase({t}, *stmt);
+  EXPECT_FALSE(diff.reason.empty())
+      << "injected bytecode adder bug was not detected";
+}
 #else
 // Same case in a healthy build: must agree (guards against the smoke test
 // passing for the wrong reason).
@@ -157,6 +173,17 @@ TEST(DifferentialTest, MutationSmokeCaseAgreesWhenHealthy) {
             {Value::Int64(1), Value::Int64(2)},
             {Value::Int64(2), Value::Int64(5)}};
   auto stmt = ParseSelect("SELECT g, SUM(v) FROM t0 GROUP BY g");
+  ASSERT_TRUE(stmt.ok());
+  const CaseDiff diff = DiffCase({t}, *stmt);
+  EXPECT_TRUE(diff.reason.empty()) << diff.reason;
+}
+
+TEST(DifferentialTest, BytecodeMutationSmokeCaseAgreesWhenHealthy) {
+  GenTable t;
+  t.name = "t0";
+  t.columns = {GenColumn{"da", DataType::kDouble, false}};
+  t.rows = {{Value::Double(1.5)}, {Value::Double(2.5)}, {Value::Double(4.0)}};
+  auto stmt = ParseSelect("SELECT da + 100.25 FROM t0");
   ASSERT_TRUE(stmt.ok());
   const CaseDiff diff = DiffCase({t}, *stmt);
   EXPECT_TRUE(diff.reason.empty()) << diff.reason;

@@ -935,10 +935,16 @@ TEST(ExplainAnalyzeTest, RendersStageTreeWithRowsAndTimings) {
   // -> groups {1.0, 2.0, NaN, NULL}.
   EXPECT_NE(text->find("Parse"), std::string::npos);
   EXPECT_NE(text->find("Scan  rows=6->6"), std::string::npos);
-  EXPECT_NE(text->find("Filter((id > 1))  rows=6->5"), std::string::npos);
+  // The filter stage carries its compiled bytecode program (§13).
+  EXPECT_NE(text->find("Filter((id > 1) | bytecode: "), std::string::npos);
+  EXPECT_NE(text->find("cmpgt.f64"), std::string::npos);
+  EXPECT_NE(text->find("rows=6->5"), std::string::npos);
   EXPECT_NE(text->find("HashAggregate(v)  rows=5->4"), std::string::npos);
   EXPECT_NE(text->find("Sort(__key0 ASC)  rows=4->4"), std::string::npos);
   EXPECT_NE(text->find("time="), std::string::npos);
+  // Expression-tier accounting rides below the tree.
+  EXPECT_NE(text->find("expr: engine=bytecode compiled="),
+            std::string::npos);
   EXPECT_NE(text->find("4 rows in"), std::string::npos);
 }
 

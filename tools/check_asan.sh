@@ -6,6 +6,11 @@
 # script. The bench-only allocation counter is automatically stubbed out in
 # sanitizer builds (sanitizers own malloc).
 #
+# The compiled expression tier is covered here through bytecode_test (VM
+# slot/scratch reuse, batch-boundary reads) and differential_test (the
+# tree-walk/bytecode tier matrix runs inside the sweep), so out-of-bounds
+# lane access in the register VM fails this gate.
+#
 # Usage: tools/check_asan.sh [ctest-args...]
 #   LAWS_ASAN_BUILD_DIR  override the build tree (default: build-asan)
 #   LAWS_ASAN_JOBS       parallel build jobs (default: nproc)

@@ -9,6 +9,11 @@
 #   LAWS_COV_BUILD_DIR  override the build tree (default: build-cov)
 #   LAWS_COV_JOBS       parallel build jobs (default: nproc)
 #   LAWS_COV_MIN        fail if total line coverage (%) falls below this
+#   LAWS_COV_BYTECODE_MIN  per-file floor (%) for the compiled expression
+#                          tier (src/query/bytecode* + vector_eval*);
+#                          default 75 — a correctness-critical tier whose
+#                          bugs only surface as silent wrong answers must
+#                          not quietly lose its tests
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,11 +34,13 @@ mkdir -p "$GCOV_DIR"
     xargs -0 -r gcov --json-format --preserve-paths >/dev/null 2>&1 || true
 )
 
-python3 - "$GCOV_DIR" "$ROOT" "${LAWS_COV_MIN:-0}" <<'PY'
+python3 - "$GCOV_DIR" "$ROOT" "${LAWS_COV_MIN:-0}" \
+  "${LAWS_COV_BYTECODE_MIN:-75}" <<'PY'
 import glob, gzip, json, os, sys
 from collections import defaultdict
 
 gcov_dir, root, cov_min = sys.argv[1], sys.argv[2], float(sys.argv[3])
+bytecode_min = float(sys.argv[4])
 src_prefix = os.path.join(root, "src") + os.sep
 
 # file -> line -> hit (unioned across translation units)
@@ -69,6 +76,26 @@ for d in sorted(by_dir):
     print(f"{d:<24} {cov:>9} {total:>9} {100.0 * cov / total:>6.1f}%")
 pct = 100.0 * tot_cov / tot_all
 print(f"{'TOTAL':<24} {tot_cov:>9} {tot_all:>9} {pct:>6.1f}%")
+
+# Per-file floor for the compiled expression tier: wrong bytecode means
+# silently wrong query answers, so its sources carry their own gate.
+failed = False
+for rel in sorted(lines):
+    base = os.path.basename(rel)
+    if not (rel.startswith(os.path.join("src", "query")) and
+            (base.startswith("bytecode") or base.startswith("vector_eval"))):
+        continue
+    linemap = lines[rel]
+    fcov = sum(1 for hit in linemap.values() if hit)
+    fpct = 100.0 * fcov / len(linemap) if linemap else 0.0
+    marker = ""
+    if bytecode_min > 0 and fpct < bytecode_min:
+        marker = f"  << below LAWS_COV_BYTECODE_MIN={bytecode_min:g}%"
+        failed = True
+    print(f"{rel:<40} {fcov:>7} {len(linemap):>7} {fpct:>6.1f}%{marker}")
+if failed:
+    sys.exit(1)
+
 if cov_min > 0 and pct < cov_min:
     print(f"coverage {pct:.1f}% is below LAWS_COV_MIN={cov_min}%")
     sys.exit(1)

@@ -2,13 +2,18 @@
 # Differential query-correctness gate. Two phases:
 #
 #  1. Sweep: builds the suite under ASan+UBSan and runs the seeded
-#     generator sweep — every query executed by the vectorized engine (1
-#     thread and default width) and by the row-at-a-time reference oracle,
-#     diffed for bit identity, plus the AQP error-bound audit. Any
-#     divergence is shrunk and printed with its replay seed.
+#     generator sweep — every query executed across the executor tier
+#     matrix (tree-walking expressions @1 thread, compiled bytecode @1
+#     thread and @default width) and by the row-at-a-time reference
+#     oracle, diffed for bit identity, plus the AQP error-bound audit.
+#     Any divergence is shrunk and printed with its replay seed. The
+#     sweep then repeats with LAWS_EXPR_TREEWALK=1 so the env toggle's
+#     forced-fallback path is itself exercised end to end.
 #  2. Mutation smoke: rebuilds with -DLAWS_TESTING_INJECT_BUG=ON (a
-#     guarded off-by-one in the hash-aggregate sweep) and asserts the
-#     harness flags it — proof the oracle comparison can actually fail.
+#     guarded off-by-one in the hash-aggregate sweep AND a dropped last
+#     lane in the bytecode f64 adder) and asserts the harness flags
+#     both — proof the oracle comparison and the tier matrix can
+#     actually fail.
 #
 # Usage: tools/check_differential.sh
 #   LAWS_FUZZ_QUERIES      queries in the sweep (default 2000)
@@ -34,13 +39,17 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 echo "== differential sweep: $QUERIES queries under ASan/UBSan =="
 LAWS_FUZZ_QUERIES="$QUERIES" "$BUILD_DIR/tests/differential_test"
 
-echo "== mutation smoke: injected hash-aggregate bug must be caught =="
+echo "== differential sweep again with LAWS_EXPR_TREEWALK=1 (forced fallback) =="
+LAWS_EXPR_TREEWALK=1 LAWS_FUZZ_QUERIES="$QUERIES" \
+  "$BUILD_DIR/tests/differential_test"
+
+echo "== mutation smoke: injected aggregate + bytecode bugs must be caught =="
 cmake -B "$MUTANT_DIR" -S . -DLAWS_TESTING_INJECT_BUG=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$MUTANT_DIR" -j "$JOBS" --target differential_test
 "$MUTANT_DIR/tests/differential_test" \
-  --gtest_filter='DifferentialTest.MutationSmokeCatchesInjectedBug'
+  --gtest_filter='DifferentialTest.MutationSmokeCatchesInjectedBug:DifferentialTest.MutationSmokeCatchesInjectedBytecodeBug'
 
 echo "Differential gate passed: $QUERIES queries agreed with the oracle" \
-     "(zero mismatches, zero AQP bound violations) and the harness" \
-     "detected the injected executor bug."
+     "across the tree-walk/bytecode tier matrix (zero mismatches, zero" \
+     "AQP bound violations) and the harness detected both injected bugs."

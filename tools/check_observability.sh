@@ -8,7 +8,11 @@
 #  2. an exact-fallback query (COUNT(*)) renders the ExactScan subtree
 #     with its fallback reason;
 #  3. `metrics` reports the hybrid arbitration counters that those two
-#     queries must have bumped, and `metrics reset` zeroes them.
+#     queries must have bumped, and `metrics reset` zeroes them;
+#  4. the compiled expression tier (DESIGN.md §13) is visible: a filtered
+#     exact query renders the compiled bytecode program and the `expr:`
+#     counter line, and LAWS_EXPR_TREEWALK=1 flips the whole surface to
+#     the tree-walker (engine=treewalk, no program dumps).
 #
 # Usage: tools/check_observability.sh
 #   LAWS_OBS_BUILD_DIR  override the build tree (default: build)
@@ -29,6 +33,7 @@ out="$(printf '%s\n' \
   'fit measurements power_law wavelength intensity group source' \
   'explain analyze SELECT intensity FROM measurements WHERE source = 42 AND wavelength = 0.15' \
   'explain analyze SELECT COUNT(*) FROM measurements' \
+  'explain analyze SELECT COUNT(*) FROM measurements WHERE intensity > 0.0' \
   'metrics' \
   'metrics reset' \
   'metrics' \
@@ -65,8 +70,9 @@ grep -q 'answered by: exact (COUNT(\*)' <<<"$out" \
 #    and the fit phase reported its dispatch tally.
 grep -Eq 'aqp\.hybrid\.model_hit +1' <<<"$out" \
   || fail "aqp.hybrid.model_hit != 1"
-grep -Eq 'aqp\.hybrid\.exact_fallback +1' <<<"$out" \
-  || fail "aqp.hybrid.exact_fallback != 1"
+# Two exact fallbacks now: bare COUNT(*) and the filtered COUNT(*).
+grep -Eq 'aqp\.hybrid\.exact_fallback +2' <<<"$out" \
+  || fail "aqp.hybrid.exact_fallback != 2"
 grep -Eq 'fit\.groups_fitted +100' <<<"$out" \
   || fail "fit.groups_fitted != 100"
 grep -q 'metrics reset' <<<"$out" || fail "metrics reset not acknowledged"
@@ -78,4 +84,25 @@ if grep -q 'aqp.hybrid.model_hit' <<<"$post_reset"; then
   fail "counters survived metrics reset"
 fi
 
-echo "Observability gate passed: EXPLAIN ANALYZE (model + exact) and metrics OK."
+# 4a. Compiled expression tier: the filtered exact query's Filter span
+#     must carry the compiled program dump, and the expr: accounting
+#     line must say the bytecode engine compiled something.
+grep -q 'bytecode: ' <<<"$out" || fail "no compiled-program dump in spans"
+grep -q 'cmpgt.f64' <<<"$out" || fail "predicate program missing cmpgt.f64"
+grep -Eq 'expr: engine=bytecode compiled=[1-9]' <<<"$out" \
+  || fail "no expr: engine=bytecode accounting line"
+
+# 4b. The escape hatch: with LAWS_EXPR_TREEWALK=1 the same query must
+#     report engine=treewalk and render no program dumps.
+tw_out="$(printf '%s\n' \
+  'gen lofar 100 4000' \
+  'explain analyze SELECT COUNT(*) FROM measurements WHERE intensity > 0.0' \
+  'quit' | LAWS_EXPR_TREEWALK=1 "$BUILD_DIR/examples/lawsdb_shell")"
+grep -q 'expr: engine=treewalk' <<<"$tw_out" \
+  || { out="$tw_out"; fail "LAWS_EXPR_TREEWALK=1 did not force treewalk"; }
+if grep -q 'bytecode: ' <<<"$tw_out"; then
+  out="$tw_out"; fail "treewalk mode still dumped compiled programs"
+fi
+
+echo "Observability gate passed: EXPLAIN ANALYZE (model + exact + bytecode" \
+     "tier) and metrics OK."

@@ -4,6 +4,12 @@
 # ThreadPool subsystem or the parallel fitting/compression/generation
 # paths fails this script.
 #
+# Expression-engine state under test here: the global engine toggle is an
+# atomic, per-thread VM scratch is thread_local, and the expr.* metrics
+# counters are the registry's atomics — differential_test flips the
+# toggle while the pool runs at LAWS_THREADS>1, so a race in any of them
+# surfaces in this gate.
+#
 # Usage: tools/check_tsan.sh [ctest-args...]
 #   LAWS_TSAN_BUILD_DIR  override the build tree (default: build-tsan)
 #   LAWS_TSAN_JOBS       parallel build jobs (default: nproc)
