@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "query/compressed_scan.h"
 #include "query/executor.h"
 #include "query/parser.h"
 #include "query/vector_eval.h"
@@ -148,9 +149,18 @@ Result<std::string> HybridQueryEngine::ExplainAnalyze(
   Counter* fallback =
       MetricsRegistry::Global().GetCounter("expr.fallback_treewalk");
   Counter* batches = MetricsRegistry::Global().GetCounter("expr.batches");
+  Counter* blocks = MetricsRegistry::Global().GetCounter("scan.blocks_total");
+  Counter* pruned = MetricsRegistry::Global().GetCounter("scan.blocks_pruned");
+  Counter* run_skips =
+      MetricsRegistry::Global().GetCounter("scan.runs_skipped");
+  Counter* enc_agg = MetricsRegistry::Global().GetCounter("scan.encoded_agg");
   const uint64_t compiled0 = compiled->value();
   const uint64_t fallback0 = fallback->value();
   const uint64_t batches0 = batches->value();
+  const uint64_t blocks0 = blocks->value();
+  const uint64_t pruned0 = pruned->value();
+  const uint64_t run_skips0 = run_skips->value();
+  const uint64_t enc_agg0 = enc_agg->value();
   LAWS_ASSIGN_OR_RETURN(HybridAnswer answer, Execute(sql));
   std::string out = sink.Render();
   char buf[160];
@@ -162,6 +172,16 @@ Result<std::string> HybridQueryEngine::ExplainAnalyze(
                 static_cast<unsigned long long>(compiled->value() - compiled0),
                 static_cast<unsigned long long>(fallback->value() - fallback0),
                 static_cast<unsigned long long>(batches->value() - batches0));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "scan: engine=%s blocks=%llu pruned=%llu runs_skipped=%llu "
+      "encoded_agg=%llu\n",
+      GlobalScanEngine() == ScanEngine::kCompressed ? "compressed" : "decode",
+      static_cast<unsigned long long>(blocks->value() - blocks0),
+      static_cast<unsigned long long>(pruned->value() - pruned0),
+      static_cast<unsigned long long>(run_skips->value() - run_skips0),
+      static_cast<unsigned long long>(enc_agg->value() - enc_agg0));
   out += buf;
   std::snprintf(buf, sizeof(buf), "%zu row%s in %.3f ms\n",
                 answer.table.num_rows(),

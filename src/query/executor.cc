@@ -11,33 +11,15 @@
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "compress/block_store.h"
+#include "query/agg_state.h"
+#include "query/compressed_scan.h"
 #include "query/expr_eval.h"
 #include "query/vector_eval.h"
 #include "query/parser.h"
 
 namespace laws {
 namespace {
-
-/// Accumulator for one aggregate over one group. SQL semantics: NULLs are
-/// ignored; COUNT(*) counts rows; empty groups cannot occur (hash groups
-/// exist only for seen keys).
-struct AggState {
-  size_t count = 0;       // non-null inputs (or rows for COUNT(*))
-  double sum = 0.0;
-  double min = std::numeric_limits<double>::infinity();
-  double max = -std::numeric_limits<double>::infinity();
-  // Welford accumulators for VARIANCE/STDDEV.
-  double mean = 0.0;
-  double m2 = 0.0;
-  bool any = false;
-  // MIN/MAX skip NaN, so a group whose inputs were all NaN never updates
-  // min/max; this flag distinguishes that case (result NaN) from the
-  // untouched ±inf seeds leaking out.
-  bool saw_comparable = false;
-  // For MIN/MAX over strings.
-  std::string smin, smax;
-  bool is_string = false;
-};
 
 /// A unique aggregate call discovered in the statement.
 struct AggSlot {
@@ -151,39 +133,8 @@ std::string MakeGroupKey(const std::vector<Column>& key_cols, size_t row) {
   return key;
 }
 
-Value AggFinalValue(const Expr& agg, const AggState& s) {
-  switch (agg.aggregate_func) {
-    case AggregateFunc::kCount:
-      return Value::Int64(static_cast<int64_t>(s.count));
-    case AggregateFunc::kSum:
-      return s.any ? Value::Double(s.sum) : Value::Null();
-    case AggregateFunc::kAvg:
-      return s.count > 0 ? Value::Double(s.sum / static_cast<double>(s.count))
-                         : Value::Null();
-    case AggregateFunc::kMin:
-      if (!s.any) return Value::Null();
-      if (s.is_string) return Value::String(s.smin);
-      return s.saw_comparable
-                 ? Value::Double(s.min)
-                 : Value::Double(std::numeric_limits<double>::quiet_NaN());
-    case AggregateFunc::kMax:
-      if (!s.any) return Value::Null();
-      if (s.is_string) return Value::String(s.smax);
-      return s.saw_comparable
-                 ? Value::Double(s.max)
-                 : Value::Double(std::numeric_limits<double>::quiet_NaN());
-    case AggregateFunc::kVariance:
-      return s.count > 1 && !s.is_string
-                 ? Value::Double(s.m2 / static_cast<double>(s.count - 1))
-                 : Value::Null();
-    case AggregateFunc::kStddev:
-      return s.count > 1 && !s.is_string
-                 ? Value::Double(
-                       std::sqrt(s.m2 / static_cast<double>(s.count - 1)))
-                 : Value::Null();
-  }
-  return Value::Null();
-}
+// AggState and AggFinalValue live in query/agg_state.h, shared with the
+// encoded run-weighted aggregator (compressed_scan.cc).
 
 Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
                         const std::vector<AggSlot>& slots,
@@ -195,106 +146,126 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
     LAWS_ASSIGN_OR_RETURN(Column c, EvaluateExprAuto(*g, input));
     key_cols.push_back(std::move(c));
   }
-  // Evaluate aggregate argument columns (once each).
-  std::vector<Column> arg_cols;
-  arg_cols.reserve(slots.size());
-  for (const AggSlot& s : slots) {
-    if (s.is_star) {
-      arg_cols.emplace_back(DataType::kInt64);  // unused placeholder
-      continue;
-    }
-    LAWS_ASSIGN_OR_RETURN(Column c,
-                          EvaluateExprAuto(*s.node->children[0], input));
-    // SUM/AVG/VARIANCE/STDDEV over a string argument is a planning-time
-    // type error, not a data-dependent one (the old behavior errored only
-    // when some group actually held a non-null string).
-    const AggregateFunc func = s.node->aggregate_func;
-    if (c.type() == DataType::kString &&
-        (func == AggregateFunc::kSum || func == AggregateFunc::kAvg ||
-         func == AggregateFunc::kVariance ||
-         func == AggregateFunc::kStddev)) {
-      return Status::TypeMismatch(std::string(AggregateFuncToString(func)) +
-                                  "() requires a numeric argument");
-    }
-    arg_cols.push_back(std::move(c));
-  }
-
-  // Pass 1: hash rows into groups. Only the key columns are touched here;
-  // each row records its group ordinal for the columnar update pass.
-  std::unordered_map<std::string, size_t> group_index;
   std::vector<size_t> representative_row;  // first row of each group
   std::vector<std::vector<AggState>> states;
-  const size_t n = input.num_rows();
-  std::vector<uint32_t> group_of(n);
-  for (size_t row = 0; row < n; ++row) {
-    const std::string key = MakeGroupKey(key_cols, row);
-    auto [it, inserted] = group_index.emplace(key, states.size());
-    if (inserted) {
-      representative_row.push_back(row);
-      states.emplace_back(slots.size());
+  std::vector<Column> arg_cols;
+
+  // Global aggregations over an indexed base table can often be folded
+  // from zone statistics and run views without touching rows (DESIGN.md
+  // §14). EncodedGlobalAggregate only answers when the fold is provably
+  // bit-identical to the sweep below, so the shortcut is invisible to
+  // everything downstream.
+  bool encoded = false;
+  if (stmt.group_by.empty()) {
+    std::vector<const Expr*> nodes;
+    nodes.reserve(slots.size());
+    for (const AggSlot& s : slots) nodes.push_back(s.node);
+    if (auto enc = EncodedGlobalAggregate(input, nodes)) {
+      states.push_back(std::move(*enc));
+      representative_row.push_back(0);
+      encoded = true;
     }
-    group_of[row] = static_cast<uint32_t>(it->second);
   }
 
-  // Pass 2: one columnar sweep per aggregate slot. Numeric arguments are
-  // materialized with a single bulk GatherNumericMasked — one type
-  // dispatch per column instead of a Result-wrapped NumericAt per cell.
-  // Rows are processed in table order, so the Welford mean/m2 recurrences
-  // see values in exactly the same order (and produce bit-identical
-  // results) as the old row-at-a-time loop.
-  std::vector<uint32_t> all_rows(n);
-  for (size_t i = 0; i < n; ++i) all_rows[i] = static_cast<uint32_t>(i);
-  std::vector<double> arg_values(n);
-  std::vector<uint8_t> arg_nulls(n);
-  for (size_t a = 0; a < slots.size(); ++a) {
-    if (slots[a].is_star) {
-      for (size_t row = 0; row < n; ++row) {
-        AggState& s = states[group_of[row]][a];
-        ++s.count;
-        s.any = true;
+  if (!encoded) {
+    // Evaluate aggregate argument columns (once each).
+    arg_cols.reserve(slots.size());
+    for (const AggSlot& s : slots) {
+      if (s.is_star) {
+        arg_cols.emplace_back(DataType::kInt64);  // unused placeholder
+        continue;
       }
-      continue;
-    }
-    const Column& arg = arg_cols[a];
-    if (arg.type() == DataType::kString) {
-      // Strings keep the element-wise path (dictionary lookups, ordering).
-      for (size_t row = 0; row < n; ++row) {
-        if (arg.IsNull(row)) continue;
-        AggState& s = states[group_of[row]][a];
-        ++s.count;
-        s.any = true;
-        s.is_string = true;
-        const std::string v(arg.StringAt(row));
-        if (s.count == 1 || v < s.smin) s.smin = v;
-        if (s.count == 1 || v > s.smax) s.smax = v;
+      LAWS_ASSIGN_OR_RETURN(Column c,
+                            EvaluateExprAuto(*s.node->children[0], input));
+      // SUM/AVG/VARIANCE/STDDEV over a string argument is a planning-time
+      // type error, not a data-dependent one (the old behavior errored only
+      // when some group actually held a non-null string).
+      const AggregateFunc func = s.node->aggregate_func;
+      if (c.type() == DataType::kString &&
+          (func == AggregateFunc::kSum || func == AggregateFunc::kAvg ||
+           func == AggregateFunc::kVariance ||
+           func == AggregateFunc::kStddev)) {
+        return Status::TypeMismatch(std::string(AggregateFuncToString(func)) +
+                                    "() requires a numeric argument");
       }
-      continue;
+      arg_cols.push_back(std::move(c));
     }
-    const auto gathered =
-        arg.GatherNumericMasked(all_rows.data(), n, arg_values.data(),
-                                arg_nulls.data());
-    if (!gathered.ok()) return gathered.status();
+
+    // Pass 1: hash rows into groups. Only the key columns are touched here;
+    // each row records its group ordinal for the columnar update pass.
+    std::unordered_map<std::string, size_t> group_index;
+    const size_t n = input.num_rows();
+    std::vector<uint32_t> group_of(n);
+    for (size_t row = 0; row < n; ++row) {
+      const std::string key = MakeGroupKey(key_cols, row);
+      auto [it, inserted] = group_index.emplace(key, states.size());
+      if (inserted) {
+        representative_row.push_back(row);
+        states.emplace_back(slots.size());
+      }
+      group_of[row] = static_cast<uint32_t>(it->second);
+    }
+
+    // Pass 2: one columnar sweep per aggregate slot. Numeric arguments are
+    // materialized with a single bulk GatherNumericMasked — one type
+    // dispatch per column instead of a Result-wrapped NumericAt per cell.
+    // Rows are processed in table order, so the Welford mean/m2 recurrences
+    // see values in exactly the same order (and produce bit-identical
+    // results) as the old row-at-a-time loop.
+    std::vector<uint32_t> all_rows(n);
+    for (size_t i = 0; i < n; ++i) all_rows[i] = static_cast<uint32_t>(i);
+    std::vector<double> arg_values(n);
+    std::vector<uint8_t> arg_nulls(n);
+    for (size_t a = 0; a < slots.size(); ++a) {
+      if (slots[a].is_star) {
+        for (size_t row = 0; row < n; ++row) {
+          AggState& s = states[group_of[row]][a];
+          ++s.count;
+          s.any = true;
+        }
+        continue;
+      }
+      const Column& arg = arg_cols[a];
+      if (arg.type() == DataType::kString) {
+        // Strings keep the element-wise path (dictionary lookups, ordering).
+        for (size_t row = 0; row < n; ++row) {
+          if (arg.IsNull(row)) continue;
+          AggState& s = states[group_of[row]][a];
+          ++s.count;
+          s.any = true;
+          s.is_string = true;
+          const std::string v(arg.StringAt(row));
+          if (s.count == 1 || v < s.smin) s.smin = v;
+          if (s.count == 1 || v > s.smax) s.smax = v;
+        }
+        continue;
+      }
+      const auto gathered =
+          arg.GatherNumericMasked(all_rows.data(), n, arg_values.data(),
+                                  arg_nulls.data());
+      if (!gathered.ok()) return gathered.status();
 #ifdef LAWS_TESTING_INJECT_BUG
-    // Deliberate off-by-one for the mutation smoke check in
-    // tools/check_differential.sh: the merge sweep drops the last input
-    // row. Never defined in production builds.
-    const size_t sweep_rows = n > 0 ? n - 1 : 0;
+      // Deliberate off-by-one for the mutation smoke check in
+      // tools/check_differential.sh: the merge sweep drops the last input
+      // row. Never defined in production builds.
+      const size_t sweep_rows = n > 0 ? n - 1 : 0;
 #else
-    const size_t sweep_rows = n;
+      const size_t sweep_rows = n;
 #endif
-    for (size_t row = 0; row < sweep_rows; ++row) {
-      if (arg_nulls[row]) continue;
-      AggState& s = states[group_of[row]][a];
-      ++s.count;
-      s.any = true;
-      const double v = arg_values[row];
-      if (!std::isnan(v)) s.saw_comparable = true;
-      s.sum += v;
-      s.min = std::min(s.min, v);
-      s.max = std::max(s.max, v);
-      const double delta = v - s.mean;
-      s.mean += delta / static_cast<double>(s.count);
-      s.m2 += delta * (v - s.mean);
+      for (size_t row = 0; row < sweep_rows; ++row) {
+        if (arg_nulls[row]) continue;
+        AggState& s = states[group_of[row]][a];
+        ++s.count;
+        s.any = true;
+        const double v = arg_values[row];
+        if (!std::isnan(v)) s.saw_comparable = true;
+        s.sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+        const double delta = v - s.mean;
+        s.mean += delta / static_cast<double>(s.count);
+        s.m2 += delta * (v - s.mean);
+      }
     }
   }
 
@@ -559,15 +530,30 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
   const Table* current = &source;
   if (stmt.where != nullptr) {
     ScopedSpan span("Filter");
-    std::string disasm;
-    LAWS_ASSIGN_OR_RETURN(
-        std::vector<uint32_t> selection,
-        FilterRowsAuto(*stmt.where, source,
-                       span.active() ? &disasm : nullptr));
-    if (span.active()) {
-      span.SetDetail(disasm.empty()
-                         ? stmt.where->ToString()
-                         : stmt.where->ToString() + " | bytecode: " + disasm);
+    std::vector<uint32_t> selection;
+    // Compressed-domain first: when the table carries a block index and
+    // the predicate is in the conservative class, zone maps prune whole
+    // blocks and RLE runs batch the rest (DESIGN.md §14) — bit-identical
+    // to the decode path or declined, never approximate.
+    ScanStats scan_stats;
+    if (auto compressed =
+            CompressedFilterRows(*stmt.where, source, &scan_stats)) {
+      selection = std::move(*compressed);
+      if (span.active()) {
+        span.SetDetail(stmt.where->ToString() + " | " +
+                       scan_stats.Describe());
+      }
+    } else {
+      std::string disasm;
+      LAWS_ASSIGN_OR_RETURN(
+          selection,
+          FilterRowsAuto(*stmt.where, source,
+                         span.active() ? &disasm : nullptr));
+      if (span.active()) {
+        span.SetDetail(disasm.empty() ? stmt.where->ToString()
+                                      : stmt.where->ToString() +
+                                            " | bytecode: " + disasm);
+      }
     }
     filtered = source.GatherRows(selection);
     current = &filtered;
@@ -759,6 +745,12 @@ Result<Table> ExecuteSelect(const Catalog& catalog,
   executed->Add();
   LAWS_ASSIGN_OR_RETURN(TablePtr table, catalog.Get(stmt.from_table));
   if (stmt.join_table.empty()) {
+    // Register (or refresh) the block index for the base table so the
+    // compressed scan tier can serve this and later queries. Joined and
+    // derived tables stay unindexed — they fall back to decode.
+    if (GlobalScanEngine() == ScanEngine::kCompressed) {
+      EnsureBlockIndex(table);
+    }
     return ExecuteSelectOnTable(*table, stmt);
   }
   LAWS_ASSIGN_OR_RETURN(TablePtr right, catalog.Get(stmt.join_table));
@@ -874,9 +866,18 @@ Result<std::string> ExplainAnalyzeQuery(const Catalog& catalog,
   Counter* fallback =
       MetricsRegistry::Global().GetCounter("expr.fallback_treewalk");
   Counter* batches = MetricsRegistry::Global().GetCounter("expr.batches");
+  Counter* blocks = MetricsRegistry::Global().GetCounter("scan.blocks_total");
+  Counter* pruned = MetricsRegistry::Global().GetCounter("scan.blocks_pruned");
+  Counter* run_skips =
+      MetricsRegistry::Global().GetCounter("scan.runs_skipped");
+  Counter* enc_agg = MetricsRegistry::Global().GetCounter("scan.encoded_agg");
   const uint64_t compiled0 = compiled->value();
   const uint64_t fallback0 = fallback->value();
   const uint64_t batches0 = batches->value();
+  const uint64_t blocks0 = blocks->value();
+  const uint64_t pruned0 = pruned->value();
+  const uint64_t run_skips0 = run_skips->value();
+  const uint64_t enc_agg0 = enc_agg->value();
   size_t result_rows = 0;
   {
     ScopedSpan span("Query");
@@ -898,6 +899,16 @@ Result<std::string> ExplainAnalyzeQuery(const Catalog& catalog,
                 static_cast<unsigned long long>(compiled->value() - compiled0),
                 static_cast<unsigned long long>(fallback->value() - fallback0),
                 static_cast<unsigned long long>(batches->value() - batches0));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "scan: engine=%s blocks=%llu pruned=%llu runs_skipped=%llu "
+      "encoded_agg=%llu\n",
+      GlobalScanEngine() == ScanEngine::kCompressed ? "compressed" : "decode",
+      static_cast<unsigned long long>(blocks->value() - blocks0),
+      static_cast<unsigned long long>(pruned->value() - pruned0),
+      static_cast<unsigned long long>(run_skips->value() - run_skips0),
+      static_cast<unsigned long long>(enc_agg->value() - enc_agg0));
   out += buf;
   std::snprintf(buf, sizeof(buf), "%zu row%s in %.3f ms\n", result_rows,
                 result_rows == 1 ? "" : "s", total.ElapsedMillis());

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "compress/block_store.h"
+#include "query/compressed_scan.h"
 #include "query/executor.h"
 #include "query/parser.h"
 #include "query/vector_eval.h"
@@ -128,20 +130,38 @@ CaseDiff DiffCase(const std::vector<GenTable>& tables,
 
   const OracleResult oracle = OracleExecuteSelect(*catalog, stmt);
 
-  // Per-tier matrix: the row-at-a-time tree-walker is the semantic
-  // reference for the compiled bytecode tier, which must match it
-  // bit-for-bit at 1 thread and at the default pool width. Every
-  // comparison is against tree-walk@1 so a single diverging tier is
+  // Per-tier matrix: the row-at-a-time tree-walker on the decode path is
+  // the semantic reference. The compiled bytecode tier must match it
+  // bit-for-bit at 1 thread and at the default pool width, and the
+  // compressed scan tier (zone-map pruning + run-aware evaluation +
+  // encoded aggregation) must match it under both expression engines.
+  // Every comparison is against treewalk@1 so a single diverging tier is
   // named directly.
   const ExprEngine prev_engine = GlobalExprEngine();
+  const ScanEngine prev_scan = GlobalScanEngine();
+  const size_t prev_block_rows = ScanBlockRows();
   ThreadPool::SetGlobalThreadCount(1);
+  SetGlobalScanEngine(ScanEngine::kDecode);
   SetGlobalExprEngine(ExprEngine::kTreewalk);
   const Result<Table> exec1 = ExecuteSelect(*catalog, stmt);
   SetGlobalExprEngine(ExprEngine::kBytecode);
   const Result<Table> byte1 = ExecuteSelect(*catalog, stmt);
   ThreadPool::SetGlobalThreadCount(0);
   const Result<Table> byten = ExecuteSelect(*catalog, stmt);
+  // Compressed tiers run with a deliberately tiny block size so the
+  // fuzzer's small tables span many blocks and the prune/take/run-merge
+  // machinery genuinely engages instead of degenerating to one block.
+  SetGlobalScanEngine(ScanEngine::kCompressed);
+  SetScanBlockRows(8);
+  const Result<Table> comp_byten = ExecuteSelect(*catalog, stmt);
+  ThreadPool::SetGlobalThreadCount(1);
+  const Result<Table> comp_byte1 = ExecuteSelect(*catalog, stmt);
+  SetGlobalExprEngine(ExprEngine::kTreewalk);
+  const Result<Table> comp_tree1 = ExecuteSelect(*catalog, stmt);
   SetGlobalExprEngine(prev_engine);
+  SetGlobalScanEngine(prev_scan);
+  SetScanBlockRows(prev_block_rows);
+  ThreadPool::SetGlobalThreadCount(0);
 
   const auto tier_divergence =
       [&](const char* name, const Result<Table>& other) -> std::string {
@@ -164,6 +184,12 @@ CaseDiff DiffCase(const std::vector<GenTable>& tables,
   out.reason = tier_divergence("bytecode@1", byte1);
   if (!out.reason.empty()) return out;
   out.reason = tier_divergence("bytecode@N", byten);
+  if (!out.reason.empty()) return out;
+  out.reason = tier_divergence("compressed+bytecode@1", comp_byte1);
+  if (!out.reason.empty()) return out;
+  out.reason = tier_divergence("compressed+bytecode@N", comp_byten);
+  if (!out.reason.empty()) return out;
+  out.reason = tier_divergence("compressed+treewalk@1", comp_tree1);
   if (!out.reason.empty()) return out;
 
   if (!oracle.status.ok() && !exec1.ok()) {

@@ -161,6 +161,24 @@ TEST(DifferentialTest, MutationSmokeCatchesInjectedBytecodeBug) {
   EXPECT_FALSE(diff.reason.empty())
       << "injected bytecode adder bug was not detected";
 }
+
+// The compressed scan tier's planted mutant shrinks every zone-map max by
+// one ulp, so a predicate sitting exactly on a block maximum wrongly
+// prunes that block. 17 sorted rows span three 8-row blocks under the
+// harness block size; `ia >= 17` must keep exactly the last block, which
+// the mutant discards — only the compressed-vs-decode legs of the matrix
+// can see it.
+TEST(DifferentialTest, MutationSmokeCatchesInjectedZoneMapBug) {
+  GenTable t;
+  t.name = "t0";
+  t.columns = {GenColumn{"ia", DataType::kInt64, false}};
+  for (int i = 1; i <= 17; ++i) t.rows.push_back({Value::Int64(i)});
+  auto stmt = ParseSelect("SELECT ia FROM t0 WHERE ia >= 17");
+  ASSERT_TRUE(stmt.ok());
+  const CaseDiff diff = DiffCase({t}, *stmt);
+  EXPECT_FALSE(diff.reason.empty())
+      << "injected zone-map pruning bug was not detected";
+}
 #else
 // Same case in a healthy build: must agree (guards against the smoke test
 // passing for the wrong reason).
@@ -184,6 +202,17 @@ TEST(DifferentialTest, BytecodeMutationSmokeCaseAgreesWhenHealthy) {
   t.columns = {GenColumn{"da", DataType::kDouble, false}};
   t.rows = {{Value::Double(1.5)}, {Value::Double(2.5)}, {Value::Double(4.0)}};
   auto stmt = ParseSelect("SELECT da + 100.25 FROM t0");
+  ASSERT_TRUE(stmt.ok());
+  const CaseDiff diff = DiffCase({t}, *stmt);
+  EXPECT_TRUE(diff.reason.empty()) << diff.reason;
+}
+
+TEST(DifferentialTest, ZoneMapMutationSmokeCaseAgreesWhenHealthy) {
+  GenTable t;
+  t.name = "t0";
+  t.columns = {GenColumn{"ia", DataType::kInt64, false}};
+  for (int i = 1; i <= 17; ++i) t.rows.push_back({Value::Int64(i)});
+  auto stmt = ParseSelect("SELECT ia FROM t0 WHERE ia >= 17");
   ASSERT_TRUE(stmt.ok());
   const CaseDiff diff = DiffCase({t}, *stmt);
   EXPECT_TRUE(diff.reason.empty()) << diff.reason;

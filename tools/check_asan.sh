@@ -9,7 +9,12 @@
 # The compiled expression tier is covered here through bytecode_test (VM
 # slot/scratch reuse, batch-boundary reads) and differential_test (the
 # tree-walk/bytecode tier matrix runs inside the sweep), so out-of-bounds
-# lane access in the register VM fails this gate.
+# lane access in the register VM fails this gate. The compressed scan
+# tier rides the same suite: compressed_scan_test walks zone maps and RLE
+# runs directly, and differential_test's matrix executes every sweep
+# query through the compressed tier at an 8-row block size, so overreads
+# in block slicing, run merging, or the encoded aggregate folds fail
+# sanitized here too.
 #
 # Usage: tools/check_asan.sh [ctest-args...]
 #   LAWS_ASAN_BUILD_DIR  override the build tree (default: build-asan)

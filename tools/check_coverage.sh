@@ -9,11 +9,12 @@
 #   LAWS_COV_BUILD_DIR  override the build tree (default: build-cov)
 #   LAWS_COV_JOBS       parallel build jobs (default: nproc)
 #   LAWS_COV_MIN        fail if total line coverage (%) falls below this
-#   LAWS_COV_BYTECODE_MIN  per-file floor (%) for the compiled expression
-#                          tier (src/query/bytecode* + vector_eval*);
-#                          default 75 — a correctness-critical tier whose
-#                          bugs only surface as silent wrong answers must
-#                          not quietly lose its tests
+#   LAWS_COV_BYTECODE_MIN  per-file floor (%) for the correctness-critical
+#                          scan/expression tiers (src/query/bytecode* +
+#                          vector_eval* + compressed_scan*, and
+#                          src/compress/block_store*); default 75 — tiers
+#                          whose bugs only surface as silent wrong answers
+#                          must not quietly lose their tests
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -77,13 +78,18 @@ for d in sorted(by_dir):
 pct = 100.0 * tot_cov / tot_all
 print(f"{'TOTAL':<24} {tot_cov:>9} {tot_all:>9} {pct:>6.1f}%")
 
-# Per-file floor for the compiled expression tier: wrong bytecode means
-# silently wrong query answers, so its sources carry their own gate.
+# Per-file floor for the compiled expression tier and the compressed scan
+# tier: wrong bytecode or wrong pruning means silently wrong query
+# answers, so their sources carry their own gate.
 failed = False
 for rel in sorted(lines):
     base = os.path.basename(rel)
-    if not (rel.startswith(os.path.join("src", "query")) and
-            (base.startswith("bytecode") or base.startswith("vector_eval"))):
+    in_query = rel.startswith(os.path.join("src", "query")) and (
+        base.startswith("bytecode") or base.startswith("vector_eval") or
+        base.startswith("compressed_scan"))
+    in_compress = rel.startswith(os.path.join("src", "compress")) and \
+        base.startswith("block_store")
+    if not (in_query or in_compress):
         continue
     linemap = lines[rel]
     fcov = sum(1 for hit in linemap.values() if hit)

@@ -4,16 +4,18 @@
 #  1. Sweep: builds the suite under ASan+UBSan and runs the seeded
 #     generator sweep — every query executed across the executor tier
 #     matrix (tree-walking expressions @1 thread, compiled bytecode @1
-#     thread and @default width) and by the row-at-a-time reference
-#     oracle, diffed for bit identity, plus the AQP error-bound audit.
-#     Any divergence is shrunk and printed with its replay seed. The
-#     sweep then repeats with LAWS_EXPR_TREEWALK=1 so the env toggle's
-#     forced-fallback path is itself exercised end to end.
+#     thread and @default width, plus the compressed scan tier under
+#     both expression engines at a tiny block size) and by the
+#     row-at-a-time reference oracle, diffed for bit identity, plus the
+#     AQP error-bound audit. Any divergence is shrunk and printed with
+#     its replay seed. The sweep then repeats with LAWS_EXPR_TREEWALK=1
+#     and LAWS_SCAN_DECODE=1 so both env toggles' forced-fallback paths
+#     are themselves exercised end to end.
 #  2. Mutation smoke: rebuilds with -DLAWS_TESTING_INJECT_BUG=ON (a
-#     guarded off-by-one in the hash-aggregate sweep AND a dropped last
-#     lane in the bytecode f64 adder) and asserts the harness flags
-#     both — proof the oracle comparison and the tier matrix can
-#     actually fail.
+#     guarded off-by-one in the hash-aggregate sweep, a dropped last
+#     lane in the bytecode f64 adder, AND a one-ulp shrink of every
+#     zone-map max) and asserts the harness flags all three — proof the
+#     oracle comparison and the tier matrix can actually fail.
 #
 # Usage: tools/check_differential.sh
 #   LAWS_FUZZ_QUERIES      queries in the sweep (default 2000)
@@ -43,13 +45,18 @@ echo "== differential sweep again with LAWS_EXPR_TREEWALK=1 (forced fallback) ==
 LAWS_EXPR_TREEWALK=1 LAWS_FUZZ_QUERIES="$QUERIES" \
   "$BUILD_DIR/tests/differential_test"
 
-echo "== mutation smoke: injected aggregate + bytecode bugs must be caught =="
+echo "== differential sweep again with LAWS_SCAN_DECODE=1 (compressed tier off) =="
+LAWS_SCAN_DECODE=1 LAWS_FUZZ_QUERIES="$QUERIES" \
+  "$BUILD_DIR/tests/differential_test"
+
+echo "== mutation smoke: injected aggregate + bytecode + zone-map bugs must be caught =="
 cmake -B "$MUTANT_DIR" -S . -DLAWS_TESTING_INJECT_BUG=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$MUTANT_DIR" -j "$JOBS" --target differential_test
 "$MUTANT_DIR/tests/differential_test" \
-  --gtest_filter='DifferentialTest.MutationSmokeCatchesInjectedBug:DifferentialTest.MutationSmokeCatchesInjectedBytecodeBug'
+  --gtest_filter='DifferentialTest.MutationSmokeCatchesInjectedBug:DifferentialTest.MutationSmokeCatchesInjectedBytecodeBug:DifferentialTest.MutationSmokeCatchesInjectedZoneMapBug'
 
 echo "Differential gate passed: $QUERIES queries agreed with the oracle" \
-     "across the tree-walk/bytecode tier matrix (zero mismatches, zero" \
-     "AQP bound violations) and the harness detected both injected bugs."
+     "across the tree-walk/bytecode/compressed tier matrix (zero" \
+     "mismatches, zero AQP bound violations) and the harness detected all" \
+     "three injected bugs."

@@ -10,9 +10,16 @@
 #  3. `metrics` reports the hybrid arbitration counters that those two
 #     queries must have bumped, and `metrics reset` zeroes them;
 #  4. the compiled expression tier (DESIGN.md §13) is visible: a filtered
-#     exact query renders the compiled bytecode program and the `expr:`
+#     exact query (with an arithmetic predicate the compressed tier
+#     declines) renders the compiled bytecode program and the `expr:`
 #     counter line, and LAWS_EXPR_TREEWALK=1 flips the whole surface to
-#     the tree-walker (engine=treewalk, no program dumps).
+#     the tree-walker (engine=treewalk, no program dumps);
+#  5. the compressed scan tier (DESIGN.md §14) is visible: with a small
+#     block size a selective filter on the clustered source column shows
+#     a `zonescan:` Filter detail with pruned blocks, the `scan:` line
+#     reports engine=compressed with nonzero pruning, the scan.* counters
+#     appear in `metrics`, and LAWS_SCAN_DECODE=1 flips the surface back
+#     to engine=decode with no zonescan details.
 #
 # Usage: tools/check_observability.sh
 #   LAWS_OBS_BUILD_DIR  override the build tree (default: build)
@@ -33,7 +40,7 @@ out="$(printf '%s\n' \
   'fit measurements power_law wavelength intensity group source' \
   'explain analyze SELECT intensity FROM measurements WHERE source = 42 AND wavelength = 0.15' \
   'explain analyze SELECT COUNT(*) FROM measurements' \
-  'explain analyze SELECT COUNT(*) FROM measurements WHERE intensity > 0.0' \
+  'explain analyze SELECT COUNT(*) FROM measurements WHERE intensity * 2.0 > 0.0' \
   'metrics' \
   'metrics reset' \
   'metrics' \
@@ -96,7 +103,7 @@ grep -Eq 'expr: engine=bytecode compiled=[1-9]' <<<"$out" \
 #     report engine=treewalk and render no program dumps.
 tw_out="$(printf '%s\n' \
   'gen lofar 100 4000' \
-  'explain analyze SELECT COUNT(*) FROM measurements WHERE intensity > 0.0' \
+  'explain analyze SELECT COUNT(*) FROM measurements WHERE intensity * 2.0 > 0.0' \
   'quit' | LAWS_EXPR_TREEWALK=1 "$BUILD_DIR/examples/lawsdb_shell")"
 grep -q 'expr: engine=treewalk' <<<"$tw_out" \
   || { out="$tw_out"; fail "LAWS_EXPR_TREEWALK=1 did not force treewalk"; }
@@ -104,5 +111,35 @@ if grep -q 'bytecode: ' <<<"$tw_out"; then
   out="$tw_out"; fail "treewalk mode still dumped compiled programs"
 fi
 
+# 5a. Compressed scan tier: force many small blocks so the clustered
+#     `source` column actually gets pruned, and assert the whole surface:
+#     per-span zonescan detail, the scan: summary line, and the counters.
+scan_out="$(printf '%s\n' \
+  'gen lofar 100 4000' \
+  'explain analyze SELECT COUNT(*) FROM measurements WHERE source = 1' \
+  'metrics' \
+  'quit' | LAWS_SCAN_BLOCK_ROWS=64 "$BUILD_DIR/examples/lawsdb_shell")"
+grep -Eq 'zonescan: blocks=[0-9]+ pruned=[1-9]' <<<"$scan_out" \
+  || { out="$scan_out"; fail "no zonescan Filter detail with pruned blocks"; }
+grep -Eq 'scan: engine=compressed blocks=[0-9]+ pruned=[1-9]' <<<"$scan_out" \
+  || { out="$scan_out"; fail "scan: line missing or reports zero pruning"; }
+grep -Eq 'scan\.blocks_pruned +[1-9]' <<<"$scan_out" \
+  || { out="$scan_out"; fail "scan.blocks_pruned counter not reported"; }
+grep -Eq 'scan\.index_builds +[1-9]' <<<"$scan_out" \
+  || { out="$scan_out"; fail "scan.index_builds counter not reported"; }
+
+# 5b. The escape hatch: LAWS_SCAN_DECODE=1 must force the decode path —
+#     engine=decode on the scan: line and no zonescan span details.
+dec_out="$(printf '%s\n' \
+  'gen lofar 100 4000' \
+  'explain analyze SELECT COUNT(*) FROM measurements WHERE source = 1' \
+  'quit' | LAWS_SCAN_DECODE=1 LAWS_SCAN_BLOCK_ROWS=64 \
+  "$BUILD_DIR/examples/lawsdb_shell")"
+grep -q 'scan: engine=decode' <<<"$dec_out" \
+  || { out="$dec_out"; fail "LAWS_SCAN_DECODE=1 did not force decode"; }
+if grep -q 'zonescan: ' <<<"$dec_out"; then
+  out="$dec_out"; fail "decode mode still produced zonescan details"
+fi
+
 echo "Observability gate passed: EXPLAIN ANALYZE (model + exact + bytecode" \
-     "tier) and metrics OK."
+     "tier + compressed scans) and metrics OK."

@@ -8,7 +8,11 @@
 # atomic, per-thread VM scratch is thread_local, and the expr.* metrics
 # counters are the registry's atomics — differential_test flips the
 # toggle while the pool runs at LAWS_THREADS>1, so a race in any of them
-# surfaces in this gate.
+# surfaces in this gate. Compressed-scan state is exercised the same way:
+# the scan-engine toggle and block-rows knob are atomics, the scan.*
+# counters are registry atomics, and the shared block-index cache is
+# mutex-guarded — differential_test flips engines and block sizes while
+# registering indexes, so a race in the cache or counters surfaces here.
 #
 # Usage: tools/check_tsan.sh [ctest-args...]
 #   LAWS_TSAN_BUILD_DIR  override the build tree (default: build-tsan)
