@@ -14,6 +14,8 @@
 // Also scriptable: pipe commands via stdin (used by the repo's smoke
 // checks). Type `help` for the full command list.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -24,6 +26,7 @@
 #include "aqp/domain.h"
 #include "aqp/hybrid.h"
 #include "aqp/model_aqp.h"
+#include "common/governor.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/advisor.h"
@@ -32,12 +35,25 @@
 #include "core/session.h"
 #include "lofar/generator.h"
 #include "query/executor.h"
+#include "query/query_context.h"
 #include "storage/csv.h"
 #include "workload/retail.h"
 
 namespace {
 
 using namespace laws;
+
+/// Governor of the query currently executing (nullptr when idle), so the
+/// SIGINT handler can request cooperative cancellation instead of
+/// killing the shell. Cancel() is lock-free atomics + clock_gettime,
+/// both async-signal-safe.
+std::atomic<QueryGovernor*> g_active_governor{nullptr};
+
+void HandleSigint(int) {
+  if (QueryGovernor* gov = g_active_governor.load(std::memory_order_acquire)) {
+    gov->Cancel();
+  }
+}
 
 struct Shell {
   Catalog data;
@@ -46,6 +62,30 @@ struct Shell {
   Session session{&data, &models};
   ModelQueryEngine aqp{&data, &models, &domains};
   HybridQueryEngine hybrid{&data, &aqp};
+  /// Per-query resource limits, seeded from LAWS_QUERY_TIMEOUT_MS /
+  /// LAWS_QUERY_MEMBUDGET_MB and adjusted by `timeout` / `membudget`.
+  ResourceLimits limits = QueryContext::LimitsFromEnv();
+  /// Set by the `cancel` command: the next governed query starts
+  /// pre-canceled. The shell reads commands and runs queries on one
+  /// thread, so a scripted `cancel` cannot land mid-flight — arming the
+  /// next query is how piped scripts exercise the cancellation path
+  /// end-to-end. Interactive Ctrl-C cancels the in-flight query instead.
+  bool cancel_armed = false;
+
+  /// Runs `fn` under a fresh governor carrying the shell's current
+  /// limits, published so the SIGINT handler can cancel it.
+  template <typename Fn>
+  auto Governed(Fn&& fn) -> decltype(fn()) {
+    QueryContext ctx(limits);
+    if (cancel_armed) {
+      ctx.Cancel();
+      cancel_armed = false;
+    }
+    g_active_governor.store(&ctx.governor(), std::memory_order_release);
+    auto result = ctx.Run(fn);
+    g_active_governor.store(nullptr, std::memory_order_release);
+    return result;
+  }
 
   void PrintTable(const Table& t, size_t max_rows = 12) {
     std::printf("%s", t.ToString(max_rows).c_str());
@@ -77,6 +117,12 @@ struct Shell {
         "  load <path> [tolerant]         restore; 'tolerant' quarantines\n"
         "                                 corrupt sections instead of failing\n"
         "  inspect <path>                 image sections + checksum status\n"
+        "  timeout [ms]                   set (or show) per-query deadline;\n"
+        "                                 0 = unlimited\n"
+        "  membudget [mb]                 set (or show) per-query memory\n"
+        "                                 budget; 0 = unlimited\n"
+        "  cancel                         pre-cancel the next query (Ctrl-C\n"
+        "                                 cancels a running one)\n"
         "  help | quit\n");
   }
 
@@ -235,7 +281,7 @@ struct Shell {
     } else if (EqualsIgnoreCase(command, "sql")) {
       std::string query;
       std::getline(in, query);
-      auto result = ExecuteQuery(data, query);
+      auto result = Governed([&] { return ExecuteQuery(data, query); });
       if (!result.ok()) {
         std::printf("error: %s\n", result.status().ToString().c_str());
       } else {
@@ -254,7 +300,8 @@ struct Shell {
       if (EqualsIgnoreCase(first, "analyze")) {
         std::string rest;
         std::getline(peek, rest);
-        auto analyzed = hybrid.ExplainAnalyze(std::string(Trim(rest)));
+        auto analyzed = Governed(
+            [&] { return hybrid.ExplainAnalyze(std::string(Trim(rest))); });
         if (!analyzed.ok()) {
           std::printf("error: %s\n", analyzed.status().ToString().c_str());
         } else {
@@ -280,7 +327,7 @@ struct Shell {
     } else if (EqualsIgnoreCase(command, "approx")) {
       std::string query;
       std::getline(in, query);
-      auto answer = aqp.Execute(query);
+      auto answer = Governed([&] { return aqp.Execute(query); });
       if (!answer.ok()) {
         std::printf("error: %s\n", answer.status().ToString().c_str());
       } else {
@@ -418,6 +465,42 @@ struct Shell {
                     static_cast<size_t>(s.length),
                     s.crc_ok ? "OK" : "FAILED");
       }
+    } else if (EqualsIgnoreCase(command, "timeout")) {
+      int64_t ms = 0;
+      if (in >> ms && ms >= 0) {
+        limits.timeout_micros = ms * 1000;
+        std::printf("per-query deadline: %s\n",
+                    ms == 0 ? "unlimited" : (std::to_string(ms) + " ms").c_str());
+      } else if (in.eof() && ms == 0) {
+        std::printf("per-query deadline: %s\n",
+                    limits.timeout_micros == 0
+                        ? "unlimited"
+                        : (std::to_string(limits.timeout_micros / 1000) + " ms")
+                              .c_str());
+      } else {
+        std::printf("usage: timeout [milliseconds >= 0]\n");
+      }
+    } else if (EqualsIgnoreCase(command, "membudget")) {
+      int64_t mb = 0;
+      if (in >> mb && mb >= 0) {
+        limits.memory_budget_bytes =
+            static_cast<uint64_t>(mb) * 1024 * 1024;
+        std::printf("per-query memory budget: %s\n",
+                    mb == 0 ? "unlimited" : (std::to_string(mb) + " MiB").c_str());
+      } else if (in.eof() && mb == 0) {
+        std::printf(
+            "per-query memory budget: %s\n",
+            limits.memory_budget_bytes == 0
+                ? "unlimited"
+                : (std::to_string(limits.memory_budget_bytes / (1024 * 1024)) +
+                   " MiB")
+                      .c_str());
+      } else {
+        std::printf("usage: membudget [mebibytes >= 0]\n");
+      }
+    } else if (EqualsIgnoreCase(command, "cancel")) {
+      cancel_armed = true;
+      std::printf("next query will be canceled\n");
     } else {
       std::printf("unknown command '%s' (try: help)\n", command.c_str());
     }
@@ -428,6 +511,7 @@ struct Shell {
 
 int main() {
   Shell shell;
+  std::signal(SIGINT, HandleSigint);
   std::printf("LawsDB shell — type 'help' for commands\n");
   std::string line;
   while (true) {

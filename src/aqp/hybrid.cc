@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/governor.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -48,6 +49,7 @@ struct HybridCounters {
   Counter* count_star_exact;
   Counter* low_quality_reject;
   Counter* no_model;
+  Counter* degraded_to_aqp;
   MetricHistogram* interval_halfwidth;
 
   static HybridCounters& Get() {
@@ -59,6 +61,7 @@ struct HybridCounters {
           reg.GetCounter("aqp.hybrid.fallback.count_star"),
           reg.GetCounter("aqp.hybrid.fallback.low_quality"),
           reg.GetCounter("aqp.hybrid.fallback.no_model"),
+          reg.GetCounter("governor.degraded_to_aqp"),
           reg.GetHistogram("aqp.hybrid.interval_halfwidth")};
     }();
     return c;
@@ -133,7 +136,34 @@ Result<HybridAnswer> HybridQueryEngine::Execute(const std::string& sql) const {
   counters.exact_fallback->Add();
   span.SetDetail("exact: " + answer.fallback_reason);
   ScopedSpan exact_span("ExactScan");
-  LAWS_ASSIGN_OR_RETURN(answer.table, ExecuteSelect(*data_, stmt));
+  Result<Table> exact = ExecuteSelect(*data_, stmt);
+  if (!exact.ok()) {
+    // Overload-graceful degradation: when the governor stopped the exact
+    // scan on time or memory and a model answer exists (it was computed
+    // above but rejected by the quality gate), serve it — an approximate
+    // answer under overload beats no answer. Cancellation never
+    // degrades: a canceled query returns its error, full stop. Other
+    // errors propagate untouched.
+    const StatusCode code = exact.status().code();
+    const bool overload = code == StatusCode::kDeadlineExceeded ||
+                          code == StatusCode::kResourceExhausted;
+    if (overload && approx.ok()) {
+      counters.degraded_to_aqp->Add();
+      answer.table = std::move(approx->table);
+      answer.method = approx->method;
+      answer.approximate = true;
+      answer.degraded = true;
+      answer.error_bound = approx->max_error_bound;
+      answer.fallback_reason = code == StatusCode::kDeadlineExceeded
+                                   ? "deadline"
+                                   : "memory budget";
+      span.SetDetail("degraded to model answer: " +
+                     exact.status().ToString());
+      return answer;
+    }
+    return exact.status();
+  }
+  answer.table = std::move(*exact);
   answer.method = "exact";
   answer.approximate = false;
   return answer;
@@ -183,12 +213,18 @@ Result<std::string> HybridQueryEngine::ExplainAnalyze(
       static_cast<unsigned long long>(run_skips->value() - run_skips0),
       static_cast<unsigned long long>(enc_agg->value() - enc_agg0));
   out += buf;
+  if (QueryGovernor* gov = QueryGovernor::Current()) {
+    out += gov->DescribeLine();
+  }
   std::snprintf(buf, sizeof(buf), "%zu row%s in %.3f ms\n",
                 answer.table.num_rows(),
                 answer.table.num_rows() == 1 ? "" : "s", total.ElapsedMillis());
   out += buf;
   out += "answered by: " + answer.method;
-  if (answer.approximate) {
+  if (answer.degraded) {
+    out += " (degraded: exact path stopped by " + answer.fallback_reason +
+           ", error bound +/-" + FormatDouble(answer.error_bound, 6) + ")";
+  } else if (answer.approximate) {
     out += " (approximate, error bound +/-" +
            FormatDouble(answer.error_bound, 6) + ")";
   } else if (!answer.fallback_reason.empty()) {

@@ -31,6 +31,14 @@ struct HybridAnswer {
   double error_bound = 0.0;
   /// Why the model path was not used (empty when it was).
   std::string fallback_reason;
+  /// True when the exact path was stopped by the resource governor
+  /// (deadline or memory budget) and the engine degraded to serving the
+  /// available model answer instead of failing — overload-graceful
+  /// behavior. Never set for cancellation: a canceled query must not
+  /// return an answer at all. The model answer served this way is the
+  /// one the quality gate rejected, so `fallback_reason` names the
+  /// governor limit and `approximate` is true.
+  bool degraded = false;
 };
 
 /// The user-transparent face of Figure 2: queries go in, the engine

@@ -1,0 +1,95 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+
+namespace laws {
+namespace {
+
+/// One warning per variable per process. Guarded by its own mutex; the
+/// slow path only runs for malformed values, which are already an error
+/// condition.
+std::mutex& WarnMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::set<std::string>& WarnedNames() {
+  static std::set<std::string> names;
+  return names;
+}
+
+void WarnOnce(const char* name, const char* value, const char* why) {
+  std::lock_guard<std::mutex> lock(WarnMutex());
+  if (!WarnedNames().insert(name).second) return;
+  LAWS_LOG(Warning) << "ignoring " << name << "=\"" << value << "\": " << why
+                    << " (using default)";
+}
+
+bool EqualsAsciiLower(const char* text, const char* lower) {
+  for (; *text != '\0' && *lower != '\0'; ++text, ++lower) {
+    const char c = (*text >= 'A' && *text <= 'Z')
+                       ? static_cast<char>(*text - 'A' + 'a')
+                       : *text;
+    if (c != *lower) return false;
+  }
+  return *text == '\0' && *lower == '\0';
+}
+
+}  // namespace
+
+bool ParseInt64Strict(const char* text, int64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  // Reject leading whitespace explicitly: strtoll would skip it, and a
+  // knob value with stray spaces is a script bug worth surfacing.
+  if (*text == ' ' || *text == '\t') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') return false;  // no digits / trailing junk
+  if (errno == ERANGE) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+int64_t EnvInt64(const char* name, int64_t def, int64_t min_value,
+                 int64_t max_value) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return def;
+  int64_t value = 0;
+  if (!ParseInt64Strict(text, &value)) {
+    WarnOnce(name, text, "not an integer");
+    return def;
+  }
+  if (value < min_value || value > max_value) {
+    WarnOnce(name, text, "out of range");
+    return def;
+  }
+  return value;
+}
+
+bool ParseFlagValue(const char* text, bool def) {
+  if (text == nullptr || *text == '\0') return def;
+  if (EqualsAsciiLower(text, "0") || EqualsAsciiLower(text, "false") ||
+      EqualsAsciiLower(text, "off")) {
+    return false;
+  }
+  return true;
+}
+
+bool EnvFlag(const char* name, bool def) {
+  return ParseFlagValue(std::getenv(name), def);
+}
+
+void ResetEnvWarningsForTest() {
+  std::lock_guard<std::mutex> lock(WarnMutex());
+  WarnedNames().clear();
+}
+
+}  // namespace laws

@@ -1,0 +1,206 @@
+#include "common/governor.h"
+
+#include <cstdio>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+
+namespace laws {
+namespace {
+
+thread_local QueryGovernor* t_current_governor = nullptr;
+
+/// Governor accounting (cached pointers; see metrics.h): how often each
+/// limit tripped, how quickly cancellations were observed, and how much
+/// memory governed queries actually peaked at.
+struct GovernorMetrics {
+  Counter* canceled;
+  Counter* deadline_exceeded;
+  Counter* budget_exceeded;
+  MetricHistogram* time_to_cancel_micros;
+  MetricHistogram* peak_bytes;
+
+  static GovernorMetrics& Get() {
+    static GovernorMetrics m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      return GovernorMetrics{
+          reg.GetCounter("governor.canceled"),
+          reg.GetCounter("governor.deadline_exceeded"),
+          reg.GetCounter("governor.budget_exceeded"),
+          reg.GetHistogram("governor.time_to_cancel_micros"),
+          reg.GetHistogram("governor.peak_bytes")};
+    }();
+    return m;
+  }
+};
+
+int64_t NowMicros(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+QueryGovernor::QueryGovernor(ResourceLimits limits)
+    : limits_(limits),
+      start_(std::chrono::steady_clock::now()),
+      deadline_(limits.timeout_micros > 0
+                    ? start_ + std::chrono::microseconds(limits.timeout_micros)
+                    : std::chrono::steady_clock::time_point::max()) {}
+
+QueryGovernor::~QueryGovernor() {
+  if (any_charge_.load(std::memory_order_relaxed)) {
+    GovernorMetrics::Get().peak_bytes->Record(
+        static_cast<double>(peak_bytes()));
+  }
+}
+
+void QueryGovernor::Cancel() {
+  // Record the cancel instant only on the first call; late duplicate
+  // cancels must not shrink the observed latency.
+  bool expected = false;
+  if (canceled_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    cancel_at_micros_.store(ElapsedMicros(), std::memory_order_release);
+  }
+}
+
+int64_t QueryGovernor::ElapsedMicros() const { return NowMicros(start_); }
+
+void QueryGovernor::RecordCancelObserved() {
+  bool expected = false;
+  if (!cancel_observed_.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+    return;
+  }
+  GovernorMetrics& m = GovernorMetrics::Get();
+  m.canceled->Add();
+  const int64_t canceled_at = cancel_at_micros_.load(std::memory_order_acquire);
+  const int64_t latency = ElapsedMicros() - canceled_at;
+  m.time_to_cancel_micros->Record(
+      static_cast<double>(latency > 0 ? latency : 0));
+}
+
+Status QueryGovernor::Poll() {
+  polls_.fetch_add(1, std::memory_order_relaxed);
+  // Deterministic chaos hook: an armed governor/poll fault forces a
+  // cancellation race at exactly this probe (see fault_injection.h).
+  if (FaultInjector::Instance().active()) {
+    if (!FaultInjector::Instance().Check("governor/poll").ok()) Cancel();
+  }
+  if (canceled_.load(std::memory_order_acquire)) {
+    RecordCancelObserved();
+    return Status::Canceled("query canceled");
+  }
+  if (limits_.timeout_micros > 0 &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    bool expected = false;
+    if (deadline_reported_.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      GovernorMetrics::Get().deadline_exceeded->Add();
+    }
+    return Status::DeadlineExceeded(
+        "query deadline of " + std::to_string(limits_.timeout_micros / 1000) +
+        "." + std::to_string((limits_.timeout_micros % 1000) / 100) +
+        " ms exceeded");
+  }
+  return Status::OK();
+}
+
+Status QueryGovernor::Charge(uint64_t bytes, const char* what) {
+  if (bytes == 0) return Status::OK();
+  any_charge_.store(true, std::memory_order_relaxed);
+  // Deterministic chaos hook: an armed governor/alloc fault turns this
+  // charge into a budget exhaustion regardless of the actual budget.
+  bool injected = false;
+  if (FaultInjector::Instance().active()) {
+    injected = !FaultInjector::Instance().Check("governor/alloc").ok();
+  }
+  const uint64_t used =
+      used_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Track the high-water mark (relaxed CAS max: charges are coarse).
+  uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (used > peak && !peak_bytes_.compare_exchange_weak(
+                            peak, used, std::memory_order_relaxed)) {
+  }
+  if (injected ||
+      (limits_.memory_budget_bytes > 0 && used > limits_.memory_budget_bytes)) {
+    used_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    GovernorMetrics::Get().budget_exceeded->Add();
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "query memory budget exceeded: charging %llu bytes for %s "
+                  "on top of %llu in use (budget %llu)%s",
+                  static_cast<unsigned long long>(bytes),
+                  what != nullptr ? what : "materialization",
+                  static_cast<unsigned long long>(used - bytes),
+                  static_cast<unsigned long long>(limits_.memory_budget_bytes),
+                  injected ? " [injected]" : "");
+    return Status::ResourceExhausted(buf);
+  }
+  return Status::OK();
+}
+
+void QueryGovernor::Release(uint64_t bytes) {
+  if (bytes == 0) return;
+  used_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::string QueryGovernor::DescribeLine() const {
+  char buf[224];
+  char deadline_text[48];
+  if (limits_.timeout_micros > 0) {
+    std::snprintf(deadline_text, sizeof(deadline_text), "%.3fms",
+                  static_cast<double>(limits_.timeout_micros) / 1000.0);
+  } else {
+    std::snprintf(deadline_text, sizeof(deadline_text), "none");
+  }
+  char budget_text[48];
+  if (limits_.memory_budget_bytes > 0) {
+    std::snprintf(budget_text, sizeof(budget_text), "%lluB",
+                  static_cast<unsigned long long>(limits_.memory_budget_bytes));
+  } else {
+    std::snprintf(budget_text, sizeof(budget_text), "none");
+  }
+  const char* tripped = canceled()
+                            ? " tripped=canceled"
+                            : (deadline_reported_.load(std::memory_order_relaxed)
+                                   ? " tripped=deadline"
+                                   : "");
+  std::snprintf(buf, sizeof(buf),
+                "governor: deadline=%s budget=%s peak_mem=%lluB polls=%llu%s\n",
+                deadline_text, budget_text,
+                static_cast<unsigned long long>(peak_bytes()),
+                static_cast<unsigned long long>(polls()), tripped);
+  return buf;
+}
+
+QueryGovernor* QueryGovernor::Current() { return t_current_governor; }
+
+ScopedGovernor::ScopedGovernor(QueryGovernor* governor)
+    : prev_(t_current_governor) {
+  t_current_governor = governor;
+}
+
+ScopedGovernor::~ScopedGovernor() { t_current_governor = prev_; }
+
+Status ScopedCharge::Acquire(uint64_t bytes, const char* what) {
+  QueryGovernor* gov = QueryGovernor::Current();
+  if (gov == nullptr || bytes == 0) return Status::OK();
+  if (governor_ != nullptr && governor_ != gov) {
+    return Status::Internal("ScopedCharge reused across governors");
+  }
+  LAWS_RETURN_IF_ERROR(gov->Charge(bytes, what));
+  governor_ = gov;
+  bytes_ += bytes;
+  return Status::OK();
+}
+
+void ScopedCharge::ReleaseNow() {
+  if (governor_ != nullptr && bytes_ > 0) governor_->Release(bytes_);
+  governor_ = nullptr;
+  bytes_ = 0;
+}
+
+}  // namespace laws

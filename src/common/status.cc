@@ -28,8 +28,20 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NumericError";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kCanceled:
+      return "Canceled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
+}
+
+bool IsGovernorStatusCode(StatusCode code) {
+  return code == StatusCode::kCanceled ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted;
 }
 
 std::string Status::ToString() const {

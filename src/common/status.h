@@ -23,7 +23,18 @@ enum class StatusCode {
   kTypeMismatch,
   kNumericError,   // singular matrix, divergent fit, NaN propagation, ...
   kAborted,
+  // Resource-governor errors (common/governor.h): a governed query that
+  // runs out of time, memory budget, or is canceled fails with one of
+  // these — cleanly, mid-pipeline, never as a crash or a torn catalog.
+  kCanceled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
+
+/// True for the three resource-governor codes above — the "query was
+/// stopped by policy, not by a bug" class that servers retry, degrade,
+/// or report without alarming.
+bool IsGovernorStatusCode(StatusCode code);
 
 /// Returns a stable human-readable name for a status code ("OK",
 /// "InvalidArgument", ...).
@@ -78,6 +89,15 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Canceled(std::string msg) {
+    return Status(StatusCode::kCanceled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,6 +6,8 @@
 #include <memory>
 #include <utility>
 
+#include "common/env.h"
+#include "common/governor.h"
 #include "common/metrics.h"
 
 namespace laws {
@@ -17,8 +19,8 @@ namespace {
 /// inline instead of re-entering the scheduler.
 thread_local bool tls_in_parallel_region = false;
 
-std::unique_ptr<ThreadPool>& GlobalSlot() {
-  static std::unique_ptr<ThreadPool> pool;
+std::shared_ptr<ThreadPool>& GlobalSlot() {
+  static std::shared_ptr<ThreadPool> pool;
   return pool;
 }
 
@@ -85,31 +87,40 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-ThreadPool& ThreadPool::Global() {
+ThreadPool& ThreadPool::Global() { return *GlobalShared(); }
+
+std::shared_ptr<ThreadPool> ThreadPool::GlobalShared() {
   std::lock_guard<std::mutex> lock(GlobalMutex());
-  std::unique_ptr<ThreadPool>& slot = GlobalSlot();
-  if (!slot) slot = std::make_unique<ThreadPool>(DefaultThreadCount());
-  return *slot;
+  std::shared_ptr<ThreadPool>& slot = GlobalSlot();
+  if (!slot) slot = std::make_shared<ThreadPool>(DefaultThreadCount());
+  return slot;
 }
 
 size_t ThreadPool::DefaultThreadCount() {
-  const size_t from_env = ParseThreadCount(std::getenv("LAWS_THREADS"));
-  if (from_env > 0) return from_env;
+  // 0 means "unset, use hardware"; junk and negatives warn once.
+  const int64_t from_env = EnvInt64("LAWS_THREADS", 0, 0, 1 << 16);
+  if (from_env > 0) return static_cast<size_t>(from_env);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
 
 void ThreadPool::SetGlobalThreadCount(size_t n) {
-  std::lock_guard<std::mutex> lock(GlobalMutex());
-  GlobalSlot() =
-      std::make_unique<ThreadPool>(n == 0 ? DefaultThreadCount() : n);
+  std::shared_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(GlobalMutex());
+    old = std::move(GlobalSlot());
+    GlobalSlot() =
+        std::make_shared<ThreadPool>(n == 0 ? DefaultThreadCount() : n);
+  }
+  // `old` is released outside the lock. If a ParallelFor region is still
+  // draining on the old pool, its GlobalShared() pin keeps the pool alive
+  // and the destructor (which joins the workers) runs when that region
+  // finishes — never while chunks are in flight.
 }
 
 size_t ThreadPool::ParseThreadCount(const char* text) {
-  if (text == nullptr || *text == '\0') return 0;
-  char* end = nullptr;
-  const long value = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || value <= 0) return 0;
+  int64_t value = 0;
+  if (!ParseInt64Strict(text, &value) || value <= 0) return 0;
   return static_cast<size_t>(value);
 }
 
@@ -118,13 +129,28 @@ void ParallelForChunks(size_t begin, size_t end,
                        const ParallelForOptions& options) {
   if (end <= begin) return;
   const size_t n = end - begin;
-  ThreadPool& pool = options.pool != nullptr ? *options.pool
-                                             : ThreadPool::Global();
   // Floor division: never split into chunks smaller than the grain.
   const size_t grain = std::max<size_t>(1, options.grain);
   const size_t max_chunks = n / grain;
-  const size_t chunks = std::min(pool.num_threads(), max_chunks);
+  // Pin the global pool for the whole region so a concurrent
+  // SetGlobalThreadCount cannot destroy it under our chunks. The nested
+  // (in-region) path never touches the global slot, so a worker thread
+  // never ends up joining its own pool.
+  std::shared_ptr<ThreadPool> pinned;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr && max_chunks > 1 && !tls_in_parallel_region) {
+    pinned = ThreadPool::GlobalShared();
+    pool = pinned.get();
+  }
+  const size_t chunks =
+      pool == nullptr ? 1 : std::min(pool->num_threads(), max_chunks);
   if (chunks <= 1 || tls_in_parallel_region) {
+    // The serial path honors the same governor contract as the lanes:
+    // a tripped query runs no further chunks, and the caller's next
+    // poll re-observes the sticky error.
+    if (QueryGovernor* gov = QueryGovernor::Current()) {
+      if (!gov->Poll().ok()) return;
+    }
     const bool saved = tls_in_parallel_region;
     tls_in_parallel_region = true;
     body(begin, end);
@@ -144,13 +170,20 @@ void ParallelForChunks(size_t begin, size_t end,
   barrier->remaining = chunks;
   barrier->errors.assign(chunks, nullptr);
 
-  auto run_chunk = [&body, barrier, begin, n, chunks](size_t c) {
+  // Propagate the caller's governor into every lane: re-install it for
+  // the chunk's duration and skip the body outright once it has tripped
+  // (the sticky error is re-observed by the caller's next poll).
+  QueryGovernor* const governor = QueryGovernor::Current();
+  auto run_chunk = [&body, barrier, begin, n, chunks, governor](size_t c) {
     const size_t lo = begin + c * n / chunks;
     const size_t hi = begin + (c + 1) * n / chunks;
-    try {
-      body(lo, hi);
-    } catch (...) {
-      barrier->errors[c] = std::current_exception();
+    ScopedGovernor install(governor);
+    if (governor == nullptr || governor->Poll().ok()) {
+      try {
+        body(lo, hi);
+      } catch (...) {
+        barrier->errors[c] = std::current_exception();
+      }
     }
     {
       std::lock_guard<std::mutex> lock(barrier->mutex);
@@ -160,7 +193,7 @@ void ParallelForChunks(size_t begin, size_t end,
   };
 
   for (size_t c = 1; c < chunks; ++c) {
-    pool.Submit([run_chunk, c] { run_chunk(c); });
+    pool->Submit([run_chunk, c] { run_chunk(c); });
   }
   // The caller is lane 0.
   tls_in_parallel_region = true;

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -37,17 +38,27 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   /// The process-wide pool, built on first use with DefaultThreadCount()
-  /// lanes.
+  /// lanes. The reference is only guaranteed valid until the next
+  /// SetGlobalThreadCount; use GlobalShared() to hold the pool across a
+  /// parallel region.
   static ThreadPool& Global();
+
+  /// Shared handle to the process-wide pool. ParallelForChunks pins the
+  /// pool through this, so a concurrent SetGlobalThreadCount cannot
+  /// destroy a pool whose chunks are still draining — the old pool dies
+  /// only when its last in-flight region releases it.
+  static std::shared_ptr<ThreadPool> GlobalShared();
 
   /// Lane count for the global pool: the LAWS_THREADS environment
   /// variable when set to a positive integer, otherwise hardware
-  /// concurrency (>= 1).
+  /// concurrency (>= 1). Malformed or negative values warn once and are
+  /// ignored (see common/env.h).
   static size_t DefaultThreadCount();
 
   /// Rebuilds the global pool with `n` lanes (0 restores
-  /// DefaultThreadCount()). For benchmark sweeps and tests; must not race
-  /// with in-flight ParallelFor calls.
+  /// DefaultThreadCount()). Safe to call while ParallelFor regions are in
+  /// flight: they keep the old pool alive via GlobalShared() and it is
+  /// destroyed (joining its workers) when the last region drains.
   static void SetGlobalThreadCount(size_t n);
 
   /// Parses a LAWS_THREADS-style value: positive integers pass through,
@@ -91,6 +102,14 @@ struct ParallelForOptions {
 /// order-dependent accumulation) for results to be bit-identical across
 /// thread counts. Every parallel loop in this repository follows that
 /// rule; see DESIGN.md "Threading model".
+///
+/// Governor contract: the caller's QueryGovernor (common/governor.h) is
+/// re-installed inside every worker lane, so poll sites in the body see
+/// it. Before each chunk body runs, the governor is polled; if it has
+/// tripped (cancel/deadline), the remaining chunk bodies are skipped —
+/// their output slots are simply left unwritten. Because governor errors
+/// are sticky, a governed caller re-polls after the region returns and
+/// surfaces the same typed error instead of consuming partial output.
 void ParallelForChunks(size_t begin, size_t end,
                        const std::function<void(size_t, size_t)>& body,
                        const ParallelForOptions& options = {});

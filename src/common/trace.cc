@@ -2,20 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
+#include "common/env.h"
 #include "common/metrics.h"
 
 namespace laws {
 namespace {
 
-bool TraceEnabledFromEnv() {
-  const char* v = std::getenv("LAWS_TRACE");
-  if (v == nullptr || *v == '\0') return false;
-  return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 &&
-         std::strcmp(v, "false") != 0;
-}
+bool TraceEnabledFromEnv() { return EnvFlag("LAWS_TRACE", false); }
 
 std::atomic<bool> g_trace_enabled{TraceEnabledFromEnv()};
 

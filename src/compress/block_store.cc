@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <cmath>
-#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <unordered_map>
 
+#include "common/env.h"
 #include "common/metrics.h"
 
 namespace laws {
@@ -16,11 +16,12 @@ constexpr size_t kDefaultBlockRows = 4096;
 constexpr double kExactIntBound = 9007199254740992.0;  // 2^53
 
 size_t InitialBlockRows() {
-  if (const char* env = std::getenv("LAWS_SCAN_BLOCK_ROWS")) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<size_t>(v);
-  }
-  return kDefaultBlockRows;
+  // Strict parse (common/env.h): the old atol here silently read
+  // "4096abc" as 4096; now malformed values warn once and fall back.
+  const int64_t v = EnvInt64("LAWS_SCAN_BLOCK_ROWS",
+                             static_cast<int64_t>(kDefaultBlockRows), 1,
+                             int64_t{1} << 31);
+  return static_cast<size_t>(v);
 }
 
 std::atomic<size_t>& BlockRowsFlag() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/governor.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -92,9 +93,14 @@ Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
   // keeps rows within a group in first-seen order.
   ScopedSpan index_span("GroupIndex");
   const size_t n = table.num_rows();
+  ScopedCharge charge;
+  LAWS_RETURN_IF_ERROR(charge.Acquire(
+      n * (sizeof(std::pair<int64_t, uint32_t>) + sizeof(uint32_t)),
+      "grouped fit index"));
   std::vector<std::pair<int64_t, uint32_t>> keyed;
   keyed.reserve(n);
   for (size_t i = 0; i < n; ++i) {
+    if (i % 4096 == 0) LAWS_GOVERNOR_POLL();
     if (group_col->IsNull(i) || output_col->IsNull(i)) continue;
     bool usable = true;
     for (const Column* c : input_cols) {
@@ -150,10 +156,18 @@ Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
   // thread (worker lanes never see the trace sink), so it measures the
   // whole parallel region.
   ScopedSpan loop_span("FitLoop");
+  LAWS_RETURN_IF_ERROR(charge.Acquire(
+      groups.size() * sizeof(GroupOutcome), "grouped fit outcomes"));
   std::vector<GroupOutcome> outcomes(groups.size());
   ParallelForChunks(0, groups.size(), [&](size_t lo, size_t hi) {
+    // ParallelForChunks installed the caller's governor in this lane.
+    // A lane that observes a tripped governor abandons its remaining
+    // groups (slots stay kSkipped); the re-poll after the region turns
+    // that partial state into the typed error before it can escape.
+    QueryGovernor* const governor = QueryGovernor::Current();
     FitScratch scratch;
     for (size_t g = lo; g < hi; ++g) {
+      if (governor != nullptr && !governor->Poll().ok()) return;
       const GroupSlice& slice = groups[g];
       GroupOutcome& slot = outcomes[g];
       if (slice.length < floor_obs) {
@@ -221,6 +235,11 @@ Result<GroupedFitOutput> FitGrouped(const Model& model, const Table& table,
 
   loop_span.SetRows(row_index.size(), groups.size());
   loop_span.End();
+
+  // Surface a mid-region cancel/deadline before the partial outcome
+  // array can be merged into a result (sticky-error contract; see
+  // thread_pool.h).
+  LAWS_GOVERNOR_POLL();
 
   // Deterministic merge in group-key order. Dispatch accounting happens
   // here, in the serial pass, so the parallel lanes never contend on

@@ -3,10 +3,11 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <limits>
 #include <memory>
 
+#include "common/env.h"
+#include "common/governor.h"
 #include "common/metrics.h"
 #include "compress/block_store.h"
 
@@ -16,11 +17,8 @@ namespace {
 // --- Engine toggle ---------------------------------------------------------
 
 ScanEngine InitialScanEngine() {
-  const char* env = std::getenv("LAWS_SCAN_DECODE");
-  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
-    return ScanEngine::kDecode;
-  }
-  return ScanEngine::kCompressed;
+  return EnvFlag("LAWS_SCAN_DECODE", false) ? ScanEngine::kDecode
+                                            : ScanEngine::kCompressed;
 }
 
 std::atomic<int>& ScanEngineFlag() {
@@ -553,12 +551,20 @@ std::optional<std::vector<uint32_t>> CompressedFilterRows(
     return std::nullopt;
   }
 
-  // Pass 2: materialize the selection.
+  // Pass 2: materialize the selection. This walk cannot return a Status
+  // (declining is the contract), so when the governor trips mid-walk the
+  // scan declines instead: the caller falls back to the decode path,
+  // whose first poll surfaces the same sticky typed error.
   std::vector<uint32_t> out;
   std::vector<double> vals(table.num_columns(), 0.0);
   std::vector<uint8_t> nulls(table.num_columns(), 0);
   std::vector<size_t> run_pos(cols.size(), 0);
+  QueryGovernor* const governor = QueryGovernor::Current();
   for (size_t b = 0; b < nb; ++b) {
+    if (governor != nullptr && !governor->Poll().ok()) {
+      FallbackDecodeCounter()->Add();
+      return std::nullopt;
+    }
     if (verdict[b] == 0) continue;
     const size_t start = index->BlockStart(b);
     const size_t len = index->BlockLength(b);

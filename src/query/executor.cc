@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/governor.h"
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -20,6 +21,12 @@
 
 namespace laws {
 namespace {
+
+/// Row stride between governor polls inside per-row loops: frequent
+/// enough that a canceled query stops within microseconds, sparse enough
+/// that the poll (one TLS read + one relaxed load when idle) stays
+/// invisible in profiles.
+constexpr size_t kGovernorPollStride = 4096;
 
 /// A unique aggregate call discovered in the statement.
 struct AggSlot {
@@ -139,11 +146,15 @@ std::string MakeGroupKey(const std::vector<Column>& key_cols, size_t row) {
 Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
                         const std::vector<AggSlot>& slots,
                         std::vector<std::string>* key_names) {
-  // Evaluate group-key expressions.
+  // Evaluate group-key expressions. Key and argument columns are the
+  // aggregation's big materializations; charge them as they appear.
+  ScopedCharge charge;
   std::vector<Column> key_cols;
   key_cols.reserve(stmt.group_by.size());
   for (const auto& g : stmt.group_by) {
+    LAWS_GOVERNOR_POLL();
     LAWS_ASSIGN_OR_RETURN(Column c, EvaluateExprAuto(*g, input));
+    LAWS_RETURN_IF_ERROR(charge.Acquire(c.MemoryBytes(), "group keys"));
     key_cols.push_back(std::move(c));
   }
   std::vector<size_t> representative_row;  // first row of each group
@@ -156,6 +167,7 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
   // bit-identical to the sweep below, so the shortcut is invisible to
   // everything downstream.
   bool encoded = false;
+  LAWS_GOVERNOR_POLL();
   if (stmt.group_by.empty()) {
     std::vector<const Expr*> nodes;
     nodes.reserve(slots.size());
@@ -175,6 +187,7 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
         arg_cols.emplace_back(DataType::kInt64);  // unused placeholder
         continue;
       }
+      LAWS_GOVERNOR_POLL();
       LAWS_ASSIGN_OR_RETURN(Column c,
                             EvaluateExprAuto(*s.node->children[0], input));
       // SUM/AVG/VARIANCE/STDDEV over a string argument is a planning-time
@@ -188,6 +201,8 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
         return Status::TypeMismatch(std::string(AggregateFuncToString(func)) +
                                     "() requires a numeric argument");
       }
+      LAWS_RETURN_IF_ERROR(
+          charge.Acquire(c.MemoryBytes(), "aggregate arguments"));
       arg_cols.push_back(std::move(c));
     }
 
@@ -195,8 +210,11 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
     // each row records its group ordinal for the columnar update pass.
     std::unordered_map<std::string, size_t> group_index;
     const size_t n = input.num_rows();
+    LAWS_RETURN_IF_ERROR(
+        charge.Acquire(n * sizeof(uint32_t), "group-of vector"));
     std::vector<uint32_t> group_of(n);
     for (size_t row = 0; row < n; ++row) {
+      if (row % kGovernorPollStride == 0) LAWS_GOVERNOR_POLL();
       const std::string key = MakeGroupKey(key_cols, row);
       auto [it, inserted] = group_index.emplace(key, states.size());
       if (inserted) {
@@ -212,11 +230,15 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
     // Rows are processed in table order, so the Welford mean/m2 recurrences
     // see values in exactly the same order (and produce bit-identical
     // results) as the old row-at-a-time loop.
+    LAWS_RETURN_IF_ERROR(charge.Acquire(
+        n * (sizeof(uint32_t) + sizeof(double) + sizeof(uint8_t)),
+        "aggregate sweep buffers"));
     std::vector<uint32_t> all_rows(n);
     for (size_t i = 0; i < n; ++i) all_rows[i] = static_cast<uint32_t>(i);
     std::vector<double> arg_values(n);
     std::vector<uint8_t> arg_nulls(n);
     for (size_t a = 0; a < slots.size(); ++a) {
+      LAWS_GOVERNOR_POLL();
       if (slots[a].is_star) {
         for (size_t row = 0; row < n; ++row) {
           AggState& s = states[group_of[row]][a];
@@ -229,6 +251,7 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
       if (arg.type() == DataType::kString) {
         // Strings keep the element-wise path (dictionary lookups, ordering).
         for (size_t row = 0; row < n; ++row) {
+          if (row % kGovernorPollStride == 0) LAWS_GOVERNOR_POLL();
           if (arg.IsNull(row)) continue;
           AggState& s = states[group_of[row]][a];
           ++s.count;
@@ -253,6 +276,7 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
       const size_t sweep_rows = n;
 #endif
       for (size_t row = 0; row < sweep_rows; ++row) {
+        if (row % kGovernorPollStride == 0) LAWS_GOVERNOR_POLL();
         if (arg_nulls[row]) continue;
         AggState& s = states[group_of[row]][a];
         ++s.count;
@@ -320,15 +344,31 @@ Result<Table> Aggregate(const Table& input, const SelectStatement& stmt,
 Result<Table> SortRows(Table table, const SelectStatement& stmt,
                        const std::vector<std::unique_ptr<Expr>>& keys) {
   if (keys.empty()) return table;
+  ScopedCharge charge;
   std::vector<Column> key_cols;
   for (const auto& k : keys) {
+    LAWS_GOVERNOR_POLL();
     LAWS_ASSIGN_OR_RETURN(Column c, EvaluateExprAuto(*k, table));
+    LAWS_RETURN_IF_ERROR(charge.Acquire(c.MemoryBytes(), "sort keys"));
     key_cols.push_back(std::move(c));
   }
+  LAWS_RETURN_IF_ERROR(charge.Acquire(
+      table.num_rows() * sizeof(uint32_t), "sort permutation"));
   std::vector<uint32_t> perm(table.num_rows());
   for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<uint32_t>(i);
+  // The comparator cannot return an error, so deadline/cancel are
+  // observed between comparisons and surfaced after the sort: track the
+  // first tripped status and re-check before gathering. (stable_sort
+  // must run to completion for the comparator to stay well-defined.)
   bool incomparable = false;
+  size_t comparisons = 0;
+  Status tripped;
   std::stable_sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+    if (tripped.ok() && ++comparisons % kGovernorPollStride == 0) {
+      if (QueryGovernor* gov = QueryGovernor::Current()) {
+        tripped = gov->Poll();
+      }
+    }
     for (size_t k = 0; k < key_cols.size(); ++k) {
       int c = CompareOrderValues(key_cols[k].GetValue(x),
                                  key_cols[k].GetValue(y), &incomparable);
@@ -337,6 +377,7 @@ Result<Table> SortRows(Table table, const SelectStatement& stmt,
     }
     return false;
   });
+  if (!tripped.ok()) return tripped;
   if (incomparable) {
     // The comparator stayed a valid total order (type-ranked), so the
     // sort itself was well-defined — but silently interleaving strings
@@ -386,24 +427,41 @@ Result<Table> HashJoin(const Table& left, const Table& right,
     return true;
   };
 
-  // Build on the right side.
+  // Build on the right side. The hash table is the join's dominant
+  // allocation; charge a conservative per-entry estimate up front and
+  // the match vectors as they grow.
+  ScopedCharge charge;
+  LAWS_RETURN_IF_ERROR(charge.Acquire(
+      right.num_rows() * (sizeof(uint32_t) + 2 * sizeof(void*)),
+      "hash join build"));
   std::unordered_map<std::string, std::vector<uint32_t>> build;
   build.reserve(right.num_rows());
   std::string key;
   for (size_t r = 0; r < right.num_rows(); ++r) {
+    if (r % kGovernorPollStride == 0) LAWS_GOVERNOR_POLL();
     if (!row_key(right_keys, r, &key)) continue;
     build[key].push_back(static_cast<uint32_t>(r));
   }
 
-  // Probe with the left side, collecting matching row-index pairs.
+  // Probe with the left side, collecting matching row-index pairs. The
+  // output can be quadratic in the inputs (many-to-many keys), so the
+  // match vectors are re-charged as they double.
   std::vector<uint32_t> left_rows, right_rows;
+  uint64_t charged_matches = 0;
   for (size_t l = 0; l < left.num_rows(); ++l) {
+    if (l % kGovernorPollStride == 0) LAWS_GOVERNOR_POLL();
     if (!row_key(left_keys, l, &key)) continue;
     auto it = build.find(key);
     if (it == build.end()) continue;
     for (uint32_t r : it->second) {
       left_rows.push_back(static_cast<uint32_t>(l));
       right_rows.push_back(r);
+    }
+    if (left_rows.size() > charged_matches) {
+      const uint64_t grown = left_rows.size() - charged_matches;
+      LAWS_RETURN_IF_ERROR(charge.Acquire(grown * 2 * sizeof(uint32_t),
+                                          "hash join matches"));
+      charged_matches = left_rows.size();
     }
   }
 
@@ -439,12 +497,17 @@ Result<Table> HashJoin(const Table& left, const Table& right,
 /// DISTINCT uses grouping identity: NULLs equal each other, all NaNs are
 /// one class, -0.0 equals +0.0 — and the canonical encoding keeps NULL
 /// distinct from the string "NULL" and doubles apart past ten digits.
-Table DistinctRows(const Table& table) {
+Result<Table> DistinctRows(Table table) {
+  ScopedCharge charge;
+  LAWS_RETURN_IF_ERROR(charge.Acquire(
+      table.num_rows() * (sizeof(uint32_t) + 2 * sizeof(void*)),
+      "distinct hash set"));
   std::unordered_set<std::string> seen;
   seen.reserve(table.num_rows());
   std::vector<uint32_t> keep;
   std::string key;
   for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (r % kGovernorPollStride == 0) LAWS_GOVERNOR_POLL();
     key.clear();
     for (size_t c = 0; c < table.num_columns(); ++c) {
       AppendCanonicalKey(table.column(c), r, &key);
@@ -525,6 +588,13 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
     scan.SetRows(source.num_rows(), source.num_rows());
   }
 
+  // Stage outputs are the pipeline's big materializations; each is
+  // charged against the current governor (if any) and held until the
+  // query finishes, which models the executor's true high-water mark
+  // closely enough for a coarse budget.
+  ScopedCharge pipeline_charge;
+  LAWS_GOVERNOR_POLL();
+
   // 1. WHERE.
   Table filtered{Schema{}};
   const Table* current = &source;
@@ -556,6 +626,8 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
       }
     }
     filtered = source.GatherRows(selection);
+    LAWS_RETURN_IF_ERROR(
+        pipeline_charge.Acquire(filtered.MemoryBytes(), "filter output"));
     current = &filtered;
     span.SetRows(source.num_rows(), filtered.num_rows());
   }
@@ -608,6 +680,8 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
                             Aggregate(*current, stmt, slots, &key_names));
       span.SetRows(rows_in, aggregated.num_rows());
     }
+    LAWS_RETURN_IF_ERROR(pipeline_charge.Acquire(aggregated.MemoryBytes(),
+                                                 "aggregate output"));
     current = &aggregated;
 
     std::vector<std::string> key_reprs;
@@ -667,6 +741,8 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
                          : having->ToString() + " | bytecode: " + disasm);
     }
     post_having = current->GatherRows(selection);
+    LAWS_RETURN_IF_ERROR(
+        pipeline_charge.Acquire(post_having.MemoryBytes(), "having output"));
     current = &post_having;
     span.SetRows(rows_in, post_having.num_rows());
   }
@@ -687,6 +763,8 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
     }
     const size_t rows_in = current->num_rows();
     LAWS_ASSIGN_OR_RETURN(sorted, SortRows(*current, stmt, order_exprs));
+    LAWS_RETURN_IF_ERROR(
+        pipeline_charge.Acquire(sorted.MemoryBytes(), "sort output"));
     current = &sorted;
     span.SetRows(rows_in, sorted.num_rows());
   }
@@ -700,6 +778,7 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
     std::vector<Column> out_cols;
     std::string detail;
     for (const SelectItem& item : projected_items) {
+      LAWS_GOVERNOR_POLL();
       std::string disasm;
       LAWS_ASSIGN_OR_RETURN(
           Column c, EvaluateExprAuto(*item.expr, *current,
@@ -709,6 +788,8 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
         detail += item.alias;
         if (!disasm.empty()) detail += " | bytecode: " + disasm;
       }
+      LAWS_RETURN_IF_ERROR(
+          pipeline_charge.Acquire(c.MemoryBytes(), "projection output"));
       out_fields.push_back(Field{item.alias, c.type(), true});
       out_cols.push_back(std::move(c));
     }
@@ -724,7 +805,7 @@ Result<Table> ExecuteSelectOnTable(const Table& source,
   if (stmt.distinct) {
     ScopedSpan span("Distinct");
     const size_t rows_in = projected.num_rows();
-    projected = DistinctRows(projected);
+    LAWS_ASSIGN_OR_RETURN(projected, DistinctRows(std::move(projected)));
     span.SetRows(rows_in, projected.num_rows());
   }
   if (stmt.limit >= 0) {
@@ -768,6 +849,9 @@ Result<Table> ExecuteSelect(const Catalog& catalog,
         joined, HashJoin(*table, *right, stmt.join_keys, stmt.join_table));
     span.SetRows(table->num_rows() + right->num_rows(), joined.num_rows());
   }
+  ScopedCharge joined_charge;
+  LAWS_RETURN_IF_ERROR(
+      joined_charge.Acquire(joined.MemoryBytes(), "join output"));
   return ExecuteSelectOnTable(joined, stmt);
 }
 
@@ -879,6 +963,10 @@ Result<std::string> ExplainAnalyzeQuery(const Catalog& catalog,
   const uint64_t run_skips0 = run_skips->value();
   const uint64_t enc_agg0 = enc_agg->value();
   size_t result_rows = 0;
+  // A governed query may be stopped mid-plan; that is a legitimate
+  // outcome worth explaining, so the partial trace is still rendered
+  // with the stop reason. Any other error propagates as usual.
+  Status stopped;
   {
     ScopedSpan span("Query");
     SelectStatement stmt;
@@ -886,8 +974,14 @@ Result<std::string> ExplainAnalyzeQuery(const Catalog& catalog,
       ScopedSpan parse_span("Parse");
       LAWS_ASSIGN_OR_RETURN(stmt, ParseSelect(sql));
     }
-    LAWS_ASSIGN_OR_RETURN(Table result, ExecuteSelect(catalog, stmt));
-    result_rows = result.num_rows();
+    Result<Table> result = ExecuteSelect(catalog, stmt);
+    if (result.ok()) {
+      result_rows = result->num_rows();
+    } else if (IsGovernorStatusCode(result.status().code())) {
+      stopped = result.status();
+    } else {
+      return result.status();
+    }
   }
   std::string out = sink.Render();
   char buf[160];
@@ -910,6 +1004,13 @@ Result<std::string> ExplainAnalyzeQuery(const Catalog& catalog,
       static_cast<unsigned long long>(run_skips->value() - run_skips0),
       static_cast<unsigned long long>(enc_agg->value() - enc_agg0));
   out += buf;
+  if (QueryGovernor* gov = QueryGovernor::Current()) {
+    out += gov->DescribeLine();
+  }
+  if (!stopped.ok()) {
+    out += "query stopped: " + stopped.ToString() + "\n";
+    return out;
+  }
   std::snprintf(buf, sizeof(buf), "%zu row%s in %.3f ms\n", result_rows,
                 result_rows == 1 ? "" : "s", total.ElapsedMillis());
   out += buf;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <limits>
 
+#include "common/governor.h"
 #include "common/string_util.h"
 
 namespace laws {
@@ -455,6 +456,10 @@ Result<EvalResult> EvaluateFunction(const Expr& expr, const Table& table) {
 }
 
 Result<EvalResult> Evaluate(const Expr& expr, const Table& table) {
+  // One cancellation point per expression node: each node's loops run
+  // the full table, so this bounds the treewalker's cancel latency to
+  // one column pass.
+  LAWS_GOVERNOR_POLL();
   switch (expr.kind) {
     case ExprKind::kLiteral: {
       EvalResult out;

@@ -1,0 +1,35 @@
+#include "query/query_context.h"
+
+#include <limits>
+
+#include "common/env.h"
+#include "query/executor.h"
+
+namespace laws {
+namespace {
+
+ResourceLimits LimitsFromEnvImpl() {
+  ResourceLimits limits;
+  const int64_t timeout_ms = EnvInt64("LAWS_QUERY_TIMEOUT_MS", 0, 0,
+                                      std::numeric_limits<int64_t>::max() /
+                                          1000);
+  limits.timeout_micros = timeout_ms * 1000;
+  const int64_t budget_mb =
+      EnvInt64("LAWS_QUERY_MEMBUDGET_MB", 0, 0, int64_t{1} << 40);
+  limits.memory_budget_bytes =
+      static_cast<uint64_t>(budget_mb) * 1024 * 1024;
+  return limits;
+}
+
+}  // namespace
+
+ResourceLimits QueryContext::LimitsFromEnv() { return LimitsFromEnvImpl(); }
+
+Result<Table> ExecuteQueryGoverned(const Catalog& catalog,
+                                   const std::string& sql,
+                                   const ResourceLimits& limits) {
+  QueryContext ctx(limits);
+  return ctx.Run([&] { return ExecuteQuery(catalog, sql); });
+}
+
+}  // namespace laws

@@ -1,0 +1,62 @@
+#ifndef LAWSDB_QUERY_QUERY_CONTEXT_H_
+#define LAWSDB_QUERY_QUERY_CONTEXT_H_
+
+#include <string>
+
+#include "common/governor.h"
+#include "common/result.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace laws {
+
+/// Driver-facing handle for one governed query: owns the QueryGovernor
+/// and scopes its installation around execution. The shell, the hybrid
+/// engine, and the differential harness all run queries through this
+/// rather than wiring ScopedGovernor by hand, so the install/uninstall
+/// discipline lives in exactly one place.
+///
+/// Default limits come from the environment (see LimitsFromEnv); a
+/// driver that wants per-query limits (shell `timeout` / `membudget`
+/// commands) passes them explicitly. Cancel() may be called from any
+/// thread while Run() is in flight — that is the whole point.
+class QueryContext {
+ public:
+  /// Limits from LAWS_QUERY_TIMEOUT_MS and LAWS_QUERY_MEMBUDGET_MB
+  /// (0 / unset / malformed = unlimited; malformed warns once).
+  static ResourceLimits LimitsFromEnv();
+
+  QueryContext() : QueryContext(LimitsFromEnv()) {}
+  explicit QueryContext(ResourceLimits limits) : governor_(limits) {}
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  QueryGovernor& governor() { return governor_; }
+  const QueryGovernor& governor() const { return governor_; }
+
+  /// Requests cooperative cancellation (thread-safe, idempotent).
+  void Cancel() { governor_.Cancel(); }
+
+  /// Runs `fn` with this context's governor installed on the calling
+  /// thread, returning whatever `fn` returns. Nesting-safe.
+  template <typename Fn>
+  auto Run(Fn&& fn) -> decltype(fn()) {
+    ScopedGovernor install(&governor_);
+    return fn();
+  }
+
+ private:
+  QueryGovernor governor_;
+};
+
+/// Parses and executes `sql` under a fresh governor with `limits`.
+/// Returns the result table, or the typed governor error when a limit
+/// trips (kCanceled / kDeadlineExceeded / kResourceExhausted).
+Result<Table> ExecuteQueryGoverned(const Catalog& catalog,
+                                   const std::string& sql,
+                                   const ResourceLimits& limits);
+
+}  // namespace laws
+
+#endif  // LAWSDB_QUERY_QUERY_CONTEXT_H_

@@ -2,10 +2,11 @@
 
 #include <atomic>
 #include <cmath>
-#include <cstdlib>
 #include <cstring>
 #include <limits>
 
+#include "common/env.h"
+#include "common/governor.h"
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "query/expr_eval.h"
@@ -17,8 +18,7 @@ constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 std::atomic<int>& EngineFlag() {
   static std::atomic<int> flag([] {
-    const char* v = std::getenv("LAWS_EXPR_TREEWALK");
-    const bool treewalk = v != nullptr && v[0] != '\0' && v[0] != '0';
+    const bool treewalk = EnvFlag("LAWS_EXPR_TREEWALK", false);
     return static_cast<int>(treewalk ? ExprEngine::kTreewalk
                                      : ExprEngine::kBytecode);
   }());
@@ -628,6 +628,7 @@ Result<Column> BatchEvaluator::Run(const CompiledExpr& program,
   const Slot& r = slots_[program.result_slot];
   uint64_t batches = 0;
   for (size_t base = 0; base < rows; base += batch_size_) {
+    LAWS_GOVERNOR_POLL();
     const size_t n = std::min(batch_size_, rows - base);
     LAWS_RETURN_IF_ERROR(RunBatch(program, table, base, n));
     ++batches;
@@ -672,6 +673,7 @@ Result<std::vector<uint32_t>> BatchEvaluator::RunFilter(
   const Slot& r = slots_[program.result_slot];
   uint64_t batches = 0;
   for (size_t base = 0; base < rows; base += batch_size_) {
+    LAWS_GOVERNOR_POLL();
     const size_t n = std::min(batch_size_, rows - base);
     LAWS_RETURN_IF_ERROR(RunBatch(program, table, base, n));
     ++batches;

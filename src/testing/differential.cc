@@ -7,11 +7,17 @@
 #include <limits>
 #include <utility>
 
+#include <thread>
+
+#include "common/fault_injection.h"
+#include "common/governor.h"
+#include "common/random.h"
 #include "common/thread_pool.h"
 #include "compress/block_store.h"
 #include "query/compressed_scan.h"
 #include "query/executor.h"
 #include "query/parser.h"
+#include "query/query_context.h"
 #include "query/vector_eval.h"
 #include "testing/reference_oracle.h"
 #include "testing/shrink.h"
@@ -283,6 +289,141 @@ DiffReport RunDifferential(const DiffOptions& opts) {
     if (report.mismatches.size() >= opts.max_reported) break;
   }
   // Leave the global pool at its default width for whatever runs next.
+  ThreadPool::SetGlobalThreadCount(0);
+  return report;
+}
+
+std::string ChaosReport::Summary() const {
+  std::string out = std::to_string(queries) + " chaos cases: " +
+                    std::to_string(completed_identical) +
+                    " completed bit-identical, " +
+                    std::to_string(governor_stopped) +
+                    " stopped by the governor, " +
+                    std::to_string(agreed_errors) + " agreed errors, " +
+                    std::to_string(violations.size()) + " violations";
+  for (const std::string& v : violations) out += "\n--- violation ---\n" + v;
+  return out;
+}
+
+ChaosReport RunGovernorChaos(const ChaosOptions& opts) {
+  ChaosReport report;
+  const ExprEngine prev_engine = GlobalExprEngine();
+  const ScanEngine prev_scan = GlobalScanEngine();
+  const size_t prev_block_rows = ScanBlockRows();
+
+  for (size_t i = 0; i < opts.num_queries; ++i) {
+    const uint64_t case_seed = opts.seed + i;
+    // Salt the regime stream so it does not mirror the generator's.
+    Rng rng(case_seed * 0x9E3779B97F4A7C15ull + 1);
+    GeneratedCase gc = GenerateCase(case_seed);
+    ++report.queries;
+
+    const auto violation = [&](const std::string& what) {
+      report.violations.push_back(
+          "seed " + std::to_string(case_seed) +
+          " (replay with LAWS_CHAOS_SEED=" + std::to_string(case_seed) +
+          " LAWS_CHAOS_QUERIES=1)\nsql:    " + gc.sql + "\nreason: " + what);
+    };
+
+    Result<SelectStatement> stmt = ParseSelect(gc.sql);
+    if (!stmt.ok()) {
+      violation("generator emitted unparsable SQL: " +
+                stmt.status().ToString());
+      if (report.violations.size() >= opts.max_reported) break;
+      continue;
+    }
+    Result<Catalog> catalog = MaterializeCatalog(gc.tables);
+    if (!catalog.ok()) {
+      violation("harness: materialize failed: " + catalog.status().ToString());
+      if (report.violations.size() >= opts.max_reported) break;
+      continue;
+    }
+
+    // Random execution tier, shared by the reference and the governed run
+    // so bit-identity is compared apples-to-apples.
+    SetGlobalExprEngine(rng.UniformInt(0, 1) == 1 ? ExprEngine::kBytecode
+                                                  : ExprEngine::kTreewalk);
+    const bool compressed = rng.UniformInt(0, 1) == 1;
+    SetGlobalScanEngine(compressed ? ScanEngine::kCompressed
+                                   : ScanEngine::kDecode);
+    if (compressed) SetScanBlockRows(8);
+    ThreadPool::SetGlobalThreadCount(rng.UniformInt(0, 1) == 1 ? 1 : 0);
+
+    const Result<Table> reference = ExecuteSelect(*catalog, *stmt);
+
+    // Draw a governor regime.
+    enum Regime {
+      kPreCancel = 0,
+      kAsyncCancel,
+      kDeadline,
+      kBudget,
+      kPollFault,
+      kAllocFault,
+      kRegimeCount
+    };
+    const int regime = static_cast<int>(rng.UniformInt(0, kRegimeCount - 1));
+    ResourceLimits limits;
+    if (regime == kDeadline) {
+      // Tiny deadlines trip on the first poll; generous ones let the
+      // query complete — both sides of the invariant get exercised.
+      static const int64_t kDeadlines[] = {1, 100, 5000, 1000000};
+      limits.timeout_micros = kDeadlines[rng.UniformInt(0, 3)];
+    } else if (regime == kBudget) {
+      static const uint64_t kBudgets[] = {1, 512, 64ull << 10, 64ull << 20};
+      limits.memory_budget_bytes = kBudgets[rng.UniformInt(0, 3)];
+    } else if (regime == kPollFault || regime == kAllocFault) {
+      FaultSpec spec;
+      spec.kind = FaultSpec::Kind::kError;
+      spec.skip_hits = static_cast<uint64_t>(rng.UniformInt(0, 40));
+      spec.max_triggers = 1;
+      FaultInjector::Instance().Arm(
+          regime == kPollFault ? "governor/poll" : "governor/alloc", spec);
+    }
+
+    QueryContext ctx(limits);
+    if (regime == kPreCancel) ctx.Cancel();
+    std::thread canceler;
+    if (regime == kAsyncCancel) {
+      const int64_t delay_us = rng.UniformInt(0, 200);
+      canceler = std::thread([&ctx, delay_us] {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+        ctx.Cancel();
+      });
+    }
+    const Result<Table> governed =
+        ctx.Run([&] { return ExecuteSelect(*catalog, *stmt); });
+    if (canceler.joinable()) canceler.join();
+    FaultInjector::Instance().DisarmAll();
+    SetScanBlockRows(prev_block_rows);
+
+    // The invariant: a clean governor stop, a bit-identical completion,
+    // or an error both runs agree on. Anything else is a bug.
+    if (!governed.ok() && IsGovernorStatusCode(governed.status().code())) {
+      ++report.governor_stopped;
+    } else if (governed.ok() && reference.ok()) {
+      std::string why;
+      if (TablesEquivalent(*reference, *governed, /*order_sensitive=*/true,
+                           &why)) {
+        ++report.completed_identical;
+      } else {
+        violation("governed run diverged from ungoverned reference: " + why);
+      }
+    } else if (!governed.ok() && !reference.ok()) {
+      ++report.agreed_errors;
+    } else if (governed.ok()) {
+      violation("governed run succeeded where the reference failed: " +
+                reference.status().ToString());
+    } else {
+      violation("governed run failed with a non-governor error the "
+                "reference did not raise: " +
+                governed.status().ToString());
+    }
+    if (report.violations.size() >= opts.max_reported) break;
+  }
+
+  SetGlobalExprEngine(prev_engine);
+  SetGlobalScanEngine(prev_scan);
+  SetScanBlockRows(prev_block_rows);
   ThreadPool::SetGlobalThreadCount(0);
   return report;
 }

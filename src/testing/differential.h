@@ -70,6 +70,44 @@ CaseDiff DiffCase(const std::vector<GenTable>& tables,
 /// shrinking every mismatch before reporting it.
 DiffReport RunDifferential(const DiffOptions& opts);
 
+/// Configuration for the governor chaos sweep.
+struct ChaosOptions {
+  uint64_t seed = 0xC4A05;
+  size_t num_queries = 300;
+  /// Stop collecting after this many violations (each report is large).
+  size_t max_reported = 8;
+};
+
+struct ChaosReport {
+  size_t queries = 0;
+  /// Governed run completed and matched the ungoverned reference
+  /// bit-for-bit on the same tier.
+  size_t completed_identical = 0;
+  /// Governed run stopped with a clean typed governor error
+  /// (kCanceled / kDeadlineExceeded / kResourceExhausted).
+  size_t governor_stopped = 0;
+  /// Both runs raised a (non-governor) query error.
+  size_t agreed_errors = 0;
+  /// Invariant breaches: wrong rows, a non-governor error the reference
+  /// did not raise, or a success where the reference failed. Each entry
+  /// is replayable by the seed it names. Crashes never reach this list —
+  /// they kill the sanitizer-instrumented process, which is the point.
+  std::vector<std::string> violations;
+
+  std::string Summary() const;
+};
+
+/// The chaos leg: every generated case runs once ungoverned (the
+/// reference) and once under a randomly drawn governor regime — a cancel
+/// armed up front, a cancel fired from another thread mid-flight, a tiny
+/// or generous deadline, a tiny or generous memory budget, or a fault
+/// armed at the governor/poll or governor/alloc site — on a randomly
+/// drawn engine/thread tier. Invariant: the governed run either matches
+/// the reference exactly (rows bit-identical, or both error) or fails
+/// with a clean governor error. Disarms all injected faults before
+/// returning.
+ChaosReport RunGovernorChaos(const ChaosOptions& opts);
+
 }  // namespace testing
 }  // namespace laws
 

@@ -41,6 +41,26 @@ TEST(DifferentialTest, SweepAgreesWithOracle) {
   EXPECT_GT(report.agree_rows, report.queries * 2 / 5) << report.Summary();
 }
 
+// The robustness gate: the same generated queries run under randomly
+// drawn governor regimes (cancel, deadline, budget, injected faults) and
+// must either finish bit-identical to the ungoverned reference or stop
+// with a clean typed governor error — never wrong rows, never a crash.
+// Overridable for the 10k acceptance soak (see tools/check_governor.sh):
+// LAWS_CHAOS_QUERIES=10000 LAWS_CHAOS_SEED=7 ./differential_test
+TEST(DifferentialTest, GovernorChaosSweepHoldsInvariant) {
+  ChaosOptions opts;
+  opts.seed = EnvU64("LAWS_CHAOS_SEED", opts.seed);
+  opts.num_queries =
+      static_cast<size_t>(EnvU64("LAWS_CHAOS_QUERIES", opts.num_queries));
+
+  const ChaosReport report = RunGovernorChaos(opts);
+  EXPECT_TRUE(report.violations.empty()) << report.Summary();
+  // All three legitimate outcomes must actually occur, or the regimes
+  // have silently stopped biting.
+  EXPECT_GT(report.governor_stopped, 0u) << report.Summary();
+  EXPECT_GT(report.completed_identical, 0u) << report.Summary();
+}
+
 TEST(DifferentialTest, GeneratorIsDeterministic) {
   const GeneratedCase a = GenerateCase(99);
   const GeneratedCase b = GenerateCase(99);

@@ -147,6 +147,33 @@ TEST(ParallelForTest, NestedParallelForRunsInline) {
   }
 }
 
+// Regression test for the pool-swap race: SetGlobalThreadCount used to
+// leave in-flight ParallelForChunks regions holding a raw pointer to the
+// pool it destroyed. The region now pins the pool via shared_ptr, so
+// resizing concurrently with running regions must be safe — under TSan
+// this test is the proof.
+TEST(ParallelForTest, ResizingGlobalPoolDuringRegionsIsSafe) {
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    size_t n = 2;
+    while (!stop.load(std::memory_order_acquire)) {
+      ThreadPool::SetGlobalThreadCount(n);
+      n = n == 2 ? 4 : 2;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+  for (int iter = 0; iter < 300; ++iter) {
+    std::atomic<size_t> sum{0};
+    ParallelForChunks(0, 10000, [&](size_t lo, size_t hi) {
+      sum.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(sum.load(), 10000u);
+  }
+  stop.store(true, std::memory_order_release);
+  flipper.join();
+  ThreadPool::SetGlobalThreadCount(0);
+}
+
 TEST(ParallelForTest, GlobalPoolThreadCountIsConfigurable) {
   ThreadPool::SetGlobalThreadCount(3);
   EXPECT_EQ(ThreadPool::Global().num_threads(), 3u);

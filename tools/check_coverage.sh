@@ -11,10 +11,12 @@
 #   LAWS_COV_MIN        fail if total line coverage (%) falls below this
 #   LAWS_COV_BYTECODE_MIN  per-file floor (%) for the correctness-critical
 #                          scan/expression tiers (src/query/bytecode* +
-#                          vector_eval* + compressed_scan*, and
-#                          src/compress/block_store*); default 75 — tiers
+#                          vector_eval* + compressed_scan* +
+#                          query_context*, src/compress/block_store*, and
+#                          src/common/governor*); default 75 — tiers
 #                          whose bugs only surface as silent wrong answers
-#                          must not quietly lose their tests
+#                          (or queries that cannot be stopped) must not
+#                          quietly lose their tests
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -86,10 +88,13 @@ for rel in sorted(lines):
     base = os.path.basename(rel)
     in_query = rel.startswith(os.path.join("src", "query")) and (
         base.startswith("bytecode") or base.startswith("vector_eval") or
-        base.startswith("compressed_scan"))
+        base.startswith("compressed_scan") or
+        base.startswith("query_context"))
     in_compress = rel.startswith(os.path.join("src", "compress")) and \
         base.startswith("block_store")
-    if not (in_query or in_compress):
+    in_common = rel.startswith(os.path.join("src", "common")) and \
+        base.startswith("governor")
+    if not (in_query or in_compress or in_common):
         continue
     linemap = lines[rel]
     fcov = sum(1 for hit in linemap.values() if hit)
