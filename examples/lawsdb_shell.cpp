@@ -1,4 +1,5 @@
-// lawsdb_shell — a small interactive shell over the whole engine.
+// lawsdb_shell — a small interactive shell over the whole engine,
+// running as one client session of the in-process serving layer.
 //
 //   $ ./build/examples/lawsdb_shell
 //   lawsdb> gen lofar 1000 40000
@@ -7,7 +8,7 @@
 //   lawsdb> approx SELECT intensity FROM measurements WHERE source = 42
 //           AND wavelength = 0.15
 //   lawsdb> sql SELECT COUNT(*) FROM measurements
-//   lawsdb> suggest measurements wavelength intensity group source
+//   lawsdb> concurrent 4 SELECT COUNT(*) FROM measurements
 //   lawsdb> save /tmp/db.laws
 //   lawsdb> quit
 //
@@ -17,25 +18,24 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "aqp/domain.h"
-#include "aqp/hybrid.h"
-#include "aqp/model_aqp.h"
-#include "common/governor.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/advisor.h"
 #include "core/diagnose.h"
 #include "core/persistence.h"
-#include "core/session.h"
 #include "lofar/generator.h"
 #include "query/executor.h"
-#include "query/query_context.h"
+#include "serve/server.h"
 #include "storage/csv.h"
 #include "workload/retail.h"
 
@@ -43,48 +43,37 @@ namespace {
 
 using namespace laws;
 
-/// Governor of the query currently executing (nullptr when idle), so the
-/// SIGINT handler can request cooperative cancellation instead of
-/// killing the shell. Cancel() is lock-free atomics + clock_gettime,
-/// both async-signal-safe.
-std::atomic<QueryGovernor*> g_active_governor{nullptr};
+/// The shell session's interrupt flag. The flag itself lives inside the
+/// ClientSession and stays valid for the session's whole lifetime, so —
+/// unlike the old pattern of publishing the in-flight query's governor
+/// pointer — the handler can never dereference a dead object. Writing an
+/// atomic bool is async-signal-safe; the governor consumes the flag at
+/// its next poll and unwinds the query with a typed Canceled error.
+std::atomic<std::atomic<bool>*> g_session_interrupt{nullptr};
 
 void HandleSigint(int) {
-  if (QueryGovernor* gov = g_active_governor.load(std::memory_order_acquire)) {
-    gov->Cancel();
+  if (std::atomic<bool>* flag =
+          g_session_interrupt.load(std::memory_order_acquire)) {
+    flag->store(true, std::memory_order_release);
   }
 }
 
 struct Shell {
-  Catalog data;
-  ModelCatalog models;
-  DomainRegistry domains;
-  Session session{&data, &models};
-  ModelQueryEngine aqp{&data, &models, &domains};
-  HybridQueryEngine hybrid{&data, &aqp};
+  Server server;
+  std::shared_ptr<ClientSession> session;
   /// Per-query resource limits, seeded from LAWS_QUERY_TIMEOUT_MS /
   /// LAWS_QUERY_MEMBUDGET_MB and adjusted by `timeout` / `membudget`.
-  ResourceLimits limits = QueryContext::LimitsFromEnv();
-  /// Set by the `cancel` command: the next governed query starts
-  /// pre-canceled. The shell reads commands and runs queries on one
-  /// thread, so a scripted `cancel` cannot land mid-flight — arming the
-  /// next query is how piped scripts exercise the cancellation path
-  /// end-to-end. Interactive Ctrl-C cancels the in-flight query instead.
-  bool cancel_armed = false;
+  ResourceLimits limits;
 
-  /// Runs `fn` under a fresh governor carrying the shell's current
-  /// limits, published so the SIGINT handler can cancel it.
-  template <typename Fn>
-  auto Governed(Fn&& fn) -> decltype(fn()) {
-    QueryContext ctx(limits);
-    if (cancel_armed) {
-      ctx.Cancel();
-      cancel_armed = false;
+  Shell() {
+    auto connected = server.Connect("shell");
+    if (!connected.ok()) {
+      std::fprintf(stderr, "cannot open session: %s\n",
+                   connected.status().ToString().c_str());
+      std::exit(1);
     }
-    g_active_governor.store(&ctx.governor(), std::memory_order_release);
-    auto result = ctx.Run(fn);
-    g_active_governor.store(nullptr, std::memory_order_release);
-    return result;
+    session = std::move(*connected);
+    limits = session->limits();
   }
 
   void PrintTable(const Table& t, size_t max_rows = 12) {
@@ -97,7 +86,7 @@ struct Shell {
         "commands:\n"
         "  gen lofar <sources> <rows>     generate + register 'measurements'\n"
         "  gen retail <skus> <days>       generate + register 'sales'\n"
-        "  tables                         list tables\n"
+        "  tables                         list tables (+ snapshot epoch)\n"
         "  sql <SELECT ...>               exact query\n"
         "  explain <SELECT ...>           show the execution plan\n"
         "  explain analyze <SELECT ...>   run through the hybrid engine and\n"
@@ -111,6 +100,8 @@ struct Shell {
         "  view <model_id> <name>         materialize a model grid as a table\n"
         "  diagnose <model_id> [group]    residual normality + autocorrelation\n"
         "  refresh                        refit stale models\n"
+        "  drop <table>                   drop a table and its models\n"
+        "  concurrent <n> <SELECT ...>    run the query on n sessions at once\n"
         "  import <path> <table> <name:type[?],...>   load a CSV file\n"
         "  export <table> <path>          write a table as CSV\n"
         "  save <path>                    persist the database (atomic)\n"
@@ -140,11 +131,16 @@ struct Shell {
         std::printf("error: %s\n", gen.status().ToString().c_str());
         return;
       }
-      data.RegisterOrReplace(
-          "measurements",
-          std::make_shared<Table>(std::move(gen->observations)));
-      domains.Register("measurements", "wavelength",
-                       ColumnDomain::Explicit(cfg.bands));
+      auto status =
+          session->CreateTable("measurements", std::move(gen->observations));
+      if (status.ok()) {
+        status = session->RegisterDomain("measurements", "wavelength",
+                                         ColumnDomain::Explicit(cfg.bands));
+      }
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+        return;
+      }
       std::printf("registered 'measurements' (%zu rows; wavelength domain "
                   "registered)\n",
                   b);
@@ -159,11 +155,16 @@ struct Shell {
         std::printf("error: %s\n", gen.status().ToString().c_str());
         return;
       }
-      data.RegisterOrReplace("sales",
-                             std::make_shared<Table>(std::move(gen->sales)));
-      domains.Register(
-          "sales", "day",
-          ColumnDomain::IntegerRange(0, static_cast<int64_t>(b) - 1, 1));
+      auto status = session->CreateTable("sales", std::move(gen->sales));
+      if (status.ok()) {
+        status = session->RegisterDomain(
+            "sales", "day",
+            ColumnDomain::IntegerRange(0, static_cast<int64_t>(b) - 1, 1));
+      }
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+        return;
+      }
       std::printf("registered 'sales' (%zu rows; day domain registered)\n",
                   a * b);
       return;
@@ -192,22 +193,24 @@ struct Shell {
                   "[where <pred>]\n");
       return;
     }
-    auto report = session.Fit(request);
+    auto report = session->Fit(request);
     if (!report.ok()) {
       std::printf("error: %s\n", report.status().ToString().c_str());
       return;
     }
-    auto captured = models.Get(report->model_id);
+    auto snap = session->PinSnapshot();
+    auto captured = snap->models.Get(report->model_id);
     std::printf("captured: %s\n", (*captured)->Summary().c_str());
   }
 
   void Models() {
-    if (models.size() == 0) {
+    auto snap = session->PinSnapshot();
+    if (snap->models.size() == 0) {
       std::printf("(no captured models)\n");
       return;
     }
-    for (uint64_t id : models.ListIds()) {
-      std::printf("%s\n", (*models.Get(id))->Summary().c_str());
+    for (uint64_t id : snap->models.ListIds()) {
+      std::printf("%s\n", (*snap->models.Get(id))->Summary().c_str());
     }
   }
 
@@ -217,7 +220,8 @@ struct Shell {
     while (args >> word) {
       if (EqualsIgnoreCase(word, "group")) args >> group;
     }
-    auto t = data.Get(table);
+    auto snap = session->PinSnapshot();
+    auto t = snap->tables.Get(table);
     if (!t.ok()) {
       std::printf("error: %s\n", t.status().ToString().c_str());
       return;
@@ -244,7 +248,8 @@ struct Shell {
   void Domain(std::istringstream& args) {
     std::string table, column;
     args >> table >> column;
-    auto t = data.Get(table);
+    auto snap = session->PinSnapshot();
+    auto t = snap->tables.Get(table);
     if (!t.ok()) {
       std::printf("error: %s\n", t.status().ToString().c_str());
       return;
@@ -259,9 +264,52 @@ struct Shell {
       std::printf("error: %s\n", domain.status().ToString().c_str());
       return;
     }
-    std::printf("registered domain with %zu values\n",
-                domain->Cardinality());
-    domains.Register(table, column, std::move(*domain));
+    const size_t cardinality = domain->Cardinality();
+    auto status = session->RegisterDomain(table, column, std::move(*domain));
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return;
+    }
+    std::printf("registered domain with %zu values\n", cardinality);
+  }
+
+  /// `concurrent <n> <sql>`: opens n extra sessions and runs the same
+  /// query on each from its own thread — the smoke-level proof that the
+  /// serving layer multiplexes sessions without interference. Used by
+  /// tools/check_serving.sh.
+  void Concurrent(std::istringstream& args) {
+    size_t n = 0;
+    args >> n;
+    std::string query;
+    std::getline(args, query);
+    query = std::string(Trim(query));
+    if (n == 0 || n > 64 || query.empty()) {
+      std::printf("usage: concurrent <1..64> <SELECT ...>\n");
+      return;
+    }
+    std::vector<std::shared_ptr<ClientSession>> sessions;
+    sessions.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto s = server.Connect("c" + std::to_string(i + 1));
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.status().ToString().c_str());
+        return;
+      }
+      sessions.push_back(std::move(*s));
+    }
+    std::atomic<size_t> ok{0}, err{0};
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (auto& s : sessions) {
+      threads.emplace_back([&ok, &err, &query, s] {
+        auto result = s->ExecuteSql(query);
+        (result.ok() ? ok : err).fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& s : sessions) s->Close();
+    std::printf("concurrent: ok=%zu err=%zu sessions=%zu\n",
+                ok.load(), err.load(), n);
   }
 
   void Dispatch(const std::string& line) {
@@ -274,14 +322,17 @@ struct Shell {
     } else if (EqualsIgnoreCase(command, "gen")) {
       Gen(in);
     } else if (EqualsIgnoreCase(command, "tables")) {
-      for (const auto& name : data.ListTables()) {
+      auto snap = session->PinSnapshot();
+      for (const auto& name : snap->tables.ListTables()) {
         std::printf("%s (%zu rows)\n", name.c_str(),
-                    (*data.Get(name))->num_rows());
+                    (*snap->tables.Get(name))->num_rows());
       }
+      std::printf("epoch %llu\n",
+                  static_cast<unsigned long long>(snap->epoch));
     } else if (EqualsIgnoreCase(command, "sql")) {
       std::string query;
       std::getline(in, query);
-      auto result = Governed([&] { return ExecuteQuery(data, query); });
+      auto result = session->ExecuteSql(query);
       if (!result.ok()) {
         std::printf("error: %s\n", result.status().ToString().c_str());
       } else {
@@ -300,8 +351,7 @@ struct Shell {
       if (EqualsIgnoreCase(first, "analyze")) {
         std::string rest;
         std::getline(peek, rest);
-        auto analyzed = Governed(
-            [&] { return hybrid.ExplainAnalyze(std::string(Trim(rest))); });
+        auto analyzed = session->ExplainAnalyze(std::string(Trim(rest)));
         if (!analyzed.ok()) {
           std::printf("error: %s\n", analyzed.status().ToString().c_str());
         } else {
@@ -309,7 +359,8 @@ struct Shell {
         }
         return;
       }
-      auto plan = ExplainQuery(data, query);
+      auto snap = session->PinSnapshot();
+      auto plan = ExplainQuery(snap->tables, query);
       if (!plan.ok()) {
         std::printf("error: %s\n", plan.status().ToString().c_str());
       } else {
@@ -327,7 +378,7 @@ struct Shell {
     } else if (EqualsIgnoreCase(command, "approx")) {
       std::string query;
       std::getline(in, query);
-      auto answer = Governed([&] { return aqp.Execute(query); });
+      auto answer = session->ExecuteApprox(query);
       if (!answer.ok()) {
         std::printf("error: %s\n", answer.status().ToString().c_str());
       } else {
@@ -349,12 +400,13 @@ struct Shell {
       int64_t group = 0;
       in >> model_id;
       in >> group;  // optional; stays 0 on failure
-      auto model = models.Get(model_id);
+      auto snap = session->PinSnapshot();
+      auto model = snap->models.Get(model_id);
       if (!model.ok()) {
         std::printf("error: %s\n", model.status().ToString().c_str());
         return;
       }
-      auto table = data.Get((*model)->table_name);
+      auto table = snap->tables.Get((*model)->table_name);
       if (!table.ok()) {
         std::printf("error: %s\n", table.status().ToString().c_str());
         return;
@@ -375,7 +427,7 @@ struct Shell {
       uint64_t model_id = 0;
       std::string name;
       in >> model_id >> name;
-      auto tuples = aqp.MaterializeView(model_id, name, &data);
+      auto tuples = session->MaterializeView(model_id, name);
       if (!tuples.ok()) {
         std::printf("error: %s\n", tuples.status().ToString().c_str());
       } else {
@@ -383,13 +435,24 @@ struct Shell {
                     *tuples);
       }
     } else if (EqualsIgnoreCase(command, "refresh")) {
-      auto sweep = session.RefitStale();
+      auto sweep = session->RefitStale();
       if (!sweep.ok()) {
         std::printf("error: %s\n", sweep.status().ToString().c_str());
       } else {
         std::printf("checked=%zu stale=%zu refitted=%zu\n", sweep->checked,
                     sweep->stale, sweep->refitted);
       }
+    } else if (EqualsIgnoreCase(command, "drop")) {
+      std::string table;
+      in >> table;
+      auto status = session->DropTable(table);
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+      } else {
+        std::printf("dropped '%s'\n", table.c_str());
+      }
+    } else if (EqualsIgnoreCase(command, "concurrent")) {
+      Concurrent(in);
     } else if (EqualsIgnoreCase(command, "import")) {
       std::string path, table, spec;
       in >> path >> table;
@@ -405,13 +468,17 @@ struct Shell {
         return;
       }
       const size_t rows = loaded->num_rows();
-      data.RegisterOrReplace(table,
-                             std::make_shared<Table>(std::move(*loaded)));
+      auto status = session->CreateTable(table, std::move(*loaded));
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+        return;
+      }
       std::printf("imported %zu rows into '%s'\n", rows, table.c_str());
     } else if (EqualsIgnoreCase(command, "export")) {
       std::string table, path;
       in >> table >> path;
-      auto t = data.Get(table);
+      auto snap = session->PinSnapshot();
+      auto t = snap->tables.Get(table);
       if (!t.ok()) {
         std::printf("error: %s\n", t.status().ToString().c_str());
         return;
@@ -422,7 +489,8 @@ struct Shell {
     } else if (EqualsIgnoreCase(command, "save")) {
       std::string path;
       in >> path;
-      auto status = SaveDatabase(data, models, path);
+      auto snap = session->PinSnapshot();
+      auto status = SaveDatabase(snap->tables, snap->models, path);
       std::printf("%s\n", status.ok() ? "saved" : status.ToString().c_str());
     } else if (EqualsIgnoreCase(command, "load")) {
       std::string path, mode;
@@ -430,7 +498,12 @@ struct Shell {
       LoadOptions options;
       options.tolerate_corruption = EqualsIgnoreCase(mode, "tolerant");
       LoadReport report;
+      Catalog data;
+      ModelCatalog models;
       auto status = LoadDatabase(path, &data, &models, options, &report);
+      if (status.ok()) {
+        status = session->ReplaceDatabase(std::move(data), std::move(models));
+      }
       if (!status.ok()) {
         std::printf("%s\n", status.ToString().c_str());
       } else {
@@ -469,6 +542,7 @@ struct Shell {
       int64_t ms = 0;
       if (in >> ms && ms >= 0) {
         limits.timeout_micros = ms * 1000;
+        session->set_limits(limits);
         std::printf("per-query deadline: %s\n",
                     ms == 0 ? "unlimited" : (std::to_string(ms) + " ms").c_str());
       } else if (in.eof() && ms == 0) {
@@ -485,6 +559,7 @@ struct Shell {
       if (in >> mb && mb >= 0) {
         limits.memory_budget_bytes =
             static_cast<uint64_t>(mb) * 1024 * 1024;
+        session->set_limits(limits);
         std::printf("per-query memory budget: %s\n",
                     mb == 0 ? "unlimited" : (std::to_string(mb) + " MiB").c_str());
       } else if (in.eof() && mb == 0) {
@@ -499,7 +574,9 @@ struct Shell {
         std::printf("usage: membudget [mebibytes >= 0]\n");
       }
     } else if (EqualsIgnoreCase(command, "cancel")) {
-      cancel_armed = true;
+      // Arms the session's interrupt: consumed by the next governed poll,
+      // exactly like an interactive Ctrl-C landing mid-query.
+      session->CancelCurrent();
       std::printf("next query will be canceled\n");
     } else {
       std::printf("unknown command '%s' (try: help)\n", command.c_str());
@@ -511,6 +588,8 @@ struct Shell {
 
 int main() {
   Shell shell;
+  g_session_interrupt.store(shell.session->interrupt_flag(),
+                            std::memory_order_release);
   std::signal(SIGINT, HandleSigint);
   std::printf("LawsDB shell — type 'help' for commands\n");
   std::string line;

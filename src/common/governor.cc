@@ -84,6 +84,15 @@ void QueryGovernor::RecordCancelObserved() {
 
 Status QueryGovernor::Poll() {
   polls_.fetch_add(1, std::memory_order_relaxed);
+  // External interrupt flag (shell SIGINT, session CancelCurrent): the
+  // common unset case costs one relaxed load; a set flag is consumed
+  // exactly once (racing pollers agree via the exchange) and becomes a
+  // sticky Cancel on this governor.
+  if (external_cancel_ != nullptr &&
+      external_cancel_->load(std::memory_order_relaxed) &&
+      external_cancel_->exchange(false, std::memory_order_acq_rel)) {
+    Cancel();
+  }
   // Deterministic chaos hook: an armed governor/poll fault forces a
   // cancellation race at exactly this probe (see fault_injection.h).
   if (FaultInjector::Instance().active()) {

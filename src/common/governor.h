@@ -60,6 +60,22 @@ class QueryGovernor {
     return canceled_.load(std::memory_order_acquire);
   }
 
+  /// Binds a long-lived external interrupt flag: when `flag` is found set
+  /// at a poll, it is consumed (exchanged to false) and translated into
+  /// Cancel(). This is the safe cancel-token handoff for drivers whose
+  /// cancel source outlives any one query (a shell SIGINT handler, a
+  /// server session's CancelCurrent): the asynchronous canceller touches
+  /// only the flag — which lives as long as the session — never a
+  /// governor pointer that may already be destroyed. Setting an atomic
+  /// bool is async-signal-safe. Call before the query starts (not
+  /// concurrently with polls); `flag` may be nullptr to unbind. An
+  /// interrupt that no poll observes (the query finished first, or none
+  /// was running) stays set and cancels the session's next query — the
+  /// "armed cancel" semantics drivers surface to users.
+  void BindExternalCancel(std::atomic<bool>* flag) {
+    external_cancel_ = flag;
+  }
+
   /// The cancellation point: returns OK, or the typed governor error
   /// (kCanceled / kDeadlineExceeded). Deadline and cancellation are
   /// sticky, so once Poll fails it keeps failing — callers that run
@@ -102,6 +118,9 @@ class QueryGovernor {
   const ResourceLimits limits_;
   const std::chrono::steady_clock::time_point start_;
   const std::chrono::steady_clock::time_point deadline_;
+
+  /// Session-lifetime interrupt flag (see BindExternalCancel); not owned.
+  std::atomic<bool>* external_cancel_ = nullptr;
 
   std::atomic<bool> canceled_{false};
   /// steady_clock ticks at the moment Cancel() first ran (0 = never).

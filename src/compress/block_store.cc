@@ -35,6 +35,12 @@ Counter* IndexBuildCounter() {
   return c;
 }
 
+Counter* IndexEvictionCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("scan.index_evictions");
+  return c;
+}
+
 bool SameBits(double a, double b) {
   uint64_t ba, bb;
   std::memcpy(&ba, &a, sizeof(ba));
@@ -137,37 +143,36 @@ std::unordered_map<const Table*, CacheEntry>& Cache() {
   return *cache;
 }
 
-bool IndexCurrent(const BlockIndex& index, const Table& table) {
+/// `block_rows` is the caller's single read of the block-size flag:
+/// validation and (on miss) the rebuild must both use the same value,
+/// otherwise a concurrent SetScanBlockRows between the two reads can
+/// register an index built at a different size than was validated
+/// (the EnsureBlockIndex TOCTOU).
+bool IndexCurrent(const BlockIndex& index, const Table& table,
+                  size_t block_rows) {
   return index.data_version == table.data_version() &&
          index.num_rows == table.num_rows() &&
-         index.block_rows == ScanBlockRows();
+         index.block_rows == block_rows;
 }
 
 void EvictExpiredLocked() {
   auto& cache = Cache();
+  size_t evicted = 0;
   for (auto it = cache.begin(); it != cache.end();) {
     if (it->second.owner.expired()) {
       it = cache.erase(it);
+      ++evicted;
     } else {
       ++it;
     }
   }
+  if (evicted > 0) IndexEvictionCounter()->Add(evicted);
 }
 
-}  // namespace
-
-size_t ScanBlockRows() {
-  return BlockRowsFlag().load(std::memory_order_relaxed);
-}
-
-void SetScanBlockRows(size_t rows) {
-  BlockRowsFlag().store(rows == 0 ? kDefaultBlockRows : rows,
-                        std::memory_order_relaxed);
-}
-
-std::shared_ptr<const BlockIndex> BuildBlockIndex(const Table& table) {
+std::shared_ptr<const BlockIndex> BuildBlockIndexAt(const Table& table,
+                                                    size_t block_rows) {
   auto index = std::make_shared<BlockIndex>();
-  index->block_rows = ScanBlockRows();
+  index->block_rows = block_rows;
   index->num_rows = table.num_rows();
   index->num_blocks =
       (index->num_rows + index->block_rows - 1) / index->block_rows;
@@ -182,18 +187,37 @@ std::shared_ptr<const BlockIndex> BuildBlockIndex(const Table& table) {
   return index;
 }
 
+}  // namespace
+
+size_t ScanBlockRows() {
+  return BlockRowsFlag().load(std::memory_order_relaxed);
+}
+
+void SetScanBlockRows(size_t rows) {
+  BlockRowsFlag().store(rows == 0 ? kDefaultBlockRows : rows,
+                        std::memory_order_relaxed);
+}
+
+std::shared_ptr<const BlockIndex> BuildBlockIndex(const Table& table) {
+  return BuildBlockIndexAt(table, ScanBlockRows());
+}
+
 std::shared_ptr<const BlockIndex> EnsureBlockIndex(const TablePtr& table) {
   if (!table) return nullptr;
+  // One read of the flag for the whole operation (validate AND build).
+  const size_t block_rows = ScanBlockRows();
   {
     std::lock_guard<std::mutex> lock(g_cache_mutex);
+    EvictExpiredLocked();
     auto it = Cache().find(table.get());
     if (it != Cache().end() && it->second.owner.lock() == table &&
-        IndexCurrent(*it->second.index, *table)) {
+        IndexCurrent(*it->second.index, *table, block_rows)) {
       return it->second.index;
     }
   }
   // Build outside the lock: index construction is a full column sweep.
-  std::shared_ptr<const BlockIndex> index = BuildBlockIndex(*table);
+  std::shared_ptr<const BlockIndex> index =
+      BuildBlockIndexAt(*table, block_rows);
   {
     std::lock_guard<std::mutex> lock(g_cache_mutex);
     EvictExpiredLocked();
@@ -203,13 +227,26 @@ std::shared_ptr<const BlockIndex> EnsureBlockIndex(const TablePtr& table) {
 }
 
 std::shared_ptr<const BlockIndex> FindBlockIndex(const Table& table) {
+  const size_t block_rows = ScanBlockRows();
   std::lock_guard<std::mutex> lock(g_cache_mutex);
+  EvictExpiredLocked();
   auto it = Cache().find(&table);
   if (it == Cache().end()) return nullptr;
   auto owner = it->second.owner.lock();
   if (!owner || owner.get() != &table) return nullptr;
-  if (!IndexCurrent(*it->second.index, table)) return nullptr;
+  if (!IndexCurrent(*it->second.index, table, block_rows)) return nullptr;
   return it->second.index;
+}
+
+void PurgeExpiredBlockIndexes() {
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  EvictExpiredLocked();
+}
+
+size_t BlockIndexCacheSize() {
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  EvictExpiredLocked();
+  return Cache().size();
 }
 
 }  // namespace laws

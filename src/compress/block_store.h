@@ -102,12 +102,27 @@ std::shared_ptr<const BlockIndex> BuildBlockIndex(const Table& table);
 /// absent or stale. The cache is keyed by table identity (address,
 /// validated through the owning shared_ptr so a recycled address can
 /// never alias) and invalidated by data_version and block-size changes.
+/// The block-size flag is read exactly once per call and threaded
+/// through both the validation and the build, so a concurrent
+/// SetScanBlockRows can never cache an index whose `block_rows`
+/// disagrees with the size its zone maps were computed at.
 std::shared_ptr<const BlockIndex> EnsureBlockIndex(const TablePtr& table);
 
 /// Validated cache lookup by reference: returns the index only when a
 /// live registration matches this table's address, data version and the
 /// current block size; nullptr otherwise. Never builds.
 std::shared_ptr<const BlockIndex> FindBlockIndex(const Table& table);
+
+/// Drops cache entries whose owning table has been destroyed (the
+/// weak_ptr expired). Every eviction bumps the `scan.index_evictions`
+/// counter. Lookups already purge opportunistically, so a long-running
+/// server that drops or replaces tables cannot pin dead indexes
+/// indefinitely; call this explicitly after a catalog commit to free
+/// the memory immediately rather than at the next scan.
+void PurgeExpiredBlockIndexes();
+
+/// Number of live cache entries (post-purge); test/diagnostic hook.
+size_t BlockIndexCacheSize();
 
 }  // namespace laws
 

@@ -45,6 +45,13 @@ std::string CapturedModel::Summary() const {
   return buf;
 }
 
+ModelCatalog ModelCatalog::Clone() const {
+  ModelCatalog copy;
+  copy.models_ = models_;
+  copy.next_id_ = next_id_;
+  return copy;
+}
+
 uint64_t ModelCatalog::Store(CapturedModel model) {
   model.id = next_id_++;
   const uint64_t id = model.id;

@@ -72,6 +72,15 @@ class ModelCatalog {
 
   ModelCatalog(const ModelCatalog&) = delete;
   ModelCatalog& operator=(const ModelCatalog&) = delete;
+  ModelCatalog(ModelCatalog&&) = default;
+  ModelCatalog& operator=(ModelCatalog&&) = default;
+
+  /// Deep copy for snapshot publication (serve layer). Copies every
+  /// captured model (including grouped parameter tables) and preserves
+  /// id assignment, so the clone's future Store() ids continue the
+  /// original sequence. Model-mutating commits are rare next to queries;
+  /// the copy cost buys immutable snapshots for readers.
+  ModelCatalog Clone() const;
 
   /// Stores a captured model; assigns and returns its id.
   uint64_t Store(CapturedModel model);

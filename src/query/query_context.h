@@ -38,6 +38,12 @@ class QueryContext {
   /// Requests cooperative cancellation (thread-safe, idempotent).
   void Cancel() { governor_.Cancel(); }
 
+  /// Binds a session-lifetime interrupt flag polled by the governor (see
+  /// QueryGovernor::BindExternalCancel). Call before Run().
+  void BindExternalCancel(std::atomic<bool>* flag) {
+    governor_.BindExternalCancel(flag);
+  }
+
   /// Runs `fn` with this context's governor installed on the calling
   /// thread, returning whatever `fn` returns. Nesting-safe.
   template <typename Fn>

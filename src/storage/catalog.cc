@@ -48,6 +48,13 @@ bool Catalog::Contains(const std::string& name) const {
   return tables_.count(Key(name)) > 0;
 }
 
+Catalog Catalog::Clone() const {
+  Catalog copy;
+  copy.tables_ = tables_;
+  copy.display_names_ = display_names_;
+  return copy;
+}
+
 std::vector<std::string> Catalog::ListTables() const {
   std::vector<std::string> names;
   names.reserve(display_names_.size());

@@ -40,6 +40,13 @@ class Catalog {
   /// All table names in sorted order.
   std::vector<std::string> ListTables() const;
 
+  /// Cheap structural copy for snapshot publication (serve layer): the
+  /// name→table bindings are duplicated but the Table objects themselves
+  /// are shared. Copy-on-write discipline is the caller's job — a writer
+  /// that mutates a table must rebind a fresh Table, never append to a
+  /// shared one.
+  Catalog Clone() const;
+
   size_t size() const { return tables_.size(); }
 
  private:

@@ -12,11 +12,12 @@
 #   LAWS_COV_BYTECODE_MIN  per-file floor (%) for the correctness-critical
 #                          scan/expression tiers (src/query/bytecode* +
 #                          vector_eval* + compressed_scan* +
-#                          query_context*, src/compress/block_store*, and
-#                          src/common/governor*); default 75 — tiers
-#                          whose bugs only surface as silent wrong answers
-#                          (or queries that cannot be stopped) must not
-#                          quietly lose their tests
+#                          query_context*, src/compress/block_store*,
+#                          src/common/governor*, and all of src/serve);
+#                          default 75 — tiers whose bugs only surface as
+#                          silent wrong answers (or queries that cannot
+#                          be stopped, or snapshot isolation quietly
+#                          broken) must not quietly lose their tests
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -94,7 +95,8 @@ for rel in sorted(lines):
         base.startswith("block_store")
     in_common = rel.startswith(os.path.join("src", "common")) and \
         base.startswith("governor")
-    if not (in_query or in_compress or in_common):
+    in_serve = rel.startswith(os.path.join("src", "serve"))
+    if not (in_query or in_compress or in_common or in_serve):
         continue
     linemap = lines[rel]
     fcov = sum(1 for hit in linemap.values() if hit)

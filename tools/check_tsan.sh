@@ -14,6 +14,12 @@
 # mutex-guarded — differential_test flips engines and block sizes while
 # registering indexes, so a race in the cache or counters surfaces here.
 #
+# The serving layer rides in serve_test: concurrent sessions pin
+# snapshots while writers copy-and-swap commits, the admission gate's
+# condvar hands slots across threads, session interrupts land from
+# foreign threads, and the block-index cache races builds, lookups,
+# SetScanBlockRows flips and purges — all instrumented here.
+#
 # Usage: tools/check_tsan.sh [ctest-args...]
 #   LAWS_TSAN_BUILD_DIR  override the build tree (default: build-tsan)
 #   LAWS_TSAN_JOBS       parallel build jobs (default: nproc)
