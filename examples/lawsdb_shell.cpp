@@ -33,6 +33,8 @@
 #include "core/advisor.h"
 #include "core/diagnose.h"
 #include "core/persistence.h"
+#include "learn/learner.h"
+#include "learn/loop.h"
 #include "lofar/generator.h"
 #include "query/executor.h"
 #include "serve/server.h"
@@ -59,13 +61,28 @@ void HandleSigint(int) {
 }
 
 struct Shell {
+  /// Database-learning loop: the shell owns the learner (enabled via
+  /// LAWS_LEARNING or `learning on`), hooks it into the hybrid engine
+  /// through ServerOptions, and runs background maintenance ticks that
+  /// publish harvested models through snapshot commits. Declared before
+  /// `server` so the hook outlives every session.
+  Learner learner;
   Server server;
+  LearningLoop learn_loop;
   std::shared_ptr<ClientSession> session;
   /// Per-query resource limits, seeded from LAWS_QUERY_TIMEOUT_MS /
   /// LAWS_QUERY_MEMBUDGET_MB and adjusted by `timeout` / `membudget`.
   ResourceLimits limits;
 
-  Shell() {
+  static ServerOptions WithLearner(Learner* learner) {
+    ServerOptions options;
+    options.hybrid.learner = learner;
+    return options;
+  }
+
+  Shell()
+      : server(WithLearner(&learner)),
+        learn_loop(&server.snapshots(), &learner) {
     auto connected = server.Connect("shell");
     if (!connected.ok()) {
       std::fprintf(stderr, "cannot open session: %s\n",
@@ -74,7 +91,10 @@ struct Shell {
     }
     session = std::move(*connected);
     limits = session->limits();
+    learn_loop.Start();
   }
+
+  ~Shell() { learn_loop.Stop(); }
 
   void PrintTable(const Table& t, size_t max_rows = 12) {
     std::printf("%s", t.ToString(max_rows).c_str());
@@ -99,6 +119,10 @@ struct Shell {
         "  domain <table> <column>        infer + register enumerable domain\n"
         "  view <model_id> <name>         materialize a model grid as a table\n"
         "  diagnose <model_id> [group]    residual normality + autocorrelation\n"
+        "  learning on|off|status|tick    database-learning loop: exact\n"
+        "                                 scans harvest candidate models;\n"
+        "                                 'tick' forces one maintenance\n"
+        "                                 pass (promote/refine/evict)\n"
         "  refresh                        refit stale models\n"
         "  drop <table>                   drop a table and its models\n"
         "  concurrent <n> <SELECT ...>    run the query on n sessions at once\n"
@@ -386,6 +410,30 @@ struct Shell {
         std::printf("method=%s  error bound ~ +/-%.6g  raw rows read=%zu\n",
                     answer->method.c_str(), answer->error_bound,
                     answer->raw_rows_accessed);
+      }
+    } else if (EqualsIgnoreCase(command, "learning")) {
+      std::string mode;
+      in >> mode;
+      if (EqualsIgnoreCase(mode, "on")) {
+        learner.SetEnabled(true);
+        std::printf("learning on\n");
+      } else if (EqualsIgnoreCase(mode, "off")) {
+        learner.SetEnabled(false);
+        std::printf("learning off\n");
+      } else if (EqualsIgnoreCase(mode, "tick")) {
+        auto tick = learn_loop.TickNow();
+        if (tick.ok()) {
+          std::printf("%s\n", tick->Summary().c_str());
+        } else if (tick.status().code() == StatusCode::kAborted) {
+          std::printf("learning tick: nothing to do\n");
+        } else {
+          std::printf("error: %s\n", tick.status().ToString().c_str());
+        }
+      } else if (mode.empty() || EqualsIgnoreCase(mode, "status")) {
+        std::printf("%s\nticks=%llu\n", learner.StatusString().c_str(),
+                    static_cast<unsigned long long>(learn_loop.ticks()));
+      } else {
+        std::printf("usage: learning on|off|status|tick\n");
       }
     } else if (EqualsIgnoreCase(command, "fit")) {
       Fit(in);

@@ -48,6 +48,7 @@ struct HybridCounters {
   Counter* exact_fallback;
   Counter* count_star_exact;
   Counter* low_quality_reject;
+  Counter* drift_reject;
   Counter* no_model;
   Counter* degraded_to_aqp;
   MetricHistogram* interval_halfwidth;
@@ -60,6 +61,7 @@ struct HybridCounters {
           reg.GetCounter("aqp.hybrid.exact_fallback"),
           reg.GetCounter("aqp.hybrid.fallback.count_star"),
           reg.GetCounter("aqp.hybrid.fallback.low_quality"),
+          reg.GetCounter("aqp.hybrid.fallback.drift"),
           reg.GetCounter("aqp.hybrid.fallback.no_model"),
           reg.GetCounter("governor.degraded_to_aqp"),
           reg.GetHistogram("aqp.hybrid.interval_halfwidth")};
@@ -76,6 +78,15 @@ Result<HybridAnswer> HybridQueryEngine::Execute(const std::string& sql) const {
   HybridAnswer answer;
 
   LAWS_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  // Database-learning hooks: when a learner is attached and on, every
+  // successful exact scan is harvested (its rows refine candidate
+  // models), drift-flagged models are rejected at arbitration, and
+  // hit/fallback outcomes feed the promotion/eviction policy. All hooks
+  // are fire-and-forget — learning never changes or fails an answer.
+  LearningObserver* learner =
+      options_.learner != nullptr && options_.learner->enabled()
+          ? options_.learner
+          : nullptr;
   if (StatementNeedsRawMultiplicity(stmt)) {
     if (!options_.allow_exact_fallback) {
       return Status::InvalidArgument(
@@ -87,10 +98,15 @@ Result<HybridAnswer> HybridQueryEngine::Execute(const std::string& sql) const {
     answer.fallback_reason =
         "COUNT(*) multiplicity is not reproducible from the model grid";
     span.SetDetail("exact: " + answer.fallback_reason);
-    ScopedSpan exact_span("ExactScan");
-    LAWS_ASSIGN_OR_RETURN(answer.table, ExecuteSelect(*data_, stmt));
+    {
+      ScopedSpan exact_span("ExactScan");
+      LAWS_ASSIGN_OR_RETURN(answer.table, ExecuteSelect(*data_, stmt));
+    }
     answer.method = "exact";
     answer.approximate = false;
+    if (learner != nullptr) {
+      learner->OnExactScan(stmt, *data_, *model_engine_->model_catalog());
+    }
     return answer;
   }
 
@@ -99,11 +115,17 @@ Result<HybridAnswer> HybridQueryEngine::Execute(const std::string& sql) const {
     return model_engine_->ExecuteStatement(stmt);
   }();
   if (approx.ok()) {
-    // Quality gate: only serve answers from models judged good enough.
+    // Quality gate: only serve answers from models judged good enough —
+    // and, under learning, not currently drift-flagged (fresh rows
+    // contradicting a fitted law bar it from serving until its refit).
     auto model = model_engine_->model_catalog()->Get(approx->model_id);
     const double quality =
         model.ok() ? (*model)->ArbitrationQuality() : 0.0;
-    if (quality >= options_.min_quality) {
+    std::string drift_why;
+    const bool drift_rejected =
+        quality >= options_.min_quality && learner != nullptr &&
+        learner->RejectModel(approx->model_id, &drift_why);
+    if (quality >= options_.min_quality && !drift_rejected) {
       counters.model_hit->Add();
       counters.interval_halfwidth->Record(approx->max_error_bound);
       answer.table = std::move(approx->table);
@@ -114,12 +136,21 @@ Result<HybridAnswer> HybridQueryEngine::Execute(const std::string& sql) const {
                      std::to_string(approx->model_id) + ", quality " +
                      FormatDouble(quality, 4) + ", bound +/-" +
                      FormatDouble(answer.error_bound, 6));
+      if (learner != nullptr) {
+        learner->OnDecision(stmt.from_table, approx->model_id,
+                            *model_engine_->model_catalog());
+      }
       return answer;
     }
-    counters.low_quality_reject->Add();
-    answer.fallback_reason =
-        "model quality " + FormatDouble(quality, 4) + " below threshold " +
-        FormatDouble(options_.min_quality, 4);
+    if (drift_rejected) {
+      counters.drift_reject->Add();
+      answer.fallback_reason = drift_why;
+    } else {
+      counters.low_quality_reject->Add();
+      answer.fallback_reason =
+          "model quality " + FormatDouble(quality, 4) + " below threshold " +
+          FormatDouble(options_.min_quality, 4);
+    }
   } else {
     // No covering model, stale model, or non-enumerable dimension — this
     // is also the path taken when a persisted model was quarantined by a
@@ -137,6 +168,7 @@ Result<HybridAnswer> HybridQueryEngine::Execute(const std::string& sql) const {
   span.SetDetail("exact: " + answer.fallback_reason);
   ScopedSpan exact_span("ExactScan");
   Result<Table> exact = ExecuteSelect(*data_, stmt);
+  exact_span.End();
   if (!exact.ok()) {
     // Overload-graceful degradation: when the governor stopped the exact
     // scan on time or memory and a model answer exists (it was computed
@@ -166,6 +198,10 @@ Result<HybridAnswer> HybridQueryEngine::Execute(const std::string& sql) const {
   answer.table = std::move(*exact);
   answer.method = "exact";
   answer.approximate = false;
+  if (learner != nullptr) {
+    learner->OnExactScan(stmt, *data_, *model_engine_->model_catalog());
+    learner->OnDecision(stmt.from_table, 0, *model_engine_->model_catalog());
+  }
   return answer;
 }
 
@@ -184,6 +220,12 @@ Result<std::string> HybridQueryEngine::ExplainAnalyze(
   Counter* run_skips =
       MetricsRegistry::Global().GetCounter("scan.runs_skipped");
   Counter* enc_agg = MetricsRegistry::Global().GetCounter("scan.encoded_agg");
+  Counter* harvest_rows =
+      MetricsRegistry::Global().GetCounter("learn.harvest.rows");
+  Counter* drift_detected =
+      MetricsRegistry::Global().GetCounter("learn.drift.detected");
+  Counter* drift_rejected =
+      MetricsRegistry::Global().GetCounter("learn.drift.rejected");
   const uint64_t compiled0 = compiled->value();
   const uint64_t fallback0 = fallback->value();
   const uint64_t batches0 = batches->value();
@@ -191,6 +233,9 @@ Result<std::string> HybridQueryEngine::ExplainAnalyze(
   const uint64_t pruned0 = pruned->value();
   const uint64_t run_skips0 = run_skips->value();
   const uint64_t enc_agg0 = enc_agg->value();
+  const uint64_t harvest_rows0 = harvest_rows->value();
+  const uint64_t drift_detected0 = drift_detected->value();
+  const uint64_t drift_rejected0 = drift_rejected->value();
   LAWS_ASSIGN_OR_RETURN(HybridAnswer answer, Execute(sql));
   std::string out = sink.Render();
   char buf[160];
@@ -212,6 +257,18 @@ Result<std::string> HybridQueryEngine::ExplainAnalyze(
       static_cast<unsigned long long>(pruned->value() - pruned0),
       static_cast<unsigned long long>(run_skips->value() - run_skips0),
       static_cast<unsigned long long>(enc_agg->value() - enc_agg0));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "learning: state=%s harvested_rows=%llu drift_flagged=%llu "
+      "drift_rejected=%llu\n",
+      options_.learner != nullptr && options_.learner->enabled() ? "on"
+                                                                 : "off",
+      static_cast<unsigned long long>(harvest_rows->value() - harvest_rows0),
+      static_cast<unsigned long long>(drift_detected->value() -
+                                      drift_detected0),
+      static_cast<unsigned long long>(drift_rejected->value() -
+                                      drift_rejected0));
   out += buf;
   if (QueryGovernor* gov = QueryGovernor::Current()) {
     out += gov->DescribeLine();

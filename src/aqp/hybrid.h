@@ -5,6 +5,7 @@
 
 #include "aqp/model_aqp.h"
 #include "common/result.h"
+#include "learn/observer.h"
 
 namespace laws {
 
@@ -18,6 +19,11 @@ struct HybridOptions {
   /// low, stale, non-enumerable dimension), fall back to the exact engine
   /// instead of failing.
   bool allow_exact_fallback = true;
+  /// Database-learning hooks (may be nullptr = learning off): successful
+  /// exact scans are harvested into candidate models, drift-flagged
+  /// models are rejected at arbitration, and hit/fallback decisions feed
+  /// the promotion/eviction policy. Not owned; must outlive the engine.
+  LearningObserver* learner = nullptr;
 };
 
 /// Answer from the hybrid engine, recording which path produced it.

@@ -86,9 +86,11 @@ Status ExtractObservations(const Table& table,
 
 }  // namespace
 
-Result<FitReport> Session::FitInternal(const FitRequest& request,
-                                       CapturedModel* captured) {
-  LAWS_ASSIGN_OR_RETURN(TablePtr table_ptr, data_->Get(request.table));
+Status ComputeCapturedFit(const Catalog& data, const FitRequest& request,
+                          CapturedModel* captured, FitReport* report) {
+  FitReport scratch;
+  if (report == nullptr) report = &scratch;
+  LAWS_ASSIGN_OR_RETURN(TablePtr table_ptr, data.Get(request.table));
   LAWS_ASSIGN_OR_RETURN(ModelPtr model, ModelFromSource(request.model_source));
   if (model->num_inputs() != request.input_columns.size()) {
     return Status::InvalidArgument(
@@ -111,7 +113,6 @@ Result<FitReport> Session::FitInternal(const FitRequest& request,
   captured->fitted_data_version = table_ptr->data_version();
   captured->rows_fitted = table->num_rows();
 
-  FitReport report;
   if (request.group_column.empty()) {
     Matrix inputs;
     Vector outputs;
@@ -124,10 +125,10 @@ Result<FitReport> Session::FitInternal(const FitRequest& request,
     captured->parameters = fit.parameters;
     captured->standard_errors = fit.standard_errors;
     captured->quality = fit.quality;
-    report.grouped = false;
-    report.parameters = fit.parameters;
-    report.quality = fit.quality;
-    return report;
+    report->grouped = false;
+    report->parameters = fit.parameters;
+    report->quality = fit.quality;
+    return Status::OK();
   }
 
   GroupedFitSpec spec;
@@ -156,12 +157,19 @@ Result<FitReport> Session::FitInternal(const FitRequest& request,
   captured->median_r_squared = MedianOf(r2s);
   captured->median_residual_se = MedianOf(rses);
 
-  report.grouped = true;
-  report.num_groups = captured->num_groups;
-  report.groups_skipped = captured->groups_skipped;
-  report.groups_failed = captured->groups_failed;
-  report.median_r_squared = captured->median_r_squared;
-  report.median_residual_se = captured->median_residual_se;
+  report->grouped = true;
+  report->num_groups = captured->num_groups;
+  report->groups_skipped = captured->groups_skipped;
+  report->groups_failed = captured->groups_failed;
+  report->median_r_squared = captured->median_r_squared;
+  report->median_residual_se = captured->median_residual_se;
+  return Status::OK();
+}
+
+Result<FitReport> Session::FitInternal(const FitRequest& request,
+                                       CapturedModel* captured) {
+  FitReport report;
+  LAWS_RETURN_IF_ERROR(ComputeCapturedFit(*data_, request, captured, &report));
   return report;
 }
 
@@ -184,9 +192,13 @@ Result<FitReport> Session::Refit(uint64_t model_id) {
 
   CapturedModel refreshed;
   LAWS_ASSIGN_OR_RETURN(FitReport report, FitInternal(request, &refreshed));
-  // Replace in place, keeping the id stable.
+  // Replace in place, keeping the id stable — holders of the old id (the
+  // learning loop's hit-rate stats, anomaly fixtures, shell history) keep
+  // addressing the same model after the refit.
+  refreshed.id = model_id;
   LAWS_RETURN_IF_ERROR(models_->Remove(model_id));
-  report.model_id = models_->Store(std::move(refreshed));
+  LAWS_RETURN_IF_ERROR(models_->RestoreWithId(std::move(refreshed)));
+  report.model_id = model_id;
   return report;
 }
 

@@ -94,6 +94,15 @@ class Session {
 /// Computes the median of `values` (by copy); 0 for empty input.
 double MedianOf(std::vector<double> values);
 
+/// The fit kernel behind Session::Fit/Refit, factored out so callers that
+/// only hold a const catalog (the learning loop's background refits run
+/// against a snapshot-commit copy) can compute a CapturedModel without a
+/// Session: extracts observations, fits, and fills `*captured` and
+/// `*report` — it does NOT store anything; publication is the caller's
+/// job. `report` may be nullptr.
+Status ComputeCapturedFit(const Catalog& data, const FitRequest& request,
+                          CapturedModel* captured, FitReport* report);
+
 }  // namespace laws
 
 #endif  // LAWSDB_CORE_SESSION_H_

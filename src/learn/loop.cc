@@ -1,0 +1,77 @@
+#include "learn/loop.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace laws {
+
+LearningLoop::LearningLoop(SnapshotCatalog* snapshots, Learner* learner)
+    : snapshots_(snapshots), learner_(learner) {}
+
+LearningLoop::~LearningLoop() { Stop(); }
+
+void LearningLoop::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (accepting_) return;
+    accepting_ = true;
+  }
+  learner_->SetWorkSignal([this] { MaybeSchedule(); });
+}
+
+void LearningLoop::Stop() {
+  learner_->SetWorkSignal(nullptr);
+  std::unique_lock<std::mutex> lock(mutex_);
+  accepting_ = false;
+  idle_.wait(lock, [this] { return !tick_inflight_; });
+}
+
+Result<LearnTickReport> LearningLoop::TickNow() {
+  if (!learner_->HasPendingWork()) return LearnTickReport{};
+  LearnTickReport report;
+  Status commit = snapshots_->Commit([&](DatabaseSnapshot* db) -> Status {
+    report = learner_->Apply(db->tables, &db->models);
+    if (!report.did_work()) {
+      // Publishing an identical snapshot would only churn the epoch;
+      // aborting the commit keeps no-op ticks invisible to readers.
+      return Status::Aborted("learning tick: no catalog change");
+    }
+    return Status::OK();
+  });
+  if (!commit.ok() && commit.code() != StatusCode::kAborted) return commit;
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  return report;
+}
+
+void LearningLoop::MaybeSchedule() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_ || tick_inflight_) return;
+    tick_inflight_ = true;
+  }
+  // GlobalShared pins the pool across the task, so a concurrent
+  // SetGlobalThreadCount cannot tear it down underneath the tick.
+  std::shared_ptr<ThreadPool> pool = ThreadPool::GlobalShared();
+  pool->Submit([this, pool] { RunBackgroundTick(); });
+}
+
+void LearningLoop::RunBackgroundTick() {
+  (void)TickNow();  // failures surface via learn.* counters, not crashes
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tick_inflight_ = false;
+    // Notify while still holding the mutex: Stop()'s predicate can then
+    // only pass after this block unlocks, so the loop (condvar included)
+    // cannot be destroyed while this thread is still inside notify_all.
+    idle_.notify_all();
+  }
+  // Work that arrived (or failed and stayed pending) during this tick is
+  // not drained here — the next harvesting query re-fires the signal, so
+  // under traffic the backlog clears without ever looping hot on a
+  // permanently failing refit.
+}
+
+}  // namespace laws

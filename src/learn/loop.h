@@ -1,0 +1,66 @@
+#ifndef LAWSDB_LEARN_LOOP_H_
+#define LAWSDB_LEARN_LOOP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/result.h"
+#include "learn/learner.h"
+#include "serve/snapshot.h"
+
+namespace laws {
+
+/// Connects a Learner to the serving layer: maintenance passes run as
+/// background tasks on the process ThreadPool and publish their catalog
+/// changes through one snapshot commit, so readers pinned to an older
+/// epoch never observe a half-refit model — they see the whole tick or
+/// none of it.
+///
+/// Scheduling is signal-driven: the Learner fires its work signal when a
+/// harvest or drift check produces pending work, and the loop coalesces
+/// signals into at most one in-flight tick. A tick that finds no work
+/// publishes nothing (no epoch churn).
+class LearningLoop {
+ public:
+  /// Neither pointer is owned; both must outlive the loop.
+  LearningLoop(SnapshotCatalog* snapshots, Learner* learner);
+  ~LearningLoop();
+
+  LearningLoop(const LearningLoop&) = delete;
+  LearningLoop& operator=(const LearningLoop&) = delete;
+
+  /// Starts accepting background ticks and registers the learner's work
+  /// signal. Idempotent.
+  void Start();
+
+  /// Stops accepting new ticks, detaches the work signal, and waits for
+  /// any in-flight tick to finish. Idempotent; also run by the dtor.
+  void Stop();
+
+  /// One synchronous maintenance pass (shell `learning tick`, tests,
+  /// benches): commits the learner's pending work as the next epoch.
+  /// Returns an empty report when there was nothing to do.
+  Result<LearnTickReport> TickNow();
+
+  /// Completed ticks (background + synchronous).
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  void MaybeSchedule();
+  void RunBackgroundTick();
+
+  SnapshotCatalog* const snapshots_;
+  Learner* const learner_;
+
+  std::mutex mutex_;
+  std::condition_variable idle_;
+  bool accepting_ = false;
+  bool tick_inflight_ = false;
+  std::atomic<uint64_t> ticks_{0};
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_LEARN_LOOP_H_

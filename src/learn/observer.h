@@ -1,0 +1,50 @@
+#ifndef LAWSDB_LEARN_OBSERVER_H_
+#define LAWSDB_LEARN_OBSERVER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace laws {
+
+struct SelectStatement;
+class Catalog;
+class ModelCatalog;
+
+/// The hook surface the hybrid engine sees of the database-learning loop.
+/// Header-only on purpose: laws_aqp calls through this interface without
+/// linking laws_learn (the concrete Learner lives above the aqp layer,
+/// next to the serving code that owns its lifecycle), so the layering
+/// stays acyclic: aqp -> core, learn -> {aqp headers, core, serve}.
+///
+/// All methods must be thread-safe — the serving layer invokes them from
+/// N concurrent sessions.
+class LearningObserver {
+ public:
+  virtual ~LearningObserver() = default;
+
+  /// Cheap gate the hybrid engine checks before every hook; when false
+  /// the learning path costs one virtual call on fallbacks only.
+  virtual bool enabled() const = 0;
+
+  /// An exact scan just answered `stmt` over `data`: fold the scanned
+  /// rows into candidate sufficient statistics and run drift checks
+  /// against `models`. Must never fail the query — errors are swallowed
+  /// and surfaced through counters.
+  virtual void OnExactScan(const SelectStatement& stmt, const Catalog& data,
+                           const ModelCatalog& models) = 0;
+
+  /// True when `model_id` is drift-flagged and must not serve answers
+  /// until its background refit lands; fills `*why` with the fallback
+  /// reason shown to the user.
+  virtual bool RejectModel(uint64_t model_id, std::string* why) = 0;
+
+  /// Arbitration outcome over `table`: `hit_model_id` is the serving
+  /// model on a hit, 0 on an exact fallback. Feeds the hit-rate counters
+  /// that drive promotion/eviction.
+  virtual void OnDecision(const std::string& table, uint64_t hit_model_id,
+                          const ModelCatalog& models) = 0;
+};
+
+}  // namespace laws
+
+#endif  // LAWSDB_LEARN_OBSERVER_H_

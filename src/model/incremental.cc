@@ -59,6 +59,14 @@ Status IncrementalOls::Merge(const IncrementalOls& other) {
     xty_[i] += other.xty_[i];
     for (size_t j = 0; j < p; ++j) xtx_(i, j) += other.xtx_(i, j);
   }
+#ifdef LAWS_TESTING_INJECT_BUG
+  // Planted mutant for the learning-harness smoke test: corrupt one
+  // merged sufficient statistic. Every scan-local accumulator merged into
+  // a stored candidate drifts Phi^T y a little further from the data, so
+  // the harvested parameters silently diverge from a batch OLS over the
+  // same rows — exactly what VerifyCandidatesAgainstBatch must catch.
+  xty_[0] += 1.0;
+#endif
   sum_y_ += other.sum_y_;
   sum_y2_ += other.sum_y2_;
   n_ += other.n_;

@@ -41,6 +41,16 @@ class IncrementalOls {
 
   size_t count() const { return n_; }
 
+  // Sufficient-statistic accessors, used by self-checks (the learning
+  // harness re-accumulates a candidate's rows in one pass and compares
+  // statistics entrywise) and diagnostics. Solved parameters are NOT the
+  // right thing to compare across accumulation orders: the Gram solve
+  // amplifies reassociation noise by the squared condition number.
+  const Matrix& gram() const { return xtx_; }
+  const Vector& moment() const { return xty_; }
+  double sum_y() const { return sum_y_; }
+  double sum_y2() const { return sum_y2_; }
+
   /// Solves the accumulated normal equations. Needs n > p; NumericError
   /// for singular Gram matrices. Can be called repeatedly as data
   /// accumulates.

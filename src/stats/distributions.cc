@@ -9,6 +9,19 @@ namespace {
 constexpr double kEps = 1e-15;
 constexpr int kMaxIter = 500;
 
+/// Thread-safe log-gamma. glibc's lgamma() writes the process-global
+/// `signgam`, which is a data race when concurrent sessions evaluate
+/// t-quantiles; lgamma_r keeps the sign in a local instead. Every call
+/// site here passes a positive argument, so the sign is always +1.
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 /// Continued-fraction evaluation of the regularized incomplete beta
 /// (Numerical Recipes' betacf, modified Lentz).
 double BetaContinuedFraction(double a, double b, double x) {
@@ -53,7 +66,7 @@ double GammaPSeries(double a, double x) {
     sum += del;
     if (std::fabs(del) < std::fabs(sum) * kEps) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 /// Upper incomplete gamma by continued fraction (x >= a+1 regime).
@@ -74,7 +87,7 @@ double GammaQContinuedFraction(double a, double x) {
     h *= del;
     if (std::fabs(del - 1.0) < kEps) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 }  // namespace
@@ -143,8 +156,8 @@ double RegularizedGammaQ(double a, double x) {
 double RegularizedIncompleteBeta(double a, double b, double x) {
   if (x <= 0.0) return 0.0;
   if (x >= 1.0) return 1.0;
-  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
-                          std::lgamma(b) + a * std::log(x) +
+  const double ln_front = LogGamma(a + b) - LogGamma(a) -
+                          LogGamma(b) + a * std::log(x) +
                           b * std::log(1.0 - x);
   const double front = std::exp(ln_front);
   if (x < (a + 1.0) / (a + b + 2.0)) {

@@ -1,0 +1,82 @@
+#ifndef LAWSDB_TESTING_LEARNING_DIFF_H_
+#define LAWSDB_TESTING_LEARNING_DIFF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace laws {
+namespace testing {
+
+/// Configuration for the learning-aware differential sweep.
+struct LearnDiffOptions {
+  uint64_t seed = 0x1EA21;
+  /// Phase A: fuzz cases run with harvesting on against a learning-off
+  /// reference.
+  size_t num_queries = 3000;
+  /// Phase B: repeated-workload batches over the structured fixture.
+  size_t workload_batches = 6;
+  size_t batch_queries = 48;
+  /// Stop collecting after this many violations (each is a failure).
+  size_t max_reported = 8;
+};
+
+struct LearnDiffReport {
+  /// Hybrid executions across both phases.
+  size_t queries = 0;
+  /// Phase A cases where the learning-on exact answer was bit-identical
+  /// to the learning-off reference.
+  size_t exact_matches = 0;
+  /// Cases where both legs raised an error (counted as agreement).
+  size_t agreed_errors = 0;
+  /// Generator SQL the parser rejected (harness bug; assert zero).
+  size_t parse_failures = 0;
+  /// Merged-sufficient-statistics self-checks that passed (the planted
+  /// harvest mutant trips these).
+  size_t self_checks = 0;
+  /// Phase B approximate answers audited against the exact value.
+  size_t audited = 0;
+  /// Phase B answers served by a learned model.
+  size_t model_hits = 0;
+  /// Models the learner promoted / refined during Phase B.
+  size_t promotions = 0;
+  size_t refinements = 0;
+  /// Rows folded into candidate accumulators across the sweep.
+  uint64_t harvested_rows = 0;
+  std::vector<std::string> violations;
+
+  std::string Summary() const;
+};
+
+/// The learning leg of the differential harness.
+///
+/// Phase A replays the fuzz generator with harvesting enabled: every case
+/// runs once through the hybrid engine with a live Learner attached and
+/// once through the plain executor (the learning-off reference). Exact
+/// answers must be bit-identical — learning is a by-product and may never
+/// perturb a query result — and after every case the learner's merged
+/// sufficient statistics are re-derived by batch OLS over the exact rows
+/// they claim to cover.
+///
+/// Phase B runs a repeated AVG/MIN/MAX/COUNT(*) workload over a
+/// structured fixture (reading = a + b·ln(t) + noise), applying the
+/// learner between batches so harvested candidates graduate into served
+/// models. Every approximate answer must pass the aqp_audit interval
+/// check (|approx - exact| within the stated bound), bounds for the same
+/// query may only tighten as more rows are harvested, and COUNT(*) must
+/// always fall back exact.
+LearnDiffReport RunLearningDifferential(const LearnDiffOptions& opts);
+
+/// Deterministic merge-consistency probe for the mutation smoke test:
+/// harvests an exactly linear table in two scans (with an ingest between
+/// them, so the scan-local accumulators merge twice), then re-derives
+/// every candidate by batch OLS over the same rows. Returns "" when the
+/// merged statistics agree with the batch fit to ~1e-6; the planted
+/// LAWS_TESTING_INJECT_BUG mutant in IncrementalOls::Merge corrupts one
+/// sufficient statistic and makes this return the first mismatch.
+std::string HarvestConsistencyProbe();
+
+}  // namespace testing
+}  // namespace laws
+
+#endif  // LAWSDB_TESTING_LEARNING_DIFF_H_

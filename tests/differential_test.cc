@@ -7,6 +7,7 @@
 #include "query/parser.h"
 #include "testing/aqp_audit.h"
 #include "testing/differential.h"
+#include "testing/learning_diff.h"
 #include "testing/query_gen.h"
 #include "testing/reference_oracle.h"
 #include "testing/shrink.h"
@@ -146,6 +147,34 @@ TEST(DifferentialTest, AqpErrorBoundAudit) {
   EXPECT_GT(report->exact_fallbacks, 0u) << report->Summary();
 }
 
+// The learning leg: the same fuzz generator with harvesting enabled.
+// Exact answers must stay bit-identical to the learning-off reference
+// (learning is a by-product, never a perturbation), every merged
+// sufficient statistic must re-derive by batch OLS over the rows it
+// claims, and the repeated-workload phase must promote models whose
+// approximate answers pass the interval audit with bounds that only
+// tighten. Overridable for the acceptance soak (tools/check_learning.sh):
+// LAWS_LEARN_FUZZ_QUERIES=30000 LAWS_LEARN_FUZZ_SEED=7 ./differential_test
+TEST(DifferentialTest, LearningSweepMatchesReference) {
+  LearnDiffOptions opts;
+  opts.seed = EnvU64("LAWS_LEARN_FUZZ_SEED", opts.seed);
+  opts.num_queries = static_cast<size_t>(
+      EnvU64("LAWS_LEARN_FUZZ_QUERIES", opts.num_queries));
+
+  const LearnDiffReport report = RunLearningDifferential(opts);
+  EXPECT_TRUE(report.violations.empty()) << report.Summary();
+  EXPECT_EQ(report.parse_failures, 0u) << report.Summary();
+  // Coverage sanity: the sweep must actually exercise both halves of the
+  // contract — bit-identical exact answers and audited model answers.
+  EXPECT_GT(report.exact_matches, opts.num_queries * 2 / 5)
+      << report.Summary();
+  EXPECT_GT(report.audited, 0u) << report.Summary();
+  EXPECT_GT(report.model_hits, 0u) << report.Summary();
+  EXPECT_GT(report.promotions, 0u) << report.Summary();
+  EXPECT_GT(report.self_checks, 0u) << report.Summary();
+  EXPECT_GT(report.harvested_rows, 0u) << report.Summary();
+}
+
 #ifdef LAWS_TESTING_INJECT_BUG
 // Self-test of the harness: with the planted hash-aggregate off-by-one
 // (the numeric sweep drops the last input row), this exact case must be
@@ -199,6 +228,17 @@ TEST(DifferentialTest, MutationSmokeCatchesInjectedZoneMapBug) {
   EXPECT_FALSE(diff.reason.empty())
       << "injected zone-map pruning bug was not detected";
 }
+
+// The learning loop's planted mutant corrupts one merged sufficient
+// statistic in IncrementalOls::Merge — the exact class of bug (a subtly
+// wrong harvest accumulator) the learning leg exists to catch. Only the
+// merged-vs-batch self-check can see it: query answers never flow through
+// the accumulator, so the exact-answer legs stay green.
+TEST(DifferentialTest, MutationSmokeCatchesInjectedHarvestBug) {
+  const std::string mismatch = HarvestConsistencyProbe();
+  EXPECT_FALSE(mismatch.empty())
+      << "injected sufficient-statistic merge bug was not detected";
+}
 #else
 // Same case in a healthy build: must agree (guards against the smoke test
 // passing for the wrong reason).
@@ -236,6 +276,12 @@ TEST(DifferentialTest, ZoneMapMutationSmokeCaseAgreesWhenHealthy) {
   ASSERT_TRUE(stmt.ok());
   const CaseDiff diff = DiffCase({t}, *stmt);
   EXPECT_TRUE(diff.reason.empty()) << diff.reason;
+}
+
+// Healthy build: merged statistics and batch OLS agree on the probe
+// (guards against the harvest smoke test passing for the wrong reason).
+TEST(DifferentialTest, HarvestProbeAgreesWhenHealthy) {
+  EXPECT_EQ(HarvestConsistencyProbe(), "");
 }
 #endif
 

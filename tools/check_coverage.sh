@@ -13,11 +13,14 @@
 #                          scan/expression tiers (src/query/bytecode* +
 #                          vector_eval* + compressed_scan* +
 #                          query_context*, src/compress/block_store*,
-#                          src/common/governor*, and all of src/serve);
+#                          src/common/governor*, and all of src/serve
+#                          and src/learn);
 #                          default 75 — tiers whose bugs only surface as
 #                          silent wrong answers (or queries that cannot
 #                          be stopped, or snapshot isolation quietly
-#                          broken) must not quietly lose their tests
+#                          broken, or a model catalog quietly corrupted
+#                          by harvested statistics) must not quietly
+#                          lose their tests
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -96,7 +99,8 @@ for rel in sorted(lines):
     in_common = rel.startswith(os.path.join("src", "common")) and \
         base.startswith("governor")
     in_serve = rel.startswith(os.path.join("src", "serve"))
-    if not (in_query or in_compress or in_common or in_serve):
+    in_learn = rel.startswith(os.path.join("src", "learn"))
+    if not (in_query or in_compress or in_common or in_serve or in_learn):
         continue
     linemap = lines[rel]
     fcov = sum(1 for hit in linemap.values() if hit)

@@ -13,9 +13,11 @@
 #     are themselves exercised end to end.
 #  2. Mutation smoke: rebuilds with -DLAWS_TESTING_INJECT_BUG=ON (a
 #     guarded off-by-one in the hash-aggregate sweep, a dropped last
-#     lane in the bytecode f64 adder, AND a one-ulp shrink of every
-#     zone-map max) and asserts the harness flags all three — proof the
-#     oracle comparison and the tier matrix can actually fail.
+#     lane in the bytecode f64 adder, a one-ulp shrink of every
+#     zone-map max, AND a corrupted merge of harvested sufficient
+#     statistics) and asserts the harness flags all four — proof the
+#     oracle comparison, the tier matrix, and the learning self-check
+#     can actually fail.
 #
 # Usage: tools/check_differential.sh
 #   LAWS_FUZZ_QUERIES      queries in the sweep (default 2000)
@@ -49,14 +51,14 @@ echo "== differential sweep again with LAWS_SCAN_DECODE=1 (compressed tier off) 
 LAWS_SCAN_DECODE=1 LAWS_FUZZ_QUERIES="$QUERIES" \
   "$BUILD_DIR/tests/differential_test"
 
-echo "== mutation smoke: injected aggregate + bytecode + zone-map bugs must be caught =="
+echo "== mutation smoke: injected aggregate + bytecode + zone-map + harvest bugs must be caught =="
 cmake -B "$MUTANT_DIR" -S . -DLAWS_TESTING_INJECT_BUG=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$MUTANT_DIR" -j "$JOBS" --target differential_test
 "$MUTANT_DIR/tests/differential_test" \
-  --gtest_filter='DifferentialTest.MutationSmokeCatchesInjectedBug:DifferentialTest.MutationSmokeCatchesInjectedBytecodeBug:DifferentialTest.MutationSmokeCatchesInjectedZoneMapBug'
+  --gtest_filter='DifferentialTest.MutationSmokeCatchesInjectedBug:DifferentialTest.MutationSmokeCatchesInjectedBytecodeBug:DifferentialTest.MutationSmokeCatchesInjectedZoneMapBug:DifferentialTest.MutationSmokeCatchesInjectedHarvestBug'
 
 echo "Differential gate passed: $QUERIES queries agreed with the oracle" \
      "across the tree-walk/bytecode/compressed tier matrix (zero" \
      "mismatches, zero AQP bound violations) and the harness detected all" \
-     "three injected bugs."
+     "four injected bugs."
